@@ -1,0 +1,226 @@
+package repro
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (Figures 3-8, Tables III-IV, and the §IV/§V ablation
+// studies), plus micro-benchmarks of the substrates. Each experiment bench
+// runs the real pipeline at the reduced experiments.Fast() scale so the full
+// suite completes in minutes; `cmd/perfvec-experiments` runs the same code
+// at full experiment scale.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/emu"
+	"repro/internal/experiments"
+	"repro/internal/features"
+	"repro/internal/perfvec"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/uarch"
+)
+
+// --- Per-figure / per-table experiment benchmarks ---
+
+func runExperiment(b *testing.B, fn func(*experiments.Artifacts, io.Writer) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		arts := experiments.NewArtifacts(experiments.Fast(), nil)
+		if err := fn(arts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3SeenUnseenPrograms(b *testing.B) {
+	runExperiment(b, func(a *experiments.Artifacts, w io.Writer) error {
+		_, err := experiments.Fig3(a, w)
+		return err
+	})
+}
+
+func BenchmarkFig4LbmMoved(b *testing.B) {
+	runExperiment(b, func(a *experiments.Artifacts, w io.Writer) error {
+		_, err := experiments.Fig4(a, w)
+		return err
+	})
+}
+
+func BenchmarkFig5UnseenUarch(b *testing.B) {
+	runExperiment(b, func(a *experiments.Artifacts, w io.Writer) error {
+		_, err := experiments.Fig5(a, w)
+		return err
+	})
+}
+
+func BenchmarkFig6ModelAblation(b *testing.B) {
+	runExperiment(b, func(a *experiments.Artifacts, w io.Writer) error {
+		_, err := experiments.Fig6(a, w)
+		return err
+	})
+}
+
+func BenchmarkAblationDataVolume(b *testing.B) {
+	runExperiment(b, func(a *experiments.Artifacts, w io.Writer) error {
+		_, err := experiments.Volume(a, w)
+		return err
+	})
+}
+
+func BenchmarkAblationFeatures(b *testing.B) {
+	runExperiment(b, func(a *experiments.Artifacts, w io.Writer) error {
+		_, err := experiments.FeatureAblation(a, w)
+		return err
+	})
+}
+
+func BenchmarkTable3PredictionSpeed(b *testing.B) {
+	runExperiment(b, func(a *experiments.Artifacts, w io.Writer) error {
+		_, err := experiments.Table3(a, w)
+		return err
+	})
+}
+
+func BenchmarkTable4DSEComparison(b *testing.B) {
+	runExperiment(b, func(a *experiments.Artifacts, w io.Writer) error {
+		_, err := experiments.Table4(a, w)
+		return err
+	})
+}
+
+func BenchmarkFig7CacheDSESurface(b *testing.B) {
+	runExperiment(b, func(a *experiments.Artifacts, w io.Writer) error {
+		_, err := experiments.Fig7(a, w)
+		return err
+	})
+}
+
+func BenchmarkFig8LoopTiling(b *testing.B) {
+	runExperiment(b, func(a *experiments.Artifacts, w io.Writer) error {
+		_, err := experiments.Fig8(a, 16, w)
+		return err
+	})
+}
+
+func BenchmarkTrainReuseVsNaive(b *testing.B) {
+	runExperiment(b, func(a *experiments.Artifacts, w io.Writer) error {
+		_, err := experiments.Reuse(a, w)
+		return err
+	})
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkSimulatorIPS measures the timing simulator's throughput
+// (instructions per second) on a mixed workload.
+func BenchmarkSimulatorIPS(b *testing.B) {
+	bm, err := bench.ByName("525.x264")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, err := bm.Trace(1, 50000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := uarch.Predefined()[4]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Simulate(cfg, recs, false)
+	}
+	b.ReportMetric(float64(len(recs)), "instructions/op")
+}
+
+// BenchmarkEmulatorIPS measures the functional emulator's throughput.
+func BenchmarkEmulatorIPS(b *testing.B) {
+	bm, err := bench.ByName("999.specrand")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, m := bm.Build(1)
+		if _, err := emu.Run(m, prog, 50000, nil); err != nil && err != emu.ErrMaxInstructions {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeatureExtraction measures Table I featurization throughput.
+func BenchmarkFeatureExtraction(b *testing.B) {
+	bm, err := bench.ByName("505.mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, err := bm.Trace(1, 50000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.ExtractAll(recs)
+	}
+	b.ReportMetric(float64(len(recs)), "instructions/op")
+}
+
+// BenchmarkFoundationInference measures instruction-representation
+// generation throughput (the parallelizable step of §III-B).
+func BenchmarkFoundationInference(b *testing.B) {
+	bm, err := bench.ByName("527.cam4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pd, err := perfvec.CollectFeatures(bm, 1, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := perfvec.DefaultConfig()
+	model := perfvec.NewFoundation(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.InstructionReps(pd)
+	}
+	b.ReportMetric(float64(pd.N), "instructions/op")
+}
+
+// BenchmarkDotProductPrediction measures PerfVec's end prediction cost: one
+// dot product between program and microarchitecture representations.
+func BenchmarkDotProductPrediction(b *testing.B) {
+	cfg := perfvec.DefaultConfig()
+	model := perfvec.NewFoundation(cfg)
+	prog := make([]float32, cfg.RepDim)
+	ua := make([]float32, cfg.RepDim)
+	for i := range prog {
+		prog[i] = float32(i)
+		ua[i] = float32(i) * 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.PredictTotalNs(prog, ua)
+	}
+}
+
+// BenchmarkMatMul measures the tensor GEMM kernel.
+func BenchmarkMatMul(b *testing.B) {
+	x := tensor.New(256, 83)
+	w := tensor.New(128, 83)
+	for i := range x.Data {
+		x.Data[i] = float32(i % 7)
+	}
+	for i := range w.Data {
+		w.Data[i] = float32(i % 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulBT(nil, x, w)
+	}
+}
+
+// BenchmarkStackDistance measures reuse-distance tracking throughput.
+func BenchmarkStackDistance(b *testing.B) {
+	sd := features.NewStackDist(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd.Access(uint64(i % 4096))
+	}
+}

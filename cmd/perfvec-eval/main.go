@@ -1,0 +1,92 @@
+// Command perfvec-eval loads a trained foundation model + representation
+// table (from perfvec-train) and evaluates prediction accuracy for any
+// benchmark on the seen microarchitectures, reproducing the per-program
+// statistics of the paper's Figures 3-5.
+//
+// Usage:
+//
+//	perfvec-eval -model perfvec-model.gob -table perfvec-table.gob -bench 505.mcf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/perfvec"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "perfvec-model.gob", "foundation model path")
+		tablePath = flag.String("table", "perfvec-table.gob", "representation table path")
+		benchArg  = flag.String("bench", "all", "benchmark name or 'all'")
+		sampled   = flag.Int("uarchs", 9, "sampled microarchitectures (must match training)")
+		maxInsts  = flag.Int("maxinsts", 20000, "dynamic instructions per benchmark")
+		hidden    = flag.Int("hidden", 32, "model width (must match training)")
+		layers    = flag.Int("layers", 2, "model depth (must match training)")
+		model     = flag.String("arch", "lstm", "architecture (must match training)")
+		seed      = flag.Int64("seed", 1, "seed (must match training)")
+	)
+	flag.Parse()
+
+	cfg := perfvec.DefaultConfig()
+	cfg.Model = perfvec.ModelKind(*model)
+	cfg.Hidden = *hidden
+	cfg.RepDim = *hidden
+	cfg.Layers = *layers
+	cfg.Seed = *seed
+
+	f := perfvec.NewFoundation(cfg)
+	if err := loadInto(*modelPath, f.Load); err != nil {
+		fatal(err)
+	}
+	cfgs := uarch.TrainingSet(*seed, *sampled)
+	table := perfvec.NewTable(len(cfgs), cfg.RepDim, 0)
+	if err := loadInto(*tablePath, table.Load); err != nil {
+		fatal(err)
+	}
+
+	var benches []bench.Benchmark
+	if *benchArg == "all" {
+		benches = bench.All()
+	} else {
+		for _, name := range strings.Split(*benchArg, ",") {
+			b, err := bench.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			benches = append(benches, b)
+		}
+	}
+
+	tb := &stats.Table{Header: []string{"program", "mean", "std", "min", "max"}}
+	for _, b := range benches {
+		pd, err := perfvec.CollectProgramData(b, cfgs, 1, *maxInsts)
+		if err != nil {
+			fatal(err)
+		}
+		s := perfvec.Summarize(b.Name, perfvec.ProgramErrors(f, table, pd))
+		tb.Add(s.Name, stats.Pct(s.Mean), stats.Pct(s.Std), stats.Pct(s.Min), stats.Pct(s.Max))
+	}
+	fmt.Printf("prediction error across %d seen microarchitectures:\n%s", len(cfgs), tb.String())
+}
+
+func loadInto(path string, load func(r io.Reader) error) error {
+	fp, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fp.Close()
+	return load(fp)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfvec-eval:", err)
+	os.Exit(1)
+}

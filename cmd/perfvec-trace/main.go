@@ -1,0 +1,108 @@
+// Command perfvec-trace inspects the data pipeline: it executes a benchmark,
+// prints trace statistics, the Table I feature vectors of the first few
+// instructions, and the per-microarchitecture timing summary — useful when
+// debugging new kernels or configurations.
+//
+// Usage:
+//
+//	perfvec-trace -bench 505.mcf -maxinsts 5000 -show 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/features"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+func main() {
+	var (
+		name     = flag.String("bench", "999.specrand", "benchmark name")
+		maxInsts = flag.Int("maxinsts", 10000, "dynamic instruction budget")
+		show     = flag.Int("show", 3, "feature vectors to print")
+	)
+	flag.Parse()
+
+	b, err := bench.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	recs, err := b.Trace(1, *maxInsts)
+	if err != nil {
+		fatal(err)
+	}
+
+	var loads, stores, branches, taken, faults int
+	for i := range recs {
+		r := &recs[i]
+		if r.IsLoad() {
+			loads++
+		}
+		if r.IsStore() {
+			stores++
+		}
+		if r.IsBranch() {
+			branches++
+			if r.Taken {
+				taken++
+			}
+		}
+		if r.Fault {
+			faults++
+		}
+	}
+	fmt.Printf("%s: %d instructions (%.1f%% loads, %.1f%% stores, %.1f%% branches [%.1f%% taken], %d faults)\n",
+		b.Name, len(recs),
+		100*float64(loads)/float64(len(recs)),
+		100*float64(stores)/float64(len(recs)),
+		100*float64(branches)/float64(len(recs)),
+		100*float64(taken)/float64(max(branches, 1)),
+		faults)
+
+	feats := features.ExtractAll(recs)
+	fmt.Printf("\nfirst %d feature vectors (%d features each, Table I):\n", *show, features.NumFeatures)
+	for i := 0; i < *show && i < len(recs); i++ {
+		fmt.Printf("  inst %d (%v): ", i, recs[i].Op)
+		row := feats[i*features.NumFeatures : (i+1)*features.NumFeatures]
+		for _, v := range row {
+			fmt.Printf("%.2g ", v)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ntiming across the predefined microarchitectures:")
+	tb := &stats.Table{Header: []string{"config", "time (us)", "IPC", "L1D miss%", "mispredict%"}}
+	for _, cfg := range uarch.Predefined() {
+		res := sim.Simulate(cfg, recs, false)
+		missPct := 100 * float64(res.Stats.Mem.L1DMisses) / float64(max64(res.Stats.Mem.L1DAccesses, 1))
+		mispPct := 100 * float64(res.Stats.Mispredicts) / float64(max64(res.Stats.Branches, 1))
+		tb.Add(cfg.Name, fmt.Sprintf("%.1f", res.TotalNs/1000),
+			fmt.Sprintf("%.2f", res.Stats.IPC()),
+			fmt.Sprintf("%.1f", missPct), fmt.Sprintf("%.1f", mispPct))
+	}
+	fmt.Print(tb.String())
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfvec-trace:", err)
+	os.Exit(1)
+}

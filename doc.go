@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Learning Generalizable
+// Program and Architecture Representations for Performance Modeling"
+// (PerfVec — Li, Flynn, Hoisie; SC 2024, arXiv:2310.16792).
+//
+// The library lives under internal/: the PerfVec core (internal/perfvec),
+// its substrates (ISA, emulator, timing simulator, feature extraction,
+// benchmark suite, neural-network stack), the DSE case study
+// (internal/dse), and the evaluation harness (internal/experiments).
+// Executables live under cmd/, runnable examples under examples/, and
+// bench_test.go in this directory regenerates every table and figure of the
+// paper's evaluation as a testing.B benchmark.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,77 @@
+// Program-analysis example (§III-B "detailed analysis"): because PerfVec's
+// program representation is a sum of instruction representations, predicted
+// execution time can be attributed exactly to static PCs or instruction
+// classes — a learned profiler with no extra model runs.
+//
+// Run with:
+//
+//	go run ./examples/analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/perfvec"
+	"repro/internal/uarch"
+)
+
+func main() {
+	cfgs := uarch.TrainingSet(1, 5)
+	pds, err := perfvec.CollectAll(bench.Training()[:3], cfgs, 1, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := perfvec.NewDataset(pds, 0.05, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc := perfvec.DefaultConfig()
+	mc.Hidden, mc.RepDim, mc.Window = 16, 16, 6
+	mc.Epochs = 5
+	model := perfvec.NewFoundation(mc)
+	tr := perfvec.NewTrainer(model, len(cfgs))
+	tr.Train(ds)
+
+	// Profile an unseen program on the A7-like core.
+	target, err := bench.ByName("505.mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := target.Trace(1, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pd, err := perfvec.CollectFeatures(target, 1, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a7 := 0
+	for i, c := range cfgs {
+		if c.Name == "a7like" {
+			a7 = i
+		}
+	}
+	rep := tr.Table.Rep(a7)
+
+	total := model.PredictTotalNs(model.ProgramRep(pd), rep)
+	fmt.Printf("%s predicted execution time on a7like: %.1f us\n\n", target.Name, total/1000)
+
+	fmt.Println("hottest static instructions (attributed predicted time):")
+	attrs := perfvec.AttributePC(model, pd, recs, rep)
+	for i, a := range attrs {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  pc %#06x: %6d executions, %8.2f us (%.1f%%)\n",
+			a.Key, a.Count, a.PredictedNs/1000, 100*a.PredictedNs/total)
+	}
+
+	fmt.Println("\nby instruction class:")
+	for _, a := range perfvec.AttributeOp(model, pd, recs, rep) {
+		fmt.Printf("  %-5v %6d executions, %8.2f us (%.1f%%)\n",
+			isa.Op(a.Key), a.Count, a.PredictedNs/1000, 100*a.PredictedNs/total)
+	}
+}

@@ -1,0 +1,69 @@
+// Cross-architecture example (§V-A "Unseen Microarchitectures"): adapt a
+// trained PerfVec model to microarchitectures it has never seen by learning
+// only their representations — the foundation model stays frozen.
+//
+// Run with:
+//
+//	go run ./examples/crossarch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/perfvec"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+func main() {
+	// Train the foundation model on one set of microarchitectures.
+	seenCfgs := uarch.TrainingSet(1, 5)
+	pds, err := perfvec.CollectAll(bench.Training()[:4], seenCfgs, 1, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := perfvec.NewDataset(pds, 0.05, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc := perfvec.DefaultConfig()
+	mc.Hidden, mc.RepDim, mc.Window = 16, 16, 6
+	mc.Epochs = 5
+	model := perfvec.NewFoundation(mc)
+	perfvec.NewTrainer(model, len(seenCfgs)).Train(ds)
+	fmt.Printf("foundation model trained on %d microarchitectures\n", len(seenCfgs))
+
+	// Meet three brand-new microarchitectures. Learn their representations
+	// from a small tuning set (two seen programs); the foundation model is
+	// frozen throughout.
+	newCfgs := uarch.NewSampler(777).SampleSet(3)
+	tunePds, err := perfvec.CollectAll(bench.Training()[:2], newCfgs, 1, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := perfvec.FineTuneTable(model, tunePds, 150, 0.01, 7)
+	fmt.Printf("fine-tuned representations for %d unseen microarchitectures\n", table.K())
+
+	// Predict an unseen program on the unseen microarchitectures.
+	target, err := bench.ByName("502.gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pd, err := perfvec.CollectProgramData(target, newCfgs, 1, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := model.ProgramRep(pd)
+	fmt.Printf("\n%s (unseen program) on unseen microarchitectures:\n", target.Name)
+	var errs []float64
+	for j, c := range newCfgs {
+		pred := model.PredictTotalNs(rep, table.Rep(j))
+		e := stats.AbsRelErr(pred, pd.TotalNs[j])
+		errs = append(errs, e)
+		fmt.Printf("  %-44s predicted %8.1f us, simulated %8.1f us (err %s)\n",
+			c.Name, pred/1000, pd.TotalNs[j]/1000, stats.Pct(e))
+	}
+	fmt.Printf("mean error: %s\n", stats.Pct(stats.Mean(errs)))
+}

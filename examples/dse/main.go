@@ -1,0 +1,73 @@
+// Design-space exploration example (§VI-A of the paper): find the cheapest
+// L1/L2 cache configuration for a pointer-chasing workload using PerfVec,
+// then check the selection against exhaustive simulation.
+//
+// Run with:
+//
+//	go run ./examples/dse
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/dse"
+	"repro/internal/perfvec"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+func main() {
+	// A pre-trained foundation model would normally be loaded from disk;
+	// train a small one here so the example is self-contained.
+	cfgs := uarch.TrainingSet(1, 5)
+	trainBenches := bench.Training()[:3]
+	pds, err := perfvec.CollectAll(trainBenches, cfgs, 1, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := perfvec.NewDataset(pds, 0.05, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc := perfvec.DefaultConfig()
+	mc.Hidden, mc.RepDim, mc.Window = 16, 16, 6
+	mc.Epochs = 5
+	model := perfvec.NewFoundation(mc)
+	perfvec.NewTrainer(model, len(cfgs)).Train(ds)
+
+	// The 6x6 cache design space on the A7-like core.
+	space := dse.Space()
+	target, err := bench.ByName("505.mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	feat, err := perfvec.CollectFeatures(target, 1, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// PerfVec DSE: simulate a few designs for tuning, train the
+	// microarchitecture representation model, predict the rest.
+	res, err := dse.RunPerfVec(model, space, trainBenches[:1], []*perfvec.ProgramData{feat},
+		12, 1, 8000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PerfVec explored %d designs with %d simulations\n", len(space), res.SimsUsed)
+
+	// Validate against exhaustive simulation.
+	truth, sims, err := dse.GroundTruth(space, []bench.Benchmark{target}, 1, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	objs := dse.ObjectiveSurface(space, truth[0])
+	best := stats.ArgMin(objs)
+	sel := res.Selected[0]
+	fmt.Printf("exhaustive search needed %d simulations\n", sims)
+	fmt.Printf("selected design:  %s\n", space[sel].Config.Name)
+	fmt.Printf("true best design: %s\n", space[best].Config.Name)
+	fmt.Printf("quality: %s of designs beat the selection (0%% = optimal)\n",
+		stats.Pct(dse.Quality(objs, sel)))
+}

@@ -1,0 +1,72 @@
+// Quickstart: train a small PerfVec foundation model, compose a program
+// representation, and predict execution time with a single dot product.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/perfvec"
+	"repro/internal/uarch"
+)
+
+func main() {
+	// 1. Pick the microarchitectures to learn representations for: a few
+	// random samples plus the seven predefined cores.
+	cfgs := uarch.TrainingSet(1, 5)
+	fmt.Printf("learning representations for %d microarchitectures\n", len(cfgs))
+
+	// 2. Collect training data: trace two benchmarks once each, simulate
+	// them on every microarchitecture, extract Table I features and
+	// per-instruction incremental latencies.
+	var train []bench.Benchmark
+	for _, name := range []string{"999.specrand", "527.cam4", "557.xz"} {
+		b, err := bench.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train = append(train, b)
+	}
+	pds, err := perfvec.CollectAll(train, cfgs, 1, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := perfvec.NewDataset(pds, 0.05, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Train the foundation model jointly with the representation table.
+	mc := perfvec.DefaultConfig()
+	mc.Hidden, mc.RepDim, mc.Window = 16, 16, 6
+	mc.Epochs = 6
+	model := perfvec.NewFoundation(mc)
+	trainer := perfvec.NewTrainer(model, len(cfgs))
+	fmt.Printf("training LSTM-%d-%d on %d samples...\n", mc.Layers, mc.Hidden, ds.TrainSize())
+	res := trainer.Train(ds)
+	fmt.Printf("best validation loss %.4f (epoch %d)\n", res.ValLoss[res.BestEpoch], res.BestEpoch)
+
+	// 4. Predict an UNSEEN program: compose its representation from
+	// instruction representations (no retraining) and dot it with each
+	// microarchitecture representation.
+	unseen, err := bench.ByName("505.mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pd, err := perfvec.CollectProgramData(unseen, cfgs, 1, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := model.ProgramRep(pd)
+	fmt.Printf("\n%s on three microarchitectures (prediction vs simulation):\n", unseen.Name)
+	for j := 0; j < 3; j++ {
+		pred := model.PredictTotalNs(rep, trainer.Table.Rep(j))
+		fmt.Printf("  %-40s predicted %8.1f us, simulated %8.1f us\n",
+			cfgs[j].Name, pred/1000, pd.TotalNs[j]/1000)
+	}
+}

@@ -1,0 +1,70 @@
+// Loop-tiling analysis example (§VI-B of the paper): predict how matrix-
+// multiply performance varies with tile size using a trained PerfVec model,
+// and compare with the cycle-level simulator. Larger tiles unlock vector
+// instructions; oversized tiles spill the L1 cache.
+//
+// Run with:
+//
+//	go run ./examples/tiling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/emu"
+	"repro/internal/features"
+	"repro/internal/perfvec"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+)
+
+func main() {
+	// Train a small foundation model (normally loaded pre-trained). The
+	// A7-like core is part of the training set, so its representation comes
+	// straight out of the learned table — the tiling analysis itself needs
+	// no further training, as the paper emphasizes.
+	cfgs := uarch.TrainingSet(1, 5)
+	a7 := -1
+	for i, c := range cfgs {
+		if c.Name == "a7like" {
+			a7 = i
+		}
+	}
+	pds, err := perfvec.CollectAll(bench.Training()[:4], cfgs, 1, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := perfvec.NewDataset(pds, 0.05, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc := perfvec.DefaultConfig()
+	mc.Hidden, mc.RepDim, mc.Window = 16, 16, 6
+	mc.Epochs = 5
+	model := perfvec.NewFoundation(mc)
+	tr := perfvec.NewTrainer(model, len(cfgs))
+	tr.Train(ds)
+	a7Rep := tr.Table.Rep(a7)
+	a7Cfg := uarch.A7Like()
+
+	const n = 16
+	fmt.Printf("%dx%d matrix multiply, execution time by tile size:\n", n, n)
+	fmt.Printf("%6s  %14s  %14s\n", "tile", "simulator (us)", "perfvec (us)")
+	for _, tile := range []int{1, 2, 4, 8, 16} {
+		prog, m := bench.MatMulTiled(n, tile)
+		recs, err := emu.Capture(m, prog, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		simNs := sim.Simulate(a7Cfg, recs, false).TotalNs
+
+		pd := &perfvec.ProgramData{
+			Name: prog.Name, N: len(recs), FeatDim: features.NumFeatures,
+			Features: features.ExtractAll(recs),
+		}
+		predNs := model.PredictTotalNs(model.ProgramRep(pd), a7Rep)
+		fmt.Printf("%6d  %14.1f  %14.1f\n", tile, simNs/1000, predNs/1000)
+	}
+}

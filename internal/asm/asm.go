@@ -1,0 +1,301 @@
+// Package asm provides a small assembler-style builder for constructing
+// isa.Programs in Go, with labels and forward references. All benchmark
+// kernels in internal/bench are written against this builder, standing in
+// for the gcc-compiled SPEC binaries the paper uses.
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder accumulates instructions and resolves labels at Build time.
+type Builder struct {
+	insts     []isa.Inst
+	labels    map[string]int
+	fixups    []fixup
+	immFixups []fixup
+	name      string
+}
+
+type fixup struct {
+	inst  int
+	label string
+}
+
+// NewBuilder returns an empty builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{labels: make(map[string]int), name: name}
+}
+
+// Label binds name to the next emitted instruction.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("asm: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.insts) }
+
+func (b *Builder) emit(in isa.Inst) *Builder {
+	b.insts = append(b.insts, in)
+	return b
+}
+
+func (b *Builder) emitBranch(op isa.Op, sub isa.SubOp, src []isa.Reg, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), label: label})
+	return b.emit(isa.MakeInst(op, sub, nil, src, 0, -1))
+}
+
+// --- integer ops ---
+
+// MovI loads an immediate: dst = imm.
+func (b *Builder) MovI(dst isa.Reg, imm int64) *Builder {
+	return b.emit(isa.MakeInst(isa.IntALU, isa.SubMovI, []isa.Reg{dst}, nil, imm, -1))
+}
+
+// MovLabel loads the static index of label into dst, enabling computed jump
+// tables through Jr.
+func (b *Builder) MovLabel(dst isa.Reg, label string) *Builder {
+	b.immFixups = append(b.immFixups, fixup{inst: len(b.insts), label: label})
+	return b.emit(isa.MakeInst(isa.IntALU, isa.SubMovI, []isa.Reg{dst}, nil, 0, -1))
+}
+
+// Mov copies a register: dst = src.
+func (b *Builder) Mov(dst, src isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.IntALU, isa.SubMov, []isa.Reg{dst}, []isa.Reg{src}, 0, -1))
+}
+
+// Add computes dst = a + b.
+func (b *Builder) Add(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.IntALU, isa.SubAdd, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// AddI computes dst = a + imm.
+func (b *Builder) AddI(dst, a isa.Reg, imm int64) *Builder {
+	return b.emit(isa.MakeInst(isa.IntALU, isa.SubAdd, []isa.Reg{dst}, []isa.Reg{a}, imm, -1))
+}
+
+// Sub computes dst = a - b.
+func (b *Builder) Sub(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.IntALU, isa.SubSub, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// And computes dst = a & b.
+func (b *Builder) And(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.IntALU, isa.SubAnd, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// AndI computes dst = a & imm.
+func (b *Builder) AndI(dst, a isa.Reg, imm int64) *Builder {
+	return b.emit(isa.MakeInst(isa.IntALU, isa.SubAnd, []isa.Reg{dst}, []isa.Reg{a}, imm, -1))
+}
+
+// Xor computes dst = a ^ b.
+func (b *Builder) Xor(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.IntALU, isa.SubXor, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// ShlI computes dst = a << imm.
+func (b *Builder) ShlI(dst, a isa.Reg, imm int64) *Builder {
+	return b.emit(isa.MakeInst(isa.IntALU, isa.SubShl, []isa.Reg{dst}, []isa.Reg{a}, imm, -1))
+}
+
+// ShrI computes dst = a >> imm (arithmetic).
+func (b *Builder) ShrI(dst, a isa.Reg, imm int64) *Builder {
+	return b.emit(isa.MakeInst(isa.IntALU, isa.SubShr, []isa.Reg{dst}, []isa.Reg{a}, imm, -1))
+}
+
+// Slt computes dst = (a < b) ? 1 : 0.
+func (b *Builder) Slt(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.IntALU, isa.SubSlt, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// Mul computes dst = a * b.
+func (b *Builder) Mul(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.IntMul, isa.SubMul, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// MulI computes dst = a * imm.
+func (b *Builder) MulI(dst, a isa.Reg, imm int64) *Builder {
+	return b.emit(isa.MakeInst(isa.IntMul, isa.SubMul, []isa.Reg{dst}, []isa.Reg{a}, imm, -1))
+}
+
+// Div computes dst = a / b, faulting on division by zero.
+func (b *Builder) Div(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.IntDiv, isa.SubDiv, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// Rem computes dst = a % b, faulting on division by zero.
+func (b *Builder) Rem(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.IntDiv, isa.SubRem, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// --- floating point ---
+
+// FAdd computes dst = a + b over FP registers.
+func (b *Builder) FAdd(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.FPALU, isa.SubFAdd, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// FSub computes dst = a - b over FP registers.
+func (b *Builder) FSub(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.FPALU, isa.SubFSub, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// FMov copies an FP register.
+func (b *Builder) FMov(dst, src isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.FPALU, isa.SubFMov, []isa.Reg{dst}, []isa.Reg{src}, 0, -1))
+}
+
+// FCvt converts the integer register src into the FP register dst.
+func (b *Builder) FCvt(dst, src isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.FPALU, isa.SubFCvt, []isa.Reg{dst}, []isa.Reg{src}, 0, -1))
+}
+
+// FMul computes dst = a * b over FP registers.
+func (b *Builder) FMul(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.FPMul, isa.SubFMul, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// FMA computes dst = dst + a*b over FP registers.
+func (b *Builder) FMA(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.FPMul, isa.SubFMA, []isa.Reg{dst}, []isa.Reg{dst, a, r}, 0, -1))
+}
+
+// FDiv computes dst = a / b over FP registers.
+func (b *Builder) FDiv(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.FPDiv, isa.SubFDiv, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// FSqrt computes dst = sqrt(a).
+func (b *Builder) FSqrt(dst, a isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.FPDiv, isa.SubFSqrt, []isa.Reg{dst}, []isa.Reg{a}, 0, -1))
+}
+
+// --- memory ---
+
+// Ld loads dst from address base+imm. dst may be an integer or FP register.
+func (b *Builder) Ld(dst, base isa.Reg, imm int64) *Builder {
+	return b.emit(isa.MakeInst(isa.Load, isa.SubNone, []isa.Reg{dst}, []isa.Reg{base}, imm, -1))
+}
+
+// St stores val to address base+imm.
+func (b *Builder) St(val, base isa.Reg, imm int64) *Builder {
+	return b.emit(isa.MakeInst(isa.Store, isa.SubNone, nil, []isa.Reg{base, val}, imm, -1))
+}
+
+// VLd loads 4 lanes into vector register dst from base+imm.
+func (b *Builder) VLd(dst, base isa.Reg, imm int64) *Builder {
+	return b.emit(isa.MakeInst(isa.VecLoad, isa.SubNone, []isa.Reg{dst}, []isa.Reg{base}, imm, -1))
+}
+
+// VSt stores vector register val to base+imm.
+func (b *Builder) VSt(val, base isa.Reg, imm int64) *Builder {
+	return b.emit(isa.MakeInst(isa.VecStore, isa.SubNone, nil, []isa.Reg{base, val}, imm, -1))
+}
+
+// VAdd computes dst = a + b lanewise.
+func (b *Builder) VAdd(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.VecALU, isa.SubVAdd, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// VMul computes dst = a * b lanewise.
+func (b *Builder) VMul(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.VecMul, isa.SubVMul, []isa.Reg{dst}, []isa.Reg{a, r}, 0, -1))
+}
+
+// VBcast broadcasts FP register src into every lane of dst.
+func (b *Builder) VBcast(dst, src isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.VecALU, isa.SubVBcast, []isa.Reg{dst}, []isa.Reg{src}, 0, -1))
+}
+
+// VFMA computes dst += a * b lanewise.
+func (b *Builder) VFMA(dst, a, r isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.VecMul, isa.SubVFMA, []isa.Reg{dst}, []isa.Reg{dst, a, r}, 0, -1))
+}
+
+// --- control flow ---
+
+// Beq branches to label when a == b.
+func (b *Builder) Beq(a, r isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.BranchCond, isa.SubBEQ, []isa.Reg{a, r}, label)
+}
+
+// Bne branches to label when a != b.
+func (b *Builder) Bne(a, r isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.BranchCond, isa.SubBNE, []isa.Reg{a, r}, label)
+}
+
+// Blt branches to label when a < b (signed).
+func (b *Builder) Blt(a, r isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.BranchCond, isa.SubBLT, []isa.Reg{a, r}, label)
+}
+
+// Bge branches to label when a >= b (signed).
+func (b *Builder) Bge(a, r isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.BranchCond, isa.SubBGE, []isa.Reg{a, r}, label)
+}
+
+// Jmp branches unconditionally to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitBranch(isa.BranchDir, isa.SubNone, nil, label)
+}
+
+// Jr branches to the static index held in register a.
+func (b *Builder) Jr(a isa.Reg) *Builder {
+	return b.emit(isa.MakeInst(isa.BranchInd, isa.SubNone, nil, []isa.Reg{a}, 0, -1))
+}
+
+// CallLabel calls label, writing the return index to the link register.
+func (b *Builder) CallLabel(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), label: label})
+	return b.emit(isa.MakeInst(isa.Call, isa.SubNone, []isa.Reg{isa.R(isa.LinkReg)}, nil, 0, -1))
+}
+
+// Ret returns through the link register.
+func (b *Builder) Ret() *Builder {
+	return b.emit(isa.MakeInst(isa.Ret, isa.SubNone, nil, []isa.Reg{isa.R(isa.LinkReg)}, 0, -1))
+}
+
+// Barrier emits a full memory barrier.
+func (b *Builder) Barrier() *Builder {
+	return b.emit(isa.MakeInst(isa.Barrier, isa.SubNone, nil, nil, 0, -1))
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder {
+	return b.emit(isa.MakeInst(isa.Nop, isa.SubNone, nil, nil, 0, -1))
+}
+
+// Halt emits the program terminator: an unconditional branch to
+// isa.HaltTarget, recognized by the emulator as end-of-program.
+func (b *Builder) Halt() *Builder {
+	return b.emit(isa.MakeInst(isa.BranchDir, isa.SubNone, nil, nil, 0, isa.HaltTarget))
+}
+
+// Build resolves labels and returns the finished program.
+func (b *Builder) Build() *isa.Program {
+	for _, fx := range b.fixups {
+		idx, ok := b.labels[fx.label]
+		if !ok {
+			panic(fmt.Sprintf("asm: undefined label %q", fx.label))
+		}
+		b.insts[fx.inst].Target = int32(idx)
+	}
+	for _, fx := range b.immFixups {
+		idx, ok := b.labels[fx.label]
+		if !ok {
+			panic(fmt.Sprintf("asm: undefined label %q", fx.label))
+		}
+		b.insts[fx.inst].Imm = int64(idx)
+	}
+	p := &isa.Program{Insts: b.insts, Name: b.name}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}

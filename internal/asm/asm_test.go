@@ -1,0 +1,108 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestLabelsResolveForwardAndBackward(t *testing.T) {
+	b := NewBuilder("labels")
+	b.Label("start")
+	b.Jmp("end") // forward reference
+	b.Jmp("start")
+	b.Label("end")
+	b.Halt()
+	p := b.Build()
+	if p.Insts[0].Target != 2 {
+		t.Fatalf("forward target = %d, want 2", p.Insts[0].Target)
+	}
+	if p.Insts[1].Target != 0 {
+		t.Fatalf("backward target = %d, want 0", p.Insts[1].Target)
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate label")
+		}
+	}()
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for undefined label")
+		}
+	}()
+	b := NewBuilder("undef")
+	b.Jmp("nowhere")
+	b.Build()
+}
+
+func TestMovLabelResolvesToIndex(t *testing.T) {
+	b := NewBuilder("movlabel")
+	b.MovLabel(isa.R(1), "target")
+	b.Nop()
+	b.Label("target")
+	b.Halt()
+	p := b.Build()
+	if p.Insts[0].Imm != 2 {
+		t.Fatalf("MovLabel imm = %d, want 2", p.Insts[0].Imm)
+	}
+}
+
+func TestBuilderLen(t *testing.T) {
+	b := NewBuilder("len")
+	if b.Len() != 0 {
+		t.Fatal("fresh builder not empty")
+	}
+	b.Nop().Nop()
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestInstructionEncodings(t *testing.T) {
+	b := NewBuilder("enc")
+	b.FMA(isa.F(1), isa.F(2), isa.F(3))
+	b.St(isa.R(4), isa.R(5), 16)
+	b.Blt(isa.R(1), isa.R(2), "l")
+	b.Label("l")
+	b.Halt()
+	p := b.Build()
+
+	fma := p.Insts[0]
+	if fma.Op != isa.FPMul || fma.NumSrc != 3 || fma.Src[0] != isa.F(1) {
+		t.Fatalf("FMA encoding wrong: %+v", fma)
+	}
+	st := p.Insts[1]
+	if st.Op != isa.Store || st.NumDst != 0 || st.Imm != 16 || st.Src[1] != isa.R(4) {
+		t.Fatalf("St encoding wrong: %+v", st)
+	}
+	blt := p.Insts[2]
+	if blt.Op != isa.BranchCond || blt.Sub != isa.SubBLT || blt.Target != 3 {
+		t.Fatalf("Blt encoding wrong: %+v", blt)
+	}
+}
+
+func TestUnusedRegisterSlotsAreNone(t *testing.T) {
+	b := NewBuilder("slots")
+	b.Add(isa.R(1), isa.R(2), isa.R(3))
+	p := b.Build()
+	in := p.Insts[0]
+	for i := int(in.NumSrc); i < isa.MaxSrcRegs; i++ {
+		if in.Src[i] != isa.RegNone {
+			t.Fatalf("unused src slot %d = %v, want RegNone", i, in.Src[i])
+		}
+	}
+	for i := int(in.NumDst); i < isa.MaxDstRegs; i++ {
+		if in.Dst[i] != isa.RegNone {
+			t.Fatalf("unused dst slot %d = %v, want RegNone", i, in.Dst[i])
+		}
+	}
+}

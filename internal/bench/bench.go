@@ -1,0 +1,80 @@
+// Package bench provides the benchmark suite: 17 synthetic kernels named
+// after the SPEC CPU2017 programs the paper trains and tests on (Table II),
+// plus the tiled matrix-multiply workload of the loop-tiling study (§VI-B).
+//
+// Each kernel is written in the synthetic ISA and engineered to its SPEC
+// counterpart's dominant execution behaviour — pointer chasing for 505.mcf,
+// streaming FP for 519.lbm, interpreter dispatch for 500.perlbench, and so
+// on — so the suite spans the same behaviour axes (memory locality, branch
+// predictability, FP/INT mix, ILP) the paper relies on for generalization.
+// The train/test split follows Table II exactly.
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Benchmark is one runnable workload.
+type Benchmark struct {
+	Name string
+	// FP marks floating-point-dominated kernels (Table II's FP column).
+	FP bool
+	// Build constructs the program and an initialized machine at the given
+	// problem scale (1 = default experiment size; tests use smaller).
+	Build func(scale int) (*isa.Program, *emu.Machine)
+}
+
+// Trace executes the benchmark and returns its dynamic instruction trace,
+// truncated at maxInsts (0 = run to completion).
+func (b Benchmark) Trace(scale, maxInsts int) ([]trace.Record, error) {
+	prog, m := b.Build(scale)
+	recs, err := emu.Capture(m, prog, maxInsts)
+	if err != nil && !errors.Is(err, emu.ErrMaxInstructions) {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	return recs, nil
+}
+
+// Training returns the nine training benchmarks of Table II.
+func Training() []Benchmark {
+	return []Benchmark{
+		x264(), deepsjeng(), exchange2(), xz(), specrand(),
+		cam4(), imagick(), nab(), fotonik3d(),
+	}
+}
+
+// Testing returns the eight testing benchmarks of Table II.
+func Testing() []Benchmark {
+	return []Benchmark{
+		perlbench(), gcc(), mcf(), xalancbmk(),
+		cactuBSSN(), namd(), lbm(), wrf(),
+	}
+}
+
+// All returns the full 17-benchmark suite, training first.
+func All() []Benchmark { return append(Training(), Testing()...) }
+
+// ByName looks a benchmark up by its SPEC-style name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// Names returns all benchmark names in suite order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, b := range all {
+		out[i] = b.Name
+	}
+	return out
+}

@@ -1,0 +1,332 @@
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// fillFloats writes n pseudo-random float64 values starting at byte base.
+func fillFloats(m *emu.Machine, base uint64, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		m.StoreFloat(base+uint64(i*8), rng.Float64()+0.5)
+	}
+}
+
+// cam4 mirrors 527.cam4's column physics: repeated 3-point stencil sweeps
+// over a moderate array — FP add/mul with unit-stride locality.
+func cam4() Benchmark {
+	return Benchmark{Name: "527.cam4", FP: true, Build: func(scale int) (*isa.Program, *emu.Machine) {
+		n := int64(2048 * scale)
+		passes := int64(6)
+		m := emu.NewMachine(int(n*16) + 4096)
+		fillFloats(m, 0, int(n), 527)
+		b := asm.NewBuilder("527.cam4")
+		b.MovI(isa.R(3), 0)
+		b.MovI(isa.R(4), passes)
+		b.Label("pass")
+		b.MovI(isa.R(1), 8)       // element index (bytes), skip boundary
+		b.MovI(isa.R(2), (n-1)*8) // bound
+		b.MovI(isa.R(10), 0)      // src base
+		b.MovI(isa.R(11), n*8)    // dst base
+		b.Label("loop")
+		b.Add(isa.R(12), isa.R(10), isa.R(1))
+		b.Ld(isa.F(0), isa.R(12), -8)
+		b.Ld(isa.F(1), isa.R(12), 0)
+		b.Ld(isa.F(2), isa.R(12), 8)
+		b.FAdd(isa.F(3), isa.F(0), isa.F(2))
+		b.FMul(isa.F(4), isa.F(1), isa.F(1))
+		b.FAdd(isa.F(5), isa.F(3), isa.F(4))
+		b.Add(isa.R(13), isa.R(11), isa.R(1))
+		b.St(isa.F(5), isa.R(13), 0)
+		b.AddI(isa.R(1), isa.R(1), 8)
+		b.Blt(isa.R(1), isa.R(2), "loop")
+		b.AddI(isa.R(3), isa.R(3), 1)
+		b.Blt(isa.R(3), isa.R(4), "pass")
+		b.Halt()
+		return b.Build(), m
+	}}
+}
+
+// imagick mirrors 538.imagick's convolution filters: a 3x3 kernel over a 2D
+// image, nine loads and a multiply-accumulate chain per pixel.
+func imagick() Benchmark {
+	return Benchmark{Name: "538.imagick", FP: true, Build: func(scale int) (*isa.Program, *emu.Machine) {
+		w := int64(64)
+		h := int64(24 * scale)
+		m := emu.NewMachine(int(w*h*16) + 4096)
+		fillFloats(m, 0, int(w*h), 538)
+		dst := w * h * 8
+		b := asm.NewBuilder("538.imagick")
+		b.MovI(isa.R(1), 1) // row
+		b.MovI(isa.R(2), h-1)
+		b.Label("row")
+		b.MovI(isa.R(3), 1) // col
+		b.MovI(isa.R(4), w-1)
+		b.Label("col")
+		// addr = (row*w + col) * 8
+		b.MulI(isa.R(10), isa.R(1), w)
+		b.Add(isa.R(10), isa.R(10), isa.R(3))
+		b.ShlI(isa.R(10), isa.R(10), 3)
+		b.FMov(isa.F(8), isa.F(15)) // f15 stays 0: reset accumulator
+		for dy := int64(-1); dy <= 1; dy++ {
+			for dx := int64(-1); dx <= 1; dx++ {
+				off := dy*w*8 + dx*8
+				b.Ld(isa.F(0), isa.R(10), off)
+				b.FMA(isa.F(8), isa.F(0), isa.F(0))
+			}
+		}
+		b.MovI(isa.R(11), dst)
+		b.Add(isa.R(12), isa.R(11), isa.R(10))
+		b.St(isa.F(8), isa.R(12), 0)
+		b.AddI(isa.R(3), isa.R(3), 1)
+		b.Blt(isa.R(3), isa.R(4), "col")
+		b.AddI(isa.R(1), isa.R(1), 1)
+		b.Blt(isa.R(1), isa.R(2), "row")
+		b.Halt()
+		return b.Build(), m
+	}}
+}
+
+// nab mirrors 544.nab's nonbonded interactions: pairwise distance math with
+// divide and square root on every iteration.
+func nab() Benchmark {
+	return Benchmark{Name: "544.nab", FP: true, Build: func(scale int) (*isa.Program, *emu.Machine) {
+		atoms := int64(96 * scale)
+		m := emu.NewMachine(int(atoms*32) + 4096)
+		fillFloats(m, 0, int(atoms*3), 544)
+		b := asm.NewBuilder("544.nab")
+		b.MovI(isa.R(1), 0) // i
+		b.MovI(isa.R(2), atoms)
+		b.Label("outer")
+		b.MulI(isa.R(10), isa.R(1), 24)
+		b.Ld(isa.F(0), isa.R(10), 0) // xi
+		b.Ld(isa.F(1), isa.R(10), 8) // yi
+		b.MovI(isa.R(3), 0)          // j
+		b.Label("inner")
+		b.MulI(isa.R(11), isa.R(3), 24)
+		b.Ld(isa.F(2), isa.R(11), 0)
+		b.Ld(isa.F(3), isa.R(11), 8)
+		b.FSub(isa.F(4), isa.F(0), isa.F(2))
+		b.FSub(isa.F(5), isa.F(1), isa.F(3))
+		b.FMul(isa.F(6), isa.F(4), isa.F(4))
+		b.FMA(isa.F(6), isa.F(5), isa.F(5)) // dist^2
+		b.FSqrt(isa.F(7), isa.F(6))
+		b.FAdd(isa.F(9), isa.F(7), isa.F(14)) // + epsilon (f14 = 0 + bias below)
+		b.FDiv(isa.F(10), isa.F(8), isa.F(9)) // 1/r energy term (f8 starts 0)
+		b.FAdd(isa.F(11), isa.F(11), isa.F(10))
+		b.AddI(isa.R(3), isa.R(3), 1)
+		b.Blt(isa.R(3), isa.R(2), "inner")
+		b.AddI(isa.R(1), isa.R(1), 1)
+		b.Blt(isa.R(1), isa.R(2), "outer")
+		b.Halt()
+		return b.Build(), m
+	}}
+}
+
+// fotonik3d mirrors 549.fotonik3d's FDTD sweep: a 7-point stencil over a 3D
+// grid whose footprint exceeds typical L1 caches.
+func fotonik3d() Benchmark {
+	return Benchmark{Name: "549.fotonik3d", FP: true, Build: func(scale int) (*isa.Program, *emu.Machine) {
+		n := int64(16) // n^3 grid
+		if scale > 1 {
+			n = int64(16 * scale)
+		}
+		total := n * n * n
+		m := emu.NewMachine(int(total*16) + 4096)
+		fillFloats(m, 0, int(total), 549)
+		dst := total * 8
+		plane := n * n * 8
+		row := n * 8
+		b := asm.NewBuilder("549.fotonik3d")
+		b.MovI(isa.R(1), 1)
+		b.MovI(isa.R(2), n-1)
+		b.Label("z")
+		b.MovI(isa.R(3), 1)
+		b.Label("y")
+		b.MovI(isa.R(4), 1)
+		b.Label("x")
+		// addr = ((z*n + y)*n + x)*8
+		b.MulI(isa.R(10), isa.R(1), n)
+		b.Add(isa.R(10), isa.R(10), isa.R(3))
+		b.MulI(isa.R(10), isa.R(10), n)
+		b.Add(isa.R(10), isa.R(10), isa.R(4))
+		b.ShlI(isa.R(10), isa.R(10), 3)
+		b.Ld(isa.F(0), isa.R(10), 0)
+		b.Ld(isa.F(1), isa.R(10), -8)
+		b.Ld(isa.F(2), isa.R(10), 8)
+		b.Ld(isa.F(3), isa.R(10), -row)
+		b.Ld(isa.F(4), isa.R(10), row)
+		b.Ld(isa.F(5), isa.R(10), -plane)
+		b.Ld(isa.F(6), isa.R(10), plane)
+		b.FAdd(isa.F(7), isa.F(1), isa.F(2))
+		b.FAdd(isa.F(8), isa.F(3), isa.F(4))
+		b.FAdd(isa.F(9), isa.F(5), isa.F(6))
+		b.FAdd(isa.F(7), isa.F(7), isa.F(8))
+		b.FAdd(isa.F(7), isa.F(7), isa.F(9))
+		b.FMA(isa.F(7), isa.F(0), isa.F(13)) // f13 = 0: keeps dataflow realistic
+		b.MovI(isa.R(11), dst)
+		b.Add(isa.R(12), isa.R(11), isa.R(10))
+		b.St(isa.F(7), isa.R(12), 0)
+		b.AddI(isa.R(4), isa.R(4), 1)
+		b.Blt(isa.R(4), isa.R(2), "x")
+		b.AddI(isa.R(3), isa.R(3), 1)
+		b.Blt(isa.R(3), isa.R(2), "y")
+		b.AddI(isa.R(1), isa.R(1), 1)
+		b.Blt(isa.R(1), isa.R(2), "z")
+		b.Halt()
+		return b.Build(), m
+	}}
+}
+
+// cactuBSSN mirrors 507.cactuBSSN's relativity kernels: very long
+// FP dependence chains with divides per grid point.
+func cactuBSSN() Benchmark {
+	return Benchmark{Name: "507.cactuBSSN", FP: true, Build: func(scale int) (*isa.Program, *emu.Machine) {
+		n := int64(1200 * scale)
+		m := emu.NewMachine(int(n*32) + 4096)
+		fillFloats(m, 0, int(n*2), 507)
+		b := asm.NewBuilder("507.cactuBSSN")
+		b.MovI(isa.R(1), 0)
+		b.MovI(isa.R(2), n)
+		b.Label("loop")
+		b.MulI(isa.R(10), isa.R(1), 16)
+		b.Ld(isa.F(0), isa.R(10), 0)
+		b.Ld(isa.F(1), isa.R(10), 8)
+		// A long serial chain of FP ops, as in tensor-algebra kernels.
+		b.FMul(isa.F(2), isa.F(0), isa.F(1))
+		b.FAdd(isa.F(3), isa.F(2), isa.F(0))
+		b.FMul(isa.F(4), isa.F(3), isa.F(3))
+		b.FAdd(isa.F(5), isa.F(4), isa.F(1))
+		b.FDiv(isa.F(6), isa.F(5), isa.F(3))
+		b.FMul(isa.F(7), isa.F(6), isa.F(2))
+		b.FSqrt(isa.F(8), isa.F(4))
+		b.FAdd(isa.F(9), isa.F(7), isa.F(8))
+		b.FMA(isa.F(12), isa.F(9), isa.F(6))
+		b.MovI(isa.R(11), n*16)
+		b.Add(isa.R(12), isa.R(11), isa.R(10))
+		b.St(isa.F(9), isa.R(12), 0)
+		b.AddI(isa.R(1), isa.R(1), 1)
+		b.Blt(isa.R(1), isa.R(2), "loop")
+		b.Halt()
+		return b.Build(), m
+	}}
+}
+
+// namd mirrors 508.namd's force loops: FMA-dense pair interactions over a
+// cache-resident tile with an occasional cutoff branch.
+func namd() Benchmark {
+	return Benchmark{Name: "508.namd", FP: true, Build: func(scale int) (*isa.Program, *emu.Machine) {
+		atoms := int64(80)
+		iters := int64(12 * scale)
+		m := emu.NewMachine(int(atoms*32) + 4096)
+		fillFloats(m, 0, int(atoms*3), 508)
+		b := asm.NewBuilder("508.namd")
+		b.MovI(isa.R(5), 0)
+		b.MovI(isa.R(6), iters)
+		b.Label("step")
+		b.MovI(isa.R(1), 0)
+		b.Label("outer")
+		b.MulI(isa.R(10), isa.R(1), 24)
+		b.Ld(isa.F(0), isa.R(10), 0)
+		b.Ld(isa.F(1), isa.R(10), 8)
+		b.MovI(isa.R(3), 0)
+		b.Label("inner")
+		b.MulI(isa.R(11), isa.R(3), 24)
+		b.Ld(isa.F(2), isa.R(11), 0)
+		b.Ld(isa.F(3), isa.R(11), 8)
+		b.FSub(isa.F(4), isa.F(0), isa.F(2))
+		b.FSub(isa.F(5), isa.F(1), isa.F(3))
+		b.FMul(isa.F(6), isa.F(4), isa.F(4))
+		b.FMA(isa.F(6), isa.F(5), isa.F(5))
+		b.FMA(isa.F(7), isa.F(6), isa.F(4)) // force terms
+		b.FMA(isa.F(8), isa.F(6), isa.F(5))
+		b.AddI(isa.R(3), isa.R(3), 1)
+		b.MovI(isa.R(4), atoms)
+		b.Blt(isa.R(3), isa.R(4), "inner")
+		b.AddI(isa.R(1), isa.R(1), 1)
+		b.MovI(isa.R(4), atoms)
+		b.Blt(isa.R(1), isa.R(4), "outer")
+		b.AddI(isa.R(5), isa.R(5), 1)
+		b.Blt(isa.R(5), isa.R(6), "step")
+		b.Halt()
+		return b.Build(), m
+	}}
+}
+
+// lbm mirrors 519.lbm's lattice-Boltzmann streaming: wide loads and stores
+// over arrays far larger than any cache — bandwidth bound.
+func lbm() Benchmark {
+	return Benchmark{Name: "519.lbm", FP: true, Build: func(scale int) (*isa.Program, *emu.Machine) {
+		cells := int64(24000 * scale)
+		m := emu.NewMachine(int(cells*40) + 8192)
+		fillFloats(m, 0, int(cells*2), 519)
+		src := int64(0)
+		dst := cells * 16
+		b := asm.NewBuilder("519.lbm")
+		b.MovI(isa.R(1), 0)
+		b.MovI(isa.R(2), cells)
+		b.MovI(isa.R(10), src)
+		b.MovI(isa.R(11), dst)
+		b.Label("loop")
+		b.Ld(isa.F(0), isa.R(10), 0)
+		b.Ld(isa.F(1), isa.R(10), 8)
+		b.FMul(isa.F(2), isa.F(0), isa.F(0))
+		b.FAdd(isa.F(3), isa.F(2), isa.F(1))
+		b.FMul(isa.F(4), isa.F(3), isa.F(1))
+		b.St(isa.F(3), isa.R(11), 0)
+		b.St(isa.F(4), isa.R(11), 8)
+		b.AddI(isa.R(10), isa.R(10), 16)
+		b.AddI(isa.R(11), isa.R(11), 16)
+		b.AddI(isa.R(1), isa.R(1), 1)
+		b.Blt(isa.R(1), isa.R(2), "loop")
+		b.Halt()
+		return b.Build(), m
+	}}
+}
+
+// wrf mirrors 521.wrf's physics columns: stencil FP work with embedded
+// conditionals on the data (precipitation thresholds).
+func wrf() Benchmark {
+	return Benchmark{Name: "521.wrf", FP: true, Build: func(scale int) (*isa.Program, *emu.Machine) {
+		n := int64(4000 * scale)
+		m := emu.NewMachine(int(n*24) + 4096)
+		rng := rand.New(rand.NewSource(521))
+		for i := int64(0); i < n; i++ {
+			m.StoreFloat(uint64(i*8), rng.Float64())
+			// Threshold flags: ~30% exceed, stored as integers.
+			flag := uint64(0)
+			if rng.Float64() < 0.3 {
+				flag = 1
+			}
+			m.StoreWord(uint64((n+i)*8), flag)
+		}
+		b := asm.NewBuilder("521.wrf")
+		b.MovI(isa.R(1), 8)
+		b.MovI(isa.R(2), (n-1)*8)
+		b.MovI(isa.R(10), 0)
+		b.MovI(isa.R(11), n*8)
+		b.MovI(isa.R(5), 1)
+		b.Label("loop")
+		b.Add(isa.R(12), isa.R(10), isa.R(1))
+		b.Ld(isa.F(0), isa.R(12), -8)
+		b.Ld(isa.F(1), isa.R(12), 0)
+		b.Ld(isa.F(2), isa.R(12), 8)
+		b.FAdd(isa.F(3), isa.F(0), isa.F(2))
+		b.FMul(isa.F(4), isa.F(3), isa.F(1))
+		b.Add(isa.R(13), isa.R(11), isa.R(1))
+		b.Ld(isa.R(20), isa.R(13), 0)     // threshold flag
+		b.Bne(isa.R(20), isa.R(5), "dry") // data-dependent microphysics path
+		b.FMul(isa.F(5), isa.F(4), isa.F(4))
+		b.FAdd(isa.F(6), isa.F(6), isa.F(5))
+		b.Label("dry")
+		b.St(isa.F(4), isa.R(12), 0)
+		b.AddI(isa.R(1), isa.R(1), 8)
+		b.Blt(isa.R(1), isa.R(2), "loop")
+		b.Halt()
+		return b.Build(), m
+	}}
+}

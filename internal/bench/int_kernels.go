@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// Register-allocation convention shared by the kernels:
+//   r1..r9   loop counters and bounds
+//   r10..r19 addresses and indices
+//   r20..r28 data values and accumulators
+//   r29      xorshift PRNG state
+//   r30      link register (calls)
+// f0..f15 FP working set, v0..v7 vector working set.
+
+// emitXorshift appends r29 ^= r29<<13; >>7; <<17 and leaves bit extraction
+// to the caller. 6 instructions.
+func emitXorshift(b *asm.Builder, tmp isa.Reg) {
+	b.ShlI(tmp, isa.R(29), 13).Xor(isa.R(29), isa.R(29), tmp)
+	b.ShrI(tmp, isa.R(29), 7).Xor(isa.R(29), isa.R(29), tmp)
+	b.ShlI(tmp, isa.R(29), 17).Xor(isa.R(29), isa.R(29), tmp)
+}
+
+// specrand mirrors 999.specrand: a pure PRNG benchmark — xorshift state
+// updates with an occasional multiply and a very predictable loop branch.
+func specrand() Benchmark {
+	return Benchmark{Name: "999.specrand", Build: func(scale int) (*isa.Program, *emu.Machine) {
+		iters := int64(6000 * scale)
+		b := asm.NewBuilder("999.specrand")
+		b.MovI(isa.R(29), 88172645463325252)
+		b.MovI(isa.R(1), 0)
+		b.MovI(isa.R(2), iters)
+		b.Label("loop")
+		emitXorshift(b, isa.R(20))
+		b.MulI(isa.R(21), isa.R(29), 2685821657736338717)
+		b.Add(isa.R(22), isa.R(22), isa.R(21))
+		b.AddI(isa.R(1), isa.R(1), 1)
+		b.Blt(isa.R(1), isa.R(2), "loop")
+		b.Halt()
+		return b.Build(), emu.NewMachine(1 << 12)
+	}}
+}
+
+// x264 mirrors 525.x264's motion-estimation inner loops: block-wise sum of
+// absolute differences over two frames with predictable control flow and a
+// data-dependent sign branch.
+func x264() Benchmark {
+	return Benchmark{Name: "525.x264", Build: func(scale int) (*isa.Program, *emu.Machine) {
+		words := int64(4096 * scale)
+		m := emu.NewMachine(int(words*16) + 4096)
+		rng := rand.New(rand.NewSource(525))
+		for i := int64(0); i < words; i++ {
+			m.StoreWord(uint64(i*8), uint64(rng.Intn(256)))
+			m.StoreWord(uint64((words+i)*8), uint64(rng.Intn(256)))
+		}
+		b := asm.NewBuilder("525.x264")
+		b.MovI(isa.R(1), 0)        // block index
+		b.MovI(isa.R(2), words/16) // block count
+		b.MovI(isa.R(10), 0)       // frame A base
+		b.MovI(isa.R(11), words*8) // frame B base
+		b.Label("block")
+		b.MovI(isa.R(3), 0) // element in block
+		b.MovI(isa.R(4), 16)
+		b.Label("elem")
+		b.Ld(isa.R(20), isa.R(10), 0)
+		b.Ld(isa.R(21), isa.R(11), 0)
+		b.Sub(isa.R(22), isa.R(20), isa.R(21))
+		b.Bge(isa.R(22), isa.R(0), "pos") // data-dependent sign branch
+		b.Sub(isa.R(22), isa.R(0), isa.R(22))
+		b.Label("pos")
+		b.Add(isa.R(23), isa.R(23), isa.R(22)) // SAD accumulator
+		b.AddI(isa.R(10), isa.R(10), 8)
+		b.AddI(isa.R(11), isa.R(11), 8)
+		b.AddI(isa.R(3), isa.R(3), 1)
+		b.Blt(isa.R(3), isa.R(4), "elem")
+		b.AddI(isa.R(1), isa.R(1), 1)
+		b.Blt(isa.R(1), isa.R(2), "block")
+		b.St(isa.R(23), isa.R(0), 8) // publish result
+		b.Halt()
+		return b.Build(), m
+	}}
+}
+
+// deepsjeng mirrors 531.deepsjeng's transposition-table probing: random
+// table lookups with hard-to-predict branches on the fetched entries.
+func deepsjeng() Benchmark {
+	return Benchmark{Name: "531.deepsjeng", Build: func(scale int) (*isa.Program, *emu.Machine) {
+		const tableWords = 4096
+		iters := int64(4000 * scale)
+		m := emu.NewMachine(tableWords*8 + 4096)
+		rng := rand.New(rand.NewSource(531))
+		for i := 0; i < tableWords; i++ {
+			m.StoreWord(uint64(i*8), uint64(rng.Int63()))
+		}
+		b := asm.NewBuilder("531.deepsjeng")
+		b.MovI(isa.R(29), 2463534242)
+		b.MovI(isa.R(1), 0)
+		b.MovI(isa.R(2), iters)
+		b.MovI(isa.R(5), 1)
+		b.Label("loop")
+		emitXorshift(b, isa.R(20))
+		b.AndI(isa.R(10), isa.R(29), (tableWords-1)*8) // hash & mask
+		b.AndI(isa.R(10), isa.R(10), ^int64(7))
+		b.Ld(isa.R(21), isa.R(10), 0) // probe table
+		b.AndI(isa.R(22), isa.R(21), 1)
+		b.Beq(isa.R(22), isa.R(5), "hit") // ~50/50 branch on entry parity
+		b.AddI(isa.R(23), isa.R(23), 3)   // miss: extend search
+		b.MulI(isa.R(24), isa.R(23), 7)
+		b.Jmp("next")
+		b.Label("hit")
+		b.AddI(isa.R(25), isa.R(25), 1) // hit: cutoff bookkeeping
+		b.Label("next")
+		b.AddI(isa.R(1), isa.R(1), 1)
+		b.Blt(isa.R(1), isa.R(2), "loop")
+		b.Halt()
+		return b.Build(), m
+	}}
+}
+
+// exchange2 mirrors 548.exchange2's recursive puzzle solver: deep nested
+// loops over a small working set with calls and very predictable branches.
+func exchange2() Benchmark {
+	return Benchmark{Name: "548.exchange2", Build: func(scale int) (*isa.Program, *emu.Machine) {
+		outer := int64(20 * scale)
+		b := asm.NewBuilder("548.exchange2")
+		b.MovI(isa.R(1), 0)
+		b.MovI(isa.R(2), outer)
+		b.Label("outer")
+		b.MovI(isa.R(3), 0)
+		b.MovI(isa.R(4), 9) // 9x9 grid flavour
+		b.Label("mid")
+		b.MovI(isa.R(5), 0)
+		b.MovI(isa.R(6), 9)
+		b.Label("inner")
+		b.CallLabel("score")
+		b.AddI(isa.R(5), isa.R(5), 1)
+		b.Blt(isa.R(5), isa.R(6), "inner")
+		b.AddI(isa.R(3), isa.R(3), 1)
+		b.Blt(isa.R(3), isa.R(4), "mid")
+		b.AddI(isa.R(1), isa.R(1), 1)
+		b.Blt(isa.R(1), isa.R(2), "outer")
+		b.Halt()
+		b.Label("score") // candidate scoring: int ALU chain
+		b.Mul(isa.R(20), isa.R(3), isa.R(6))
+		b.Add(isa.R(20), isa.R(20), isa.R(5))
+		b.ShlI(isa.R(21), isa.R(20), 2)
+		b.Add(isa.R(22), isa.R(22), isa.R(21))
+		b.Ret()
+		return b.Build(), emu.NewMachine(1 << 12)
+	}}
+}
+
+// xz mirrors 557.xz's match finder: sequential input scan feeding a hash
+// table, with moderately predictable branches on hash hits.
+func xz() Benchmark {
+	return Benchmark{Name: "557.xz", Build: func(scale int) (*isa.Program, *emu.Machine) {
+		const hashWords = 2048
+		inputWords := int64(6000 * scale)
+		m := emu.NewMachine(int(inputWords+hashWords)*8 + 4096)
+		rng := rand.New(rand.NewSource(557))
+		for i := int64(0); i < inputWords; i++ {
+			// Compressible input: runs of repeated values.
+			m.StoreWord(uint64(i*8), uint64(rng.Intn(16)))
+		}
+		hashBase := inputWords * 8
+		b := asm.NewBuilder("557.xz")
+		b.MovI(isa.R(1), 0)
+		b.MovI(isa.R(2), inputWords*8)
+		b.MovI(isa.R(11), hashBase)
+		b.Label("loop")
+		b.Ld(isa.R(20), isa.R(1), 0) // next input word
+		b.MulI(isa.R(21), isa.R(20), 2654435761)
+		b.AndI(isa.R(22), isa.R(21), (hashWords-1)*8)
+		b.AndI(isa.R(22), isa.R(22), ^int64(7))
+		b.Add(isa.R(12), isa.R(11), isa.R(22))
+		b.Ld(isa.R(23), isa.R(12), 0)        // hash probe
+		b.Beq(isa.R(23), isa.R(20), "match") // repeated runs make this hit often
+		b.St(isa.R(20), isa.R(12), 0)        // install
+		b.Jmp("next")
+		b.Label("match")
+		b.AddI(isa.R(24), isa.R(24), 1) // match length bookkeeping
+		b.Label("next")
+		b.AddI(isa.R(1), isa.R(1), 8)
+		b.Blt(isa.R(1), isa.R(2), "loop")
+		b.Halt()
+		return b.Build(), m
+	}}
+}
+
+// perlbench mirrors 500.perlbench's opcode dispatch: an interpreter loop
+// whose indirect jump fans out to eight handlers chosen by the input stream.
+func perlbench() Benchmark {
+	return Benchmark{Name: "500.perlbench", Build: func(scale int) (*isa.Program, *emu.Machine) {
+		progWords := int64(4000 * scale)
+		m := emu.NewMachine(int(progWords)*8 + 4096)
+		rng := rand.New(rand.NewSource(500))
+		for i := int64(0); i < progWords; i++ {
+			m.StoreWord(uint64(i*8), uint64(rng.Intn(8)))
+		}
+		tableBase := progWords * 8
+		b := asm.NewBuilder("500.perlbench")
+		b.MovI(isa.R(1), 0) // bytecode pointer
+		b.MovI(isa.R(2), progWords*8)
+		b.MovI(isa.R(11), tableBase)
+		// Materialize the op table in memory: table[h] = handler index.
+		for h := 0; h < 8; h++ {
+			b.MovLabel(isa.R(20), handlerLabel(h))
+			b.St(isa.R(20), isa.R(11), int64(h)*8)
+		}
+		b.Label("dispatch")
+		b.Ld(isa.R(20), isa.R(1), 0) // fetch opcode
+		b.AddI(isa.R(1), isa.R(1), 8)
+		b.ShlI(isa.R(21), isa.R(20), 3)
+		b.Add(isa.R(22), isa.R(11), isa.R(21))
+		b.Ld(isa.R(23), isa.R(22), 0) // handler address from op table
+		b.Jr(isa.R(23))               // the interpreter's indirect dispatch
+		for h := 0; h < 8; h++ {
+			b.Label(handlerLabel(h))
+			switch h % 4 {
+			case 0:
+				b.AddI(isa.R(24), isa.R(24), 1)
+			case 1:
+				b.MulI(isa.R(25), isa.R(24), 3)
+			case 2:
+				b.Xor(isa.R(26), isa.R(26), isa.R(24))
+			case 3:
+				b.ShlI(isa.R(27), isa.R(24), 1)
+			}
+			b.Blt(isa.R(1), isa.R(2), "dispatch")
+			b.Jmp("done")
+		}
+		b.Label("done")
+		b.Halt()
+		return b.Build(), m
+	}}
+}
+
+func handlerLabel(h int) string {
+	return "handler" + string(rune('0'+h))
+}
+
+// gcc mirrors 502.gcc's pass pipelines: irregular control flow with many
+// data-dependent branches over mixed-table workloads.
+func gcc() Benchmark {
+	return Benchmark{Name: "502.gcc", Build: func(scale int) (*isa.Program, *emu.Machine) {
+		const tableWords = 8192
+		iters := int64(3500 * scale)
+		m := emu.NewMachine(tableWords*8 + 4096)
+		rng := rand.New(rand.NewSource(502))
+		for i := 0; i < tableWords; i++ {
+			m.StoreWord(uint64(i*8), uint64(rng.Int63()))
+		}
+		b := asm.NewBuilder("502.gcc")
+		b.MovI(isa.R(29), 123456789)
+		b.MovI(isa.R(1), 0)
+		b.MovI(isa.R(2), iters)
+		b.MovI(isa.R(5), 3)
+		b.Label("loop")
+		emitXorshift(b, isa.R(20))
+		b.AndI(isa.R(10), isa.R(29), (tableWords-1)*8)
+		b.AndI(isa.R(10), isa.R(10), ^int64(7))
+		b.Ld(isa.R(21), isa.R(10), 0)
+		// Chain of data-dependent branches, like gcc's if-forests.
+		b.AndI(isa.R(22), isa.R(21), 1)
+		b.Beq(isa.R(22), isa.R(0), "b1")
+		b.AddI(isa.R(23), isa.R(23), 1)
+		b.Label("b1")
+		b.AndI(isa.R(22), isa.R(21), 6)
+		b.Beq(isa.R(22), isa.R(0), "b2")
+		b.MulI(isa.R(24), isa.R(23), 5)
+		b.Label("b2")
+		b.AndI(isa.R(22), isa.R(21), 8)
+		b.Beq(isa.R(22), isa.R(0), "b3")
+		b.CallLabel("fold")
+		b.Label("b3")
+		b.AddI(isa.R(1), isa.R(1), 1)
+		b.Blt(isa.R(1), isa.R(2), "loop")
+		b.Halt()
+		b.Label("fold")
+		b.Add(isa.R(25), isa.R(25), isa.R(24))
+		b.ShrI(isa.R(25), isa.R(25), 1)
+		b.Ret()
+		return b.Build(), m
+	}}
+}
+
+// mcf mirrors 505.mcf's network-simplex core: pointer chasing through a
+// randomly permuted linked list, the canonical cache-hostile workload.
+func mcf() Benchmark {
+	return Benchmark{Name: "505.mcf", Build: func(scale int) (*isa.Program, *emu.Machine) {
+		nodes := 16384 * scale
+		laps := int64(4)
+		// Node layout: [next_ptr, value] pairs of words.
+		m := emu.NewMachine(nodes*16 + 4096)
+		perm := rand.New(rand.NewSource(505)).Perm(nodes)
+		for i := 0; i < nodes; i++ {
+			cur := perm[i]
+			next := perm[(i+1)%nodes]
+			m.StoreWord(uint64(cur*16), uint64(next*16))
+			m.StoreWord(uint64(cur*16+8), uint64(i%251))
+		}
+		start := int64(perm[0] * 16)
+		b := asm.NewBuilder("505.mcf")
+		b.MovI(isa.R(1), 0)
+		b.MovI(isa.R(2), laps*int64(nodes))
+		b.MovI(isa.R(10), start)
+		b.Label("loop")
+		b.Ld(isa.R(11), isa.R(10), 0)          // next pointer
+		b.Ld(isa.R(20), isa.R(10), 8)          // node value
+		b.Add(isa.R(21), isa.R(21), isa.R(20)) // cost accumulation
+		b.Mov(isa.R(10), isa.R(11))
+		b.AddI(isa.R(1), isa.R(1), 1)
+		b.Blt(isa.R(1), isa.R(2), "loop")
+		b.Halt()
+		return b.Build(), m
+	}}
+}
+
+// xalancbmk mirrors 523.xalancbmk's DOM traversals: repeated random descents
+// of a binary search tree — pointer chasing with data-dependent branching.
+func xalancbmk() Benchmark {
+	return Benchmark{Name: "523.xalancbmk", Build: func(scale int) (*isa.Program, *emu.Machine) {
+		nodes := 8192
+		lookups := int64(1200 * scale)
+		// Node layout: [key, left_ptr, right_ptr] (3 words, padded to 4).
+		m := emu.NewMachine(nodes*32 + 4096)
+		rng := rand.New(rand.NewSource(523))
+		// Build a balanced BST over keys 0..nodes-1 whose nodes are laid out
+		// at random addresses, so descents hop across memory.
+		keys := make([]int, nodes)
+		for i := range keys {
+			keys[i] = i
+		}
+		addrs := rng.Perm(nodes)
+		var build func(lo, hi int) int64
+		build = func(lo, hi int) int64 {
+			if lo > hi {
+				return -1
+			}
+			mid := (lo + hi) / 2
+			addr := int64(addrs[mid] * 32)
+			m.StoreWord(uint64(addr), uint64(keys[mid]))
+			l := build(lo, mid-1)
+			r := build(mid+1, hi)
+			m.StoreWord(uint64(addr+8), uint64(l))
+			m.StoreWord(uint64(addr+16), uint64(r))
+			return addr
+		}
+		root := build(0, nodes-1)
+
+		b := asm.NewBuilder("523.xalancbmk")
+		b.MovI(isa.R(29), 362436069)
+		b.MovI(isa.R(1), 0)
+		b.MovI(isa.R(2), lookups)
+		b.MovI(isa.R(9), int64(nodes))
+		b.MovI(isa.R(8), -1)
+		b.Label("lookup")
+		emitXorshift(b, isa.R(20))
+		b.AndI(isa.R(21), isa.R(29), int64(nodes-1)) // search key
+		b.MovI(isa.R(10), root)
+		b.Label("descend")
+		b.Beq(isa.R(10), isa.R(8), "miss")
+		b.Ld(isa.R(22), isa.R(10), 0) // node key
+		b.Beq(isa.R(22), isa.R(21), "hit")
+		b.Blt(isa.R(21), isa.R(22), "left")
+		b.Ld(isa.R(10), isa.R(10), 16) // go right
+		b.Jmp("descend")
+		b.Label("left")
+		b.Ld(isa.R(10), isa.R(10), 8) // go left
+		b.Jmp("descend")
+		b.Label("hit")
+		b.AddI(isa.R(23), isa.R(23), 1)
+		b.Label("miss")
+		b.AddI(isa.R(1), isa.R(1), 1)
+		b.Blt(isa.R(1), isa.R(2), "lookup")
+		b.Halt()
+		return b.Build(), m
+	}}
+}

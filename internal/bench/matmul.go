@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// MatMulTiled builds the loop-tiling workload of the paper's §VI-B: a dense
+// n x n matrix multiply with all three loops blocked by a uniform tile size.
+// As in the paper's observation, larger tiles unlock wider vector
+// instructions (4-lane VFMA once the tile is a multiple of the vector width)
+// until the tile's working set spills out of the L1 data cache.
+//
+// Layout: A at 0, B at n*n*8, C at 2*n*n*8, all float64, row-major.
+func MatMulTiled(n, tile int) (*isa.Program, *emu.Machine) {
+	if n <= 0 || tile <= 0 {
+		panic(fmt.Sprintf("bench: invalid MM size n=%d tile=%d", n, tile))
+	}
+	if tile > n {
+		tile = n
+	}
+	if n%tile != 0 {
+		panic(fmt.Sprintf("bench: tile %d must divide n %d", tile, n))
+	}
+	nn := int64(n)
+	T := int64(tile)
+	baseB := nn * nn * 8
+	baseC := 2 * nn * nn * 8
+	m := emu.NewMachine(int(3*nn*nn*8) + 4096)
+	fillFloats(m, 0, n*n, 1001)
+	fillFloats(m, uint64(baseB), n*n, 1002)
+
+	vectorize := tile%isa.VecLanes == 0
+
+	b := asm.NewBuilder(fmt.Sprintf("mm-n%d-t%d", n, tile))
+	// r1=ii r2=jj r3=kk (tile origins), r4=i r5=j r6=k,
+	// r7/r8/r9 = loop ends, r10..r13 = addresses.
+	b.MovI(isa.R(1), 0)
+	b.Label("ii")
+	b.MovI(isa.R(2), 0)
+	b.Label("jj")
+	b.MovI(isa.R(3), 0)
+	b.Label("kk")
+
+	b.Mov(isa.R(4), isa.R(1))
+	b.AddI(isa.R(7), isa.R(1), T)
+	b.Label("i")
+	b.Mov(isa.R(5), isa.R(2))
+	b.AddI(isa.R(8), isa.R(2), T)
+	b.Label("j")
+
+	// C address: baseC + (i*n + j)*8, accumulator register(s) loaded once
+	// per (i, j, kk-tile).
+	b.MulI(isa.R(10), isa.R(4), nn)
+	b.Add(isa.R(10), isa.R(10), isa.R(5))
+	b.ShlI(isa.R(10), isa.R(10), 3)
+	b.AddI(isa.R(10), isa.R(10), baseC)
+
+	b.Mov(isa.R(6), isa.R(3))
+	b.AddI(isa.R(9), isa.R(3), T)
+
+	if vectorize {
+		b.VLd(isa.V(2), isa.R(10), 0) // C[i][j..j+3]
+		b.Label("k")
+		// f0 = A[i][k]; v0 = broadcast; v1 = B[k][j..j+3]
+		b.MulI(isa.R(11), isa.R(4), nn)
+		b.Add(isa.R(11), isa.R(11), isa.R(6))
+		b.ShlI(isa.R(11), isa.R(11), 3)
+		b.Ld(isa.F(0), isa.R(11), 0)
+		b.VBcast(isa.V(0), isa.F(0))
+		b.MulI(isa.R(12), isa.R(6), nn)
+		b.Add(isa.R(12), isa.R(12), isa.R(5))
+		b.ShlI(isa.R(12), isa.R(12), 3)
+		b.AddI(isa.R(12), isa.R(12), baseB)
+		b.VLd(isa.V(1), isa.R(12), 0)
+		b.VFMA(isa.V(2), isa.V(0), isa.V(1))
+		b.AddI(isa.R(6), isa.R(6), 1)
+		b.Blt(isa.R(6), isa.R(9), "k")
+		b.VSt(isa.V(2), isa.R(10), 0)
+		b.AddI(isa.R(5), isa.R(5), int64(isa.VecLanes))
+	} else {
+		b.Ld(isa.F(2), isa.R(10), 0) // C[i][j]
+		b.Label("k")
+		b.MulI(isa.R(11), isa.R(4), nn)
+		b.Add(isa.R(11), isa.R(11), isa.R(6))
+		b.ShlI(isa.R(11), isa.R(11), 3)
+		b.Ld(isa.F(0), isa.R(11), 0) // A[i][k]
+		b.MulI(isa.R(12), isa.R(6), nn)
+		b.Add(isa.R(12), isa.R(12), isa.R(5))
+		b.ShlI(isa.R(12), isa.R(12), 3)
+		b.AddI(isa.R(12), isa.R(12), baseB)
+		b.Ld(isa.F(1), isa.R(12), 0) // B[k][j]
+		b.FMA(isa.F(2), isa.F(0), isa.F(1))
+		b.AddI(isa.R(6), isa.R(6), 1)
+		b.Blt(isa.R(6), isa.R(9), "k")
+		b.St(isa.F(2), isa.R(10), 0)
+		b.AddI(isa.R(5), isa.R(5), 1)
+	}
+
+	b.Blt(isa.R(5), isa.R(8), "j")
+	b.AddI(isa.R(4), isa.R(4), 1)
+	b.Blt(isa.R(4), isa.R(7), "i")
+
+	b.AddI(isa.R(3), isa.R(3), T)
+	b.MovI(isa.R(14), nn)
+	b.Blt(isa.R(3), isa.R(14), "kk")
+	b.AddI(isa.R(2), isa.R(2), T)
+	b.Blt(isa.R(2), isa.R(14), "jj")
+	b.AddI(isa.R(1), isa.R(1), T)
+	b.Blt(isa.R(1), isa.R(14), "ii")
+	b.Halt()
+	return b.Build(), m
+}
+
+// MatMulResult reads C[i][j] from a machine after running MatMulTiled.
+func MatMulResult(m *emu.Machine, n, i, j int) float64 {
+	base := uint64(2 * n * n * 8)
+	return m.LoadFloat(base + uint64((i*n+j)*8))
+}
+
+// MatMulInput reads A[i][j] (which = 0) or B[i][j] (which = 1).
+func MatMulInput(m *emu.Machine, n, which, i, j int) float64 {
+	base := uint64(which * n * n * 8)
+	return m.LoadFloat(base + uint64((i*n+j)*8))
+}

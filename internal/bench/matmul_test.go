@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+)
+
+// runMM executes a tiled matmul and returns the machine for inspection.
+func runMM(t *testing.T, n, tile int) *emu.Machine {
+	t.Helper()
+	prog, m := MatMulTiled(n, tile)
+	if _, err := emu.Run(m, prog, 0, nil); err != nil {
+		t.Fatalf("mm n=%d tile=%d: %v", n, tile, err)
+	}
+	return m
+}
+
+// TestMatMulCorrectness verifies the kernel against a Go reference for both
+// the scalar and the vectorized code paths.
+func TestMatMulCorrectness(t *testing.T) {
+	const n = 8
+	for _, tile := range []int{1, 2, 4, 8} {
+		m := runMM(t, n, tile)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var want float64
+				for k := 0; k < n; k++ {
+					want += MatMulInput(m, n, 0, i, k) * MatMulInput(m, n, 1, k, j)
+				}
+				got := MatMulResult(m, n, i, j)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("tile %d: C[%d][%d] = %v, want %v", tile, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulTileClampedToN(t *testing.T) {
+	prog, _ := MatMulTiled(8, 64) // tile > n clamps to n
+	if prog == nil {
+		t.Fatal("nil program")
+	}
+}
+
+func TestMatMulRejectsBadTile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-dividing tile")
+		}
+	}()
+	MatMulTiled(8, 3)
+}
+
+// TestVectorizationShrinksTrace checks the §VI-B mechanism: a tile size that
+// is a vector-width multiple executes far fewer dynamic instructions.
+func TestVectorizationShrinksTrace(t *testing.T) {
+	count := func(tile int) int {
+		prog, m := MatMulTiled(16, tile)
+		n, err := emu.Run(m, prog, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	scalar := count(2)
+	vec := count(4)
+	if float64(vec) > 0.6*float64(scalar) {
+		t.Fatalf("vectorized trace (%d) not much shorter than scalar (%d)", vec, scalar)
+	}
+}
+
+// TestTilingPerformanceShape reproduces the qualitative Figure 8 shape on a
+// small instance: time drops sharply from tile 1 to the vector width, and
+// the best tile beats both extremes.
+func TestTilingPerformanceShape(t *testing.T) {
+	cfg := uarch.A7Like()
+	times := map[int]float64{}
+	for _, tile := range []int{1, 4, 16} {
+		prog, m := MatMulTiled(16, tile)
+		recs, err := emu.Capture(m, prog, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[tile] = sim.Simulate(cfg, recs, false).TotalNs
+	}
+	if times[4] >= times[1] {
+		t.Fatalf("tile 4 (%v ns) not faster than tile 1 (%v ns)", times[4], times[1])
+	}
+	if times[16] >= times[1] {
+		t.Fatalf("tile 16 (%v ns) not faster than tile 1 (%v ns)", times[16], times[1])
+	}
+}

@@ -1,0 +1,180 @@
+package dse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/perfvec"
+	"repro/internal/uarch"
+)
+
+func TestSpaceHas36Designs(t *testing.T) {
+	space := Space()
+	if len(space) != 36 {
+		t.Fatalf("space size = %d, want 36 (6x6)", len(space))
+	}
+	seen := map[string]bool{}
+	for _, d := range space {
+		if err := d.Config.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Config.Name, err)
+		}
+		if seen[d.Config.Name] {
+			t.Errorf("duplicate design %s", d.Config.Name)
+		}
+		seen[d.Config.Name] = true
+		if d.Config.Core != uarch.InOrder {
+			t.Errorf("%s: DSE core must stay A7-like in-order", d.Config.Name)
+		}
+	}
+}
+
+func TestObjectiveFormula(t *testing.T) {
+	d := Design{L1KB: 32, L2KB: 512}
+	// (1000 + 320 + 512) * 2 = 3664
+	if got := Objective(d, 2); got != 3664 {
+		t.Fatalf("Objective = %v, want 3664", got)
+	}
+}
+
+func TestQualityMetric(t *testing.T) {
+	objs := []float64{5, 1, 3, 2}
+	if q := Quality(objs, 1); q != 0 {
+		t.Fatalf("optimal selection quality = %v, want 0", q)
+	}
+	if q := Quality(objs, 0); q != 0.75 {
+		t.Fatalf("worst selection quality = %v, want 0.75", q)
+	}
+}
+
+// groundTruthFixture simulates two programs over the space once per test
+// binary run.
+func groundTruthFixture(t *testing.T) ([]Design, []bench.Benchmark, [][]float64) {
+	t.Helper()
+	space := Space()
+	var programs []bench.Benchmark
+	for _, n := range []string{"505.mcf", "527.cam4"} {
+		b, err := bench.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		programs = append(programs, b)
+	}
+	times, sims, err := GroundTruth(space, programs, 1, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sims != 2*36 {
+		t.Fatalf("sims = %d, want 72", sims)
+	}
+	return space, programs, times
+}
+
+func TestGroundTruthCacheSensitivity(t *testing.T) {
+	space, _, times := groundTruthFixture(t)
+	// mcf (pointer chasing) must run faster with the biggest caches than
+	// with the smallest.
+	small, large := -1, -1
+	for di, d := range space {
+		if d.L1KB == 4 && d.L2KB == 256 {
+			small = di
+		}
+		if d.L1KB == 128 && d.L2KB == 8192 {
+			large = di
+		}
+	}
+	if times[0][large] >= times[0][small] {
+		t.Fatalf("mcf not faster with big caches: %v vs %v ns", times[0][large], times[0][small])
+	}
+}
+
+func TestMLPPredictorBaseline(t *testing.T) {
+	space, _, times := groundTruthFixture(t)
+	objs := ObjectiveSurface(space, times[0])
+	res := MLPPredictor(space, times[0], 0.25, 1)
+	if res.SimsUsed != 9 {
+		t.Fatalf("sims used = %d, want 9 (25%% of 36)", res.SimsUsed)
+	}
+	if q := Quality(objs, res.Selected); q > 0.5 {
+		t.Errorf("MLP predictor quality %.2f worse than random", q)
+	}
+}
+
+func TestCrossProgramBaseline(t *testing.T) {
+	space, _, times := groundTruthFixture(t)
+	objs := ObjectiveSurface(space, times[0])
+	res := CrossProgram(space, times[1:], times[0], 5, 1)
+	if res.SimsUsed != 5 {
+		t.Fatalf("sims used = %d, want 5", res.SimsUsed)
+	}
+	if q := Quality(objs, res.Selected); q > 0.6 {
+		t.Errorf("cross-program quality %.2f worse than random", q)
+	}
+}
+
+func TestActBoostBaseline(t *testing.T) {
+	space, _, times := groundTruthFixture(t)
+	objs := ObjectiveSurface(space, times[0])
+	res := ActBoost(space, times[0], 0.28, 6, 1)
+	if res.SimsUsed != 10 {
+		t.Fatalf("sims used = %d, want 10 (28%% of 36)", res.SimsUsed)
+	}
+	if q := Quality(objs, res.Selected); q > 0.5 {
+		t.Errorf("ActBoost quality %.2f worse than random", q)
+	}
+}
+
+// TestRunPerfVecEndToEnd exercises the full §VI-A workflow with a tiny
+// foundation model: sample designs, tune the uarch model, select designs.
+func TestRunPerfVecEndToEnd(t *testing.T) {
+	space, programs, times := groundTruthFixture(t)
+
+	// Train a small foundation model on one tuning program over a few
+	// designs (cheap but real).
+	cfg := perfvec.DefaultConfig()
+	cfg.Hidden, cfg.RepDim, cfg.Window = 12, 12, 4
+	cfg.Epochs = 4
+	trainCfgs := Configs(space[:4])
+	pds, err := perfvec.CollectAll(programs[:1], trainCfgs, 1, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := perfvec.NewDataset(pds, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := perfvec.NewFoundation(cfg)
+	tr := perfvec.NewTrainer(f, len(trainCfgs))
+	tr.Train(d)
+
+	// Featurize targets (features only — no extra simulation).
+	var targets []*perfvec.ProgramData
+	for _, b := range programs {
+		pd, err := perfvec.CollectFeatures(b, 1, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, pd)
+	}
+	res, err := RunPerfVec(f, space, programs[:1], targets, 8, 1, 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != len(targets) {
+		t.Fatalf("selected %d designs for %d targets", len(res.Selected), len(targets))
+	}
+	if res.SimsUsed != 8 {
+		t.Fatalf("sims used = %d, want 8 (1 tuning program x 8 designs)", res.SimsUsed)
+	}
+	// PerfVec must use far fewer simulations than exhaustive search.
+	if res.SimsUsed >= len(space)*len(targets) {
+		t.Fatal("PerfVec used as many simulations as exhaustive search")
+	}
+	for pi := range targets {
+		objs := ObjectiveSurface(space, times[pi])
+		q := Quality(objs, res.Selected[pi])
+		if math.IsNaN(q) || q < 0 || q > 1 {
+			t.Fatalf("quality out of range: %v", q)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package dse
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/perfvec"
+	"repro/internal/uarch"
+)
+
+// PerfVecResult is the outcome of the PerfVec DSE workflow.
+type PerfVecResult struct {
+	// Selected[p] is the chosen design index for program p.
+	Selected []int
+	// PredictedNs[p][d] are the predicted execution times.
+	PredictedNs [][]float64
+	// SimsUsed counts (program, design) simulations spent on tuning data —
+	// the only simulation cost PerfVec pays.
+	SimsUsed int
+	// TrainTime is the wall-clock cost of training the microarchitecture
+	// representation model.
+	TrainTime time.Duration
+}
+
+// RunPerfVec executes the three-step DSE workflow of §VI-A:
+//  1. sample a few designs and simulate a few (not necessarily target)
+//     programs on them to obtain a tuning dataset;
+//  2. train a microarchitecture representation model (MLP over config
+//     parameters) with the foundation model frozen;
+//  3. predict every (program, design) pair with a dot product and select
+//     the objective-minimizing design per program.
+func RunPerfVec(
+	f *perfvec.Foundation,
+	space []Design,
+	tuneBenches []bench.Benchmark, // programs used for tuning data (§VI-A: "not necessarily the target programs")
+	targets []*perfvec.ProgramData, // featurized target programs (features only)
+	sampleDesigns int, // how many designs to simulate for tuning (paper: 18 of 36)
+	scale, maxInsts int,
+	seed int64,
+) (*PerfVecResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Step 1: sample designs and collect tuning data.
+	perm := rng.Perm(len(space))[:sampleDesigns]
+	tuneCfgs := make([]*uarch.Config, sampleDesigns)
+	for i, di := range perm {
+		tuneCfgs[i] = space[di].Config
+	}
+	tuneData, err := perfvec.CollectAll(tuneBenches, tuneCfgs, scale, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	simsUsed := len(tuneBenches) * sampleDesigns
+
+	// Step 2: train the microarchitecture representation model.
+	start := time.Now()
+	um := perfvec.NewUarchModel(f.Cfg.RepDim, 32, seed)
+	perfvec.TrainUarchModel(f, um, tuneData, tuneCfgs, 120, 0.005, seed)
+	trainTime := time.Since(start)
+
+	// Step 3: predict all pairs and select per-program optima.
+	res := &PerfVecResult{
+		Selected:    make([]int, len(targets)),
+		PredictedNs: make([][]float64, len(targets)),
+		SimsUsed:    simsUsed,
+		TrainTime:   trainTime,
+	}
+	reps := make([][]float32, len(space))
+	for di, d := range space {
+		reps[di] = um.Rep(d.Config)
+	}
+	for pi, p := range targets {
+		progRep := f.ProgramRep(p)
+		pred := make([]float64, len(space))
+		obj := make([]float64, len(space))
+		for di := range space {
+			pred[di] = f.PredictTotalNs(progRep, reps[di])
+			obj[di] = Objective(space[di], pred[di])
+		}
+		res.PredictedNs[pi] = pred
+		best := 0
+		for di, v := range obj {
+			if v < obj[best] {
+				best = di
+			}
+		}
+		res.Selected[pi] = best
+	}
+	return res, nil
+}

@@ -1,0 +1,112 @@
+// Package dse implements the design-space-exploration case study of the
+// paper's §VI-A — the L1/L2 cache-size sweep on an A7-like core — together
+// with the prior ML-based DSE methods of Table IV it is compared against:
+// per-program MLP predictors (Ipek et al.), cross-program linear predictors
+// (Dubach et al.), and an ActBoost-style AdaBoost.R2 ensemble (Li et al.).
+package dse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+)
+
+// L1Sizes and L2Sizes define the 6x6 cache design space of §VI-A.
+var (
+	L1Sizes = []int{4, 8, 16, 32, 64, 128}            // kB
+	L2Sizes = []int{256, 512, 1024, 2048, 4096, 8192} // kB
+)
+
+// Design is one point of the space.
+type Design struct {
+	L1KB, L2KB int
+	Config     *uarch.Config
+}
+
+// Space enumerates all 36 designs: the A7-like core with every L1D/L2
+// combination, other parameters fixed (as in the paper).
+func Space() []Design {
+	var out []Design
+	for _, l2 := range L2Sizes {
+		for _, l1 := range L1Sizes {
+			c := uarch.A7Like()
+			c.L1D.SizeKB = l1
+			c.L2.SizeKB = l2
+			c.Name = fmt.Sprintf("a7-l1d%dk-l2%dk", l1, l2)
+			out = append(out, Design{L1KB: l1, L2KB: l2, Config: c})
+		}
+	}
+	return out
+}
+
+// Configs projects the space onto its configurations.
+func Configs(space []Design) []*uarch.Config {
+	cfgs := make([]*uarch.Config, len(space))
+	for i, d := range space {
+		cfgs[i] = d.Config
+	}
+	return cfgs
+}
+
+// Objective is the paper's cost function: (1000 + 10*L1kB + L2kB) * execution
+// time — chip footprint weighted by performance. Units of time only scale
+// the surface, so seconds vs nanoseconds does not change the ranking.
+func Objective(d Design, execNs float64) float64 {
+	return (1000 + 10*float64(d.L1KB) + float64(d.L2KB)) * execNs
+}
+
+// GroundTruth simulates every (program, design) pair exhaustively and
+// returns times[programIdx][designIdx] in ns plus the total number of
+// simulations performed. This is the "gem5 exhaustive simulation" reference
+// of Figure 7.
+func GroundTruth(space []Design, programs []bench.Benchmark, scale, maxInsts int) ([][]float64, int, error) {
+	cfgs := Configs(space)
+	times := make([][]float64, len(programs))
+	sims := 0
+	for pi, b := range programs {
+		recs, err := b.Trace(scale, maxInsts)
+		if err != nil {
+			return nil, sims, err
+		}
+		results := sim.SimulateAll(cfgs, recs, false)
+		times[pi] = make([]float64, len(space))
+		for di, r := range results {
+			times[pi][di] = r.TotalNs
+		}
+		sims += len(space)
+	}
+	return times, sims, nil
+}
+
+// ObjectiveSurface converts execution times into objective values.
+func ObjectiveSurface(space []Design, times []float64) []float64 {
+	out := make([]float64, len(space))
+	for i, d := range space {
+		out[i] = Objective(d, times[i])
+	}
+	return out
+}
+
+// Quality is Table IV's metric: the fraction of designs whose true objective
+// beats the selected design's (smaller is better; 0 = optimum found).
+func Quality(trueObjective []float64, selected int) float64 {
+	better := 0
+	for _, v := range trueObjective {
+		if v < trueObjective[selected] {
+			better++
+		}
+	}
+	return float64(better) / float64(len(trueObjective))
+}
+
+// DesignFeatures returns the baseline predictors' input encoding of a
+// design: log2 cache sizes, standardized implicitly by the learners.
+func DesignFeatures(d Design) []float32 {
+	return []float32{
+		float32(math.Log2(float64(d.L1KB))),
+		float32(math.Log2(float64(d.L2KB))),
+	}
+}

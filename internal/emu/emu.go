@@ -1,0 +1,340 @@
+// Package emu implements the functional emulator for the synthetic ISA.
+// It executes an isa.Program architecturally — registers, memory, control
+// flow — and emits one trace.Record per dynamic instruction. It is the
+// repository's equivalent of gem5's atomic-mode execution that produces the
+// logical instruction trace; the timing simulator (internal/sim) then replays
+// that trace under a microarchitecture model.
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Machine is the architectural state of one program execution.
+type Machine struct {
+	IntRegs [isa.NumIntRegs]int64
+	FPRegs  [isa.NumFPRegs]float64
+	VecRegs [isa.NumVecRegs][isa.VecLanes]float64
+	Mem     []uint64 // word-addressed (8-byte) flat memory
+}
+
+// NewMachine returns a machine with memBytes bytes of zeroed memory
+// (rounded up to a whole word).
+func NewMachine(memBytes int) *Machine {
+	return &Machine{Mem: make([]uint64, (memBytes+7)/8)}
+}
+
+// MemBytes returns the size of the machine's memory in bytes.
+func (m *Machine) MemBytes() int { return len(m.Mem) * 8 }
+
+// LoadWord returns the 8-byte word at byte address addr.
+func (m *Machine) LoadWord(addr uint64) uint64 { return m.Mem[addr/8] }
+
+// StoreWord writes the 8-byte word at byte address addr.
+func (m *Machine) StoreWord(addr uint64, v uint64) { m.Mem[addr/8] = v }
+
+// StoreFloat writes f at byte address addr.
+func (m *Machine) StoreFloat(addr uint64, f float64) { m.Mem[addr/8] = math.Float64bits(f) }
+
+// LoadFloat reads a float64 from byte address addr.
+func (m *Machine) LoadFloat(addr uint64) float64 { return math.Float64frombits(m.Mem[addr/8]) }
+
+// ErrMaxInstructions is returned when emulation stops because the dynamic
+// instruction budget was exhausted before the program halted. The paper
+// similarly simulates each benchmark for a fixed instruction budget
+// (100M instructions), so hitting this limit is the normal outcome for
+// long-running kernels.
+var ErrMaxInstructions = errors.New("emu: reached max dynamic instruction count")
+
+// Run executes prog on m, calling emit for every dynamic instruction, until
+// the program halts or maxInsts instructions have run (0 means unlimited).
+// It returns the number of instructions executed. Faulting instructions
+// (e.g. divide by zero) are recorded and skipped, as in the paper's feature
+// set where "fault or not" is an input feature rather than a terminator.
+func Run(m *Machine, prog *isa.Program, maxInsts int, emit func(*trace.Record)) (int, error) {
+	pc := 0
+	count := 0
+	insts := prog.Insts
+	var rec trace.Record
+	for pc >= 0 && pc < len(insts) {
+		if maxInsts > 0 && count >= maxInsts {
+			return count, ErrMaxInstructions
+		}
+		in := &insts[pc]
+		if in.Op == isa.BranchDir && in.Target == isa.HaltTarget {
+			return count, nil
+		}
+
+		rec = trace.Record{
+			PC:     uint64(pc) * trace.InstBytes,
+			Static: int32(pc),
+			Op:     in.Op,
+			Sub:    in.Sub,
+			NumSrc: in.NumSrc,
+			NumDst: in.NumDst,
+			Src:    in.Src,
+			Dst:    in.Dst,
+		}
+
+		next := pc + 1
+		switch in.Op {
+		case isa.Nop, isa.Barrier:
+			// no architectural effect
+
+		case isa.IntALU, isa.IntMul, isa.IntDiv:
+			m.execInt(in, &rec)
+
+		case isa.FPALU, isa.FPMul, isa.FPDiv:
+			m.execFP(in, &rec)
+
+		case isa.VecALU, isa.VecMul:
+			m.execVec(in)
+
+		case isa.Load, isa.VecLoad, isa.Store, isa.VecStore:
+			if err := m.execMem(in, &rec); err != nil {
+				return count, fmt.Errorf("emu: pc %d: %w", pc, err)
+			}
+
+		case isa.BranchCond:
+			taken := m.evalCond(in)
+			rec.Taken = taken
+			if taken {
+				next = int(in.Target)
+				rec.Target = uint64(in.Target) * trace.InstBytes
+			} else {
+				rec.Target = uint64(next) * trace.InstBytes
+			}
+
+		case isa.BranchDir:
+			rec.Taken = true
+			next = int(in.Target)
+			rec.Target = uint64(in.Target) * trace.InstBytes
+
+		case isa.BranchInd:
+			rec.Taken = true
+			next = int(m.IntRegs[in.Src[0].Index()])
+			rec.Target = uint64(next) * trace.InstBytes
+
+		case isa.Call:
+			rec.Taken = true
+			m.IntRegs[isa.LinkReg] = int64(pc + 1)
+			next = int(in.Target)
+			rec.Target = uint64(in.Target) * trace.InstBytes
+
+		case isa.Ret:
+			rec.Taken = true
+			next = int(m.IntRegs[in.Src[0].Index()])
+			rec.Target = uint64(next) * trace.InstBytes
+
+		default:
+			return count, fmt.Errorf("emu: pc %d: unknown op %v", pc, in.Op)
+		}
+
+		if emit != nil {
+			emit(&rec)
+		}
+		count++
+		pc = next
+	}
+	if pc < 0 || pc >= len(insts) {
+		return count, fmt.Errorf("emu: control flow left program at index %d", pc)
+	}
+	return count, nil
+}
+
+func (m *Machine) execInt(in *isa.Inst, rec *trace.Record) {
+	var a, b int64
+	if in.NumSrc > 0 {
+		a = m.IntRegs[in.Src[0].Index()]
+	}
+	if in.NumSrc > 1 {
+		b = m.IntRegs[in.Src[1].Index()]
+	} else {
+		b = in.Imm
+	}
+	var out int64
+	switch in.Sub {
+	case isa.SubAdd:
+		out = a + b
+	case isa.SubSub:
+		out = a - b
+	case isa.SubAnd:
+		out = a & b
+	case isa.SubOr:
+		out = a | b
+	case isa.SubXor:
+		out = a ^ b
+	case isa.SubShl:
+		out = a << uint(b&63)
+	case isa.SubShr:
+		out = a >> uint(b&63)
+	case isa.SubMov:
+		out = a
+	case isa.SubMovI:
+		out = in.Imm
+	case isa.SubSlt:
+		if a < b {
+			out = 1
+		}
+	case isa.SubMul:
+		out = a * b
+	case isa.SubDiv:
+		if b == 0 {
+			rec.Fault = true
+		} else {
+			out = a / b
+		}
+	case isa.SubRem:
+		if b == 0 {
+			rec.Fault = true
+		} else {
+			out = a % b
+		}
+	}
+	if in.NumDst > 0 {
+		m.IntRegs[in.Dst[0].Index()] = out
+	}
+}
+
+func (m *Machine) execFP(in *isa.Inst, rec *trace.Record) {
+	src := func(i int) float64 { return m.FPRegs[in.Src[i].Index()] }
+	var out float64
+	switch in.Sub {
+	case isa.SubFAdd:
+		out = src(0) + src(1)
+	case isa.SubFSub:
+		out = src(0) - src(1)
+	case isa.SubFMov:
+		out = src(0)
+	case isa.SubFNeg:
+		out = -src(0)
+	case isa.SubFCvt:
+		out = float64(m.IntRegs[in.Src[0].Index()])
+	case isa.SubFMul:
+		out = src(0) * src(1)
+	case isa.SubFMA:
+		out = src(0) + src(1)*src(2)
+	case isa.SubFDiv:
+		d := src(1)
+		if d == 0 {
+			rec.Fault = true
+		} else {
+			out = src(0) / d
+		}
+	case isa.SubFSqrt:
+		v := src(0)
+		if v < 0 {
+			rec.Fault = true
+		} else {
+			out = math.Sqrt(v)
+		}
+	}
+	if in.NumDst > 0 {
+		m.FPRegs[in.Dst[0].Index()] = out
+	}
+}
+
+func (m *Machine) execVec(in *isa.Inst) {
+	var out [isa.VecLanes]float64
+	switch in.Sub {
+	case isa.SubVAdd:
+		a, b := m.VecRegs[in.Src[0].Index()], m.VecRegs[in.Src[1].Index()]
+		for l := range out {
+			out[l] = a[l] + b[l]
+		}
+	case isa.SubVMul:
+		a, b := m.VecRegs[in.Src[0].Index()], m.VecRegs[in.Src[1].Index()]
+		for l := range out {
+			out[l] = a[l] * b[l]
+		}
+	case isa.SubVFMA:
+		acc, a, b := m.VecRegs[in.Src[0].Index()], m.VecRegs[in.Src[1].Index()], m.VecRegs[in.Src[2].Index()]
+		for l := range out {
+			out[l] = acc[l] + a[l]*b[l]
+		}
+	case isa.SubVBcast:
+		v := m.FPRegs[in.Src[0].Index()]
+		for l := range out {
+			out[l] = v
+		}
+	}
+	if in.NumDst > 0 {
+		m.VecRegs[in.Dst[0].Index()] = out
+	}
+}
+
+func (m *Machine) execMem(in *isa.Inst, rec *trace.Record) error {
+	base := uint64(m.IntRegs[in.Src[0].Index()] + in.Imm)
+	width := in.MemBytes()
+	if base+uint64(width) > uint64(len(m.Mem)*8) {
+		return fmt.Errorf("memory access at %#x width %d out of bounds (%d bytes)", base, width, len(m.Mem)*8)
+	}
+	rec.Addr = base
+	rec.MemLen = uint8(width)
+	switch in.Op {
+	case isa.Load:
+		dst := in.Dst[0]
+		if dst.Class() == isa.RegFP {
+			m.FPRegs[dst.Index()] = m.LoadFloat(base)
+		} else {
+			m.IntRegs[dst.Index()] = int64(m.LoadWord(base))
+		}
+	case isa.Store:
+		val := in.Src[1]
+		if val.Class() == isa.RegFP {
+			m.StoreFloat(base, m.FPRegs[val.Index()])
+		} else {
+			m.StoreWord(base, uint64(m.IntRegs[val.Index()]))
+		}
+	case isa.VecLoad:
+		dst := in.Dst[0].Index()
+		for l := 0; l < isa.VecLanes; l++ {
+			m.VecRegs[dst][l] = m.LoadFloat(base + uint64(8*l))
+		}
+	case isa.VecStore:
+		val := in.Src[1].Index()
+		for l := 0; l < isa.VecLanes; l++ {
+			m.StoreFloat(base+uint64(8*l), m.VecRegs[val][l])
+		}
+	}
+	return nil
+}
+
+func (m *Machine) evalCond(in *isa.Inst) bool {
+	a := m.IntRegs[in.Src[0].Index()]
+	var b int64
+	if in.NumSrc > 1 {
+		b = m.IntRegs[in.Src[1].Index()]
+	}
+	switch in.Sub {
+	case isa.SubBEQ:
+		return a == b
+	case isa.SubBNE:
+		return a != b
+	case isa.SubBLT:
+		return a < b
+	case isa.SubBGE:
+		return a >= b
+	}
+	return false
+}
+
+// Capture runs prog and collects the full dynamic trace in memory.
+func Capture(m *Machine, prog *isa.Program, maxInsts int) ([]trace.Record, error) {
+	var recs []trace.Record
+	n, err := Run(m, prog, maxInsts, func(r *trace.Record) {
+		recs = append(recs, *r)
+	})
+	if err != nil && !errors.Is(err, ErrMaxInstructions) {
+		return recs, err
+	}
+	if n != len(recs) {
+		return recs, fmt.Errorf("emu: emitted %d records for %d instructions", len(recs), n)
+	}
+	return recs, nil
+}

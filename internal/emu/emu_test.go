@@ -1,0 +1,251 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// buildSumLoop returns a program that sums 0..n-1 into r2 and stores the
+// result to memory address 0.
+func buildSumLoop(n int64) *isa.Program {
+	b := asm.NewBuilder("sumloop")
+	b.MovI(isa.R(1), 0) // i
+	b.MovI(isa.R(2), 0) // acc
+	b.MovI(isa.R(3), n) // bound
+	b.MovI(isa.R(4), 0) // base addr
+	b.Label("loop")
+	b.Add(isa.R(2), isa.R(2), isa.R(1))
+	b.AddI(isa.R(1), isa.R(1), 1)
+	b.Blt(isa.R(1), isa.R(3), "loop")
+	b.St(isa.R(2), isa.R(4), 0)
+	b.Halt()
+	return b.Build()
+}
+
+func TestSumLoop(t *testing.T) {
+	m := NewMachine(1 << 12)
+	prog := buildSumLoop(10)
+	n, err := Run(m, prog, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[2] != 45 {
+		t.Fatalf("sum = %d, want 45", m.IntRegs[2])
+	}
+	if got := m.LoadWord(0); got != 45 {
+		t.Fatalf("memory[0] = %d, want 45", got)
+	}
+	// 4 setup + 10*(add,addi,blt) + store = 35 dynamic instructions
+	if n != 35 {
+		t.Fatalf("executed %d instructions, want 35", n)
+	}
+}
+
+func TestMaxInstructionBudget(t *testing.T) {
+	m := NewMachine(1 << 12)
+	prog := buildSumLoop(1_000_000)
+	n, err := Run(m, prog, 100, nil)
+	if !errors.Is(err, ErrMaxInstructions) {
+		t.Fatalf("err = %v, want ErrMaxInstructions", err)
+	}
+	if n != 100 {
+		t.Fatalf("executed %d, want 100", n)
+	}
+}
+
+func TestBranchRecordsTakenAndTarget(t *testing.T) {
+	m := NewMachine(1 << 12)
+	prog := buildSumLoop(3)
+	recs, err := Capture(m, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var branches []trace.Record
+	for _, r := range recs {
+		if r.IsBranch() {
+			branches = append(branches, r)
+		}
+	}
+	if len(branches) != 3 {
+		t.Fatalf("saw %d branches, want 3", len(branches))
+	}
+	// First two iterations jump back, last falls through.
+	if !branches[0].Taken || !branches[1].Taken || branches[2].Taken {
+		t.Fatalf("branch taken pattern = %v %v %v, want true true false",
+			branches[0].Taken, branches[1].Taken, branches[2].Taken)
+	}
+	loopTarget := uint64(4) * trace.InstBytes
+	if branches[0].Target != loopTarget {
+		t.Fatalf("taken target = %#x, want %#x", branches[0].Target, loopTarget)
+	}
+	fallthrough_ := branches[2].PC + trace.InstBytes
+	if branches[2].Target != fallthrough_ {
+		t.Fatalf("fall-through target = %#x, want %#x", branches[2].Target, fallthrough_)
+	}
+}
+
+func TestFPArithmetic(t *testing.T) {
+	b := asm.NewBuilder("fp")
+	b.MovI(isa.R(1), 3)
+	b.FCvt(isa.F(0), isa.R(1)) // f0 = 3.0
+	b.FMul(isa.F(1), isa.F(0), isa.F(0))
+	b.FAdd(isa.F(2), isa.F(1), isa.F(0)) // 12
+	b.FSqrt(isa.F(3), isa.F(1))          // 3
+	b.FDiv(isa.F(4), isa.F(2), isa.F(3)) // 4
+	b.Halt()
+	m := NewMachine(64)
+	if _, err := Run(m, b.Build(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.FPRegs[4] != 4 {
+		t.Fatalf("f4 = %v, want 4", m.FPRegs[4])
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	b := asm.NewBuilder("div0")
+	b.MovI(isa.R(1), 7)
+	b.MovI(isa.R(2), 0)
+	b.Div(isa.R(3), isa.R(1), isa.R(2))
+	b.Halt()
+	m := NewMachine(64)
+	recs, err := Capture(m, b.Build(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recs[2].Fault {
+		t.Fatal("divide by zero must set the fault flag")
+	}
+	if m.IntRegs[3] != 0 {
+		t.Fatalf("faulting divide wrote %d, want 0", m.IntRegs[3])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := asm.NewBuilder("callret")
+	b.MovI(isa.R(1), 5)
+	b.CallLabel("double")
+	b.St(isa.R(1), isa.R(0), 0) // r0 is 0 at start
+	b.Halt()
+	b.Label("double")
+	b.Add(isa.R(1), isa.R(1), isa.R(1))
+	b.Ret()
+	m := NewMachine(64)
+	if _, err := Run(m, b.Build(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LoadWord(0); got != 10 {
+		t.Fatalf("memory[0] = %d, want 10", got)
+	}
+}
+
+func TestIndirectBranch(t *testing.T) {
+	b := asm.NewBuilder("indirect")
+	b.MovI(isa.R(1), 3) // static index of the target
+	b.Jr(isa.R(1))
+	b.MovI(isa.R(2), 111) // skipped
+	b.MovI(isa.R(2), 222) // index 3
+	b.Halt()
+	m := NewMachine(64)
+	if _, err := Run(m, b.Build(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[2] != 222 {
+		t.Fatalf("r2 = %d, want 222", m.IntRegs[2])
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	b := asm.NewBuilder("vec")
+	// memory[0..3] = 1..4 via scalar stores, then vector load/FMA/store.
+	for i := int64(0); i < 4; i++ {
+		b.MovI(isa.R(1), i+1)
+		b.FCvt(isa.F(0), isa.R(1))
+		b.MovI(isa.R(2), i*8)
+		b.St(isa.F(0), isa.R(2), 0)
+	}
+	b.MovI(isa.R(3), 0)
+	b.VLd(isa.V(0), isa.R(3), 0)         // v0 = [1,2,3,4]
+	b.VFMA(isa.V(1), isa.V(0), isa.V(0)) // v1 += v0*v0 = [1,4,9,16]
+	b.VAdd(isa.V(2), isa.V(1), isa.V(0)) // [2,6,12,20]
+	b.VSt(isa.V(2), isa.R(3), 32)
+	b.Halt()
+	m := NewMachine(256)
+	if _, err := Run(m, b.Build(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 6, 12, 20}
+	for i, w := range want {
+		if got := m.LoadFloat(uint64(32 + 8*i)); got != w {
+			t.Fatalf("lane %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestMemoryOutOfBoundsErrors(t *testing.T) {
+	b := asm.NewBuilder("oob")
+	b.MovI(isa.R(1), 1<<20)
+	b.Ld(isa.R(2), isa.R(1), 0)
+	b.Halt()
+	m := NewMachine(64)
+	if _, err := Run(m, b.Build(), 0, nil); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+}
+
+func TestTraceIsDeterministic(t *testing.T) {
+	run := func() []trace.Record {
+		m := NewMachine(1 << 12)
+		recs, err := Capture(m, buildSumLoop(20), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestHaltValidates(t *testing.T) {
+	b := asm.NewBuilder("halt")
+	b.Halt()
+	prog := b.Build()
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterEncoding(t *testing.T) {
+	cases := []struct {
+		r     isa.Reg
+		class isa.RegClass
+		idx   int
+	}{
+		{isa.R(0), isa.RegInt, 0},
+		{isa.R(31), isa.RegInt, 31},
+		{isa.F(0), isa.RegFP, 0},
+		{isa.F(31), isa.RegFP, 31},
+		{isa.V(0), isa.RegVec, 0},
+		{isa.V(15), isa.RegVec, 15},
+	}
+	for _, c := range cases {
+		if c.r.Class() != c.class || c.r.Index() != c.idx {
+			t.Fatalf("%v: class=%v idx=%d, want class=%v idx=%d",
+				c.r, c.r.Class(), c.r.Index(), c.class, c.idx)
+		}
+	}
+	if isa.RegNone.Valid() {
+		t.Fatal("RegNone must be invalid")
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastArtifacts builds a shared Fast() artifact cache per test.
+func fastArtifacts() *Artifacts {
+	return NewArtifacts(Fast(), nil)
+}
+
+func TestFig3Runs(t *testing.T) {
+	a := fastArtifacts()
+	var buf bytes.Buffer
+	res, err := Fig3(a, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seen) != 9 || len(res.Unseen) != 8 {
+		t.Fatalf("seen/unseen counts = %d/%d, want 9/8", len(res.Seen), len(res.Unseen))
+	}
+	if !strings.Contains(buf.String(), "Figure 3") {
+		t.Fatal("missing figure title in output")
+	}
+	for _, s := range append(res.Seen, res.Unseen...) {
+		if s.Mean < 0 || s.Min > s.Max {
+			t.Fatalf("%s: inconsistent summary %+v", s.Name, s)
+		}
+	}
+}
+
+func TestFig4MovesWorstProgram(t *testing.T) {
+	a := fastArtifacts()
+	var buf bytes.Buffer
+	res, err := Fig4(a, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved == "" {
+		t.Fatal("no program moved")
+	}
+	if len(res.Seen) != 10 || len(res.Unseen) != 7 {
+		t.Fatalf("after move: seen/unseen = %d/%d, want 10/7", len(res.Seen), len(res.Unseen))
+	}
+	for _, s := range res.Unseen {
+		if s.Name == res.Moved {
+			t.Fatalf("moved program %s still in unseen set", res.Moved)
+		}
+	}
+}
+
+func TestFig5Runs(t *testing.T) {
+	a := fastArtifacts()
+	var buf bytes.Buffer
+	res, err := Fig5(a, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seen) != 9 || len(res.Unseen) != 8 {
+		t.Fatalf("summary counts wrong: %d/%d", len(res.Seen), len(res.Unseen))
+	}
+}
+
+func TestFig6VariantsList(t *testing.T) {
+	vs := Fig6Variants(32)
+	if len(vs) != 13 {
+		t.Fatalf("variant count = %d, want 13 (Figure 6's x-axis)", len(vs))
+	}
+	names := map[string]bool{}
+	for _, v := range vs {
+		names[v.Name] = true
+	}
+	for _, want := range []string{"Linear-1-32", "Transformer-2-32", "LSTM-2-8", "LSTM-2-128", "LSTM-4-32"} {
+		if !names[want] {
+			t.Fatalf("missing variant %s", want)
+		}
+	}
+}
+
+func TestVolumeAndFeatureAblations(t *testing.T) {
+	a := fastArtifacts()
+	var buf bytes.Buffer
+	vol, err := Volume(a, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vol.InstErrors) != 3 {
+		t.Fatalf("volume points = %d, want 3", len(vol.InstErrors))
+	}
+	fa, err := FeatureAblation(a, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.WithFeatures < 0 || fa.WithoutFeatures < 0 {
+		t.Fatal("negative errors")
+	}
+}
+
+func TestTable3Speeds(t *testing.T) {
+	a := fastArtifacts()
+	var buf bytes.Buffer
+	res, err := Table3(a, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimIPS <= 0 || res.SimNetIPS <= 0 || res.PredictNs <= 0 {
+		t.Fatalf("non-positive speeds: %+v", res)
+	}
+	// The central Table III claim: pre-learned PerfVec prediction is orders
+	// of magnitude faster than per-instruction approaches.
+	perInstNs := 1e9 / res.SimNetIPS * float64(res.TraceInsts)
+	if res.PredictNs*100 > perInstNs {
+		t.Fatalf("PerfVec prediction (%.0f ns) not >>100x faster than per-instruction (%.0f ns)",
+			res.PredictNs, perInstNs)
+	}
+}
+
+func TestFig8TilingShape(t *testing.T) {
+	a := fastArtifacts()
+	var buf bytes.Buffer
+	res, err := Fig8(a, 16, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tiles) != 8 {
+		t.Fatalf("tile points = %d, want 8", len(res.Tiles))
+	}
+	// The simulator must show the vectorization cliff: tile 4 beats tile 1.
+	if res.SimNs[2] >= res.SimNs[0] {
+		t.Fatalf("simulator: tile 4 (%v) not faster than tile 1 (%v)", res.SimNs[2], res.SimNs[0])
+	}
+}
+
+func TestReuseSpeedup(t *testing.T) {
+	a := fastArtifacts()
+	var buf bytes.Buffer
+	res, err := Reuse(a, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse must beat the naive scheme for equal coverage; with K=9 even a
+	// modest amortization shows up.
+	if res.EffectiveSpeedup < 2 {
+		t.Fatalf("effective speedup %.1fx, want >= 2x", res.EffectiveSpeedup)
+	}
+}

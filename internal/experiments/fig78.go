@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/dse"
+	"repro/internal/emu"
+	"repro/internal/features"
+	"repro/internal/perfvec"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+// Fig7Result holds the objective surfaces of Figure 7: simulator ground
+// truth vs PerfVec prediction across the 6x6 cache space for one program.
+type Fig7Result struct {
+	Program       string
+	TrueObjective []float64 // indexed like dse.Space()
+	PredObjective []float64
+	TrueBest      int
+	PredBest      int
+	QualityOfPred float64
+	Correlation   float64
+}
+
+// Fig7 reproduces Figure 7 for 508.namd (the paper's example): the objective
+// surface across L1/L2 sizes under exhaustive simulation and under PerfVec's
+// prediction with a trained microarchitecture representation model.
+func Fig7(a *Artifacts, w io.Writer) (*Fig7Result, error) {
+	model, _, err := a.Model()
+	if err != nil {
+		return nil, err
+	}
+	space := dse.Space()
+	b, err := bench.ByName("508.namd")
+	if err != nil {
+		return nil, err
+	}
+
+	truth, _, err := dse.GroundTruth(space, []bench.Benchmark{b}, a.Opts.Scale, a.Opts.MaxInsts)
+	if err != nil {
+		return nil, err
+	}
+	target, err := perfvec.CollectFeatures(b, a.Opts.Scale, a.Opts.MaxInsts)
+	if err != nil {
+		return nil, err
+	}
+	pv, err := dse.RunPerfVec(model, space, bench.Training()[:3], []*perfvec.ProgramData{target},
+		len(space)/2, a.Opts.Scale, a.Opts.MaxInsts, a.Opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig7Result{
+		Program:       b.Name,
+		TrueObjective: dse.ObjectiveSurface(space, truth[0]),
+		PredObjective: dse.ObjectiveSurface(space, pv.PredictedNs[0]),
+	}
+	res.TrueBest = stats.ArgMin(res.TrueObjective)
+	res.PredBest = stats.ArgMin(res.PredObjective)
+	res.QualityOfPred = dse.Quality(res.TrueObjective, res.PredBest)
+	res.Correlation = stats.Pearson(res.TrueObjective, res.PredObjective)
+
+	fmt.Fprintf(w, "Figure 7: %s objective surface across L1/L2 cache sizes\n", b.Name)
+	printSurface(w, "(a) simulator (gem5 stand-in)", space, res.TrueObjective)
+	printSurface(w, "(b) PerfVec", space, res.PredObjective)
+	fmt.Fprintf(w, "best design: simulator %s, PerfVec %s; surface correlation %.2f; quality %s\n\n",
+		space[res.TrueBest].Config.Name, space[res.PredBest].Config.Name,
+		res.Correlation, stats.Pct(res.QualityOfPred))
+	return res, nil
+}
+
+// printSurface renders a 6x6 objective grid (rows = L2, cols = L1),
+// normalized so the smallest value is 1.0.
+func printSurface(w io.Writer, title string, space []dse.Design, obj []float64) {
+	min, _ := stats.MinMax(obj)
+	fmt.Fprintln(w, title)
+	tb := &stats.Table{Header: []string{"L2\\L1", "4k", "8k", "16k", "32k", "64k", "128k"}}
+	for row := 0; row < len(dse.L2Sizes); row++ {
+		cells := []any{fmt.Sprintf("%dk", dse.L2Sizes[row])}
+		for col := 0; col < len(dse.L1Sizes); col++ {
+			cells = append(cells, fmt.Sprintf("%.2f", obj[row*len(dse.L1Sizes)+col]/min))
+		}
+		tb.Add(cells...)
+	}
+	fmt.Fprint(w, tb.String())
+}
+
+// Fig8Result holds the loop-tiling study: execution time by tile size under
+// the simulator and under PerfVec.
+type Fig8Result struct {
+	Tiles     []int
+	SimNs     []float64
+	PerfVecNs []float64
+	SimBest   int
+	PredBest  int
+}
+
+// Fig8 reproduces the matrix-multiply loop-tiling analysis of §VI-B: tile
+// sizes 1..128 on the A7-like core, simulator vs PerfVec (whose prediction
+// uses the pre-trained foundation model and the A7 representation learned
+// during training — zero additional training, as the paper highlights).
+func Fig8(a *Artifacts, matrixN int, w io.Writer) (*Fig8Result, error) {
+	model, table, err := a.Model()
+	if err != nil {
+		return nil, err
+	}
+	// The A7-like config is one of the predefined (seen) microarchitectures;
+	// find its representation row.
+	a7Idx := -1
+	for i, c := range a.Uarchs() {
+		if c.Name == "a7like" {
+			a7Idx = i
+		}
+	}
+	if a7Idx < 0 {
+		return nil, errors.New("experiments: a7like not in the seen microarchitecture set")
+	}
+	a7Rep := table.Rep(a7Idx)
+	a7Cfg := uarch.A7Like()
+
+	res := &Fig8Result{Tiles: []int{1, 2, 4, 8, 16, 32, 64, 128}}
+	for _, tile := range res.Tiles {
+		t := tile
+		if t > matrixN {
+			t = matrixN
+		}
+		// The multiply must run to completion: truncating at an instruction
+		// budget would compare unequal amounts of work across tile sizes.
+		prog, m := bench.MatMulTiled(matrixN, t)
+		recs, err := emu.Capture(m, prog, 0)
+		if err != nil {
+			return nil, err
+		}
+		simNs := sim.Simulate(a7Cfg, recs, false).TotalNs
+
+		pd := &perfvec.ProgramData{
+			Name: prog.Name, N: len(recs), FeatDim: features.NumFeatures,
+			Features: features.ExtractAll(recs),
+		}
+		progRep := model.ProgramRep(pd)
+		predNs := model.PredictTotalNs(progRep, a7Rep)
+
+		res.SimNs = append(res.SimNs, simNs)
+		res.PerfVecNs = append(res.PerfVecNs, predNs)
+		a.logf("fig8 tile %3d: sim %.0f ns, perfvec %.0f ns\n", tile, simNs, predNs)
+	}
+	res.SimBest = stats.ArgMin(res.SimNs)
+	res.PredBest = stats.ArgMin(res.PerfVecNs)
+
+	fmt.Fprintf(w, "Figure 8: %dx%d matrix-multiply execution time vs tile size (A7-like core)\n", matrixN, matrixN)
+	tb := &stats.Table{Header: []string{"tile", "simulator (us)", "perfvec (us)"}}
+	for i, tile := range res.Tiles {
+		tb.Add(tile, fmt.Sprintf("%.1f", res.SimNs[i]/1000), fmt.Sprintf("%.1f", res.PerfVecNs[i]/1000))
+	}
+	fmt.Fprint(w, tb.String())
+	fmt.Fprintf(w, "best tile: simulator %d, PerfVec %d (paper: 16 vs 16/32 tie)\n\n",
+		res.Tiles[res.SimBest], res.Tiles[res.PredBest])
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package features
+
+import "math"
+
+// Branch entropy (Yokota et al.; De Pestel et al., paper §III-C) measures
+// how predictable a branch's taken/untaken sequence is, independent of any
+// concrete predictor. We estimate, online, the conditional probability of
+// "taken" given a short history and report the Shannon entropy of that
+// conditional distribution: always-taken or always-untaken branches score 0,
+// coin-flip branches score 1.
+
+const (
+	localHistBits  = 4
+	globalHistBits = 8
+)
+
+// counter2 counts (untaken, taken) outcomes.
+type counter2 [2]uint32
+
+func (c *counter2) entropy() float64 {
+	n := c[0] + c[1]
+	if n == 0 {
+		return 1 // unseen context: maximally uncertain
+	}
+	p := float64(c[1]) / float64(n)
+	if p == 0 || p == 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// BranchEntropy tracks local (per-PC, local-history conditioned) and global
+// (global-history conditioned) branch entropy online.
+type BranchEntropy struct {
+	local      map[uint64]*localState
+	global     [1 << globalHistBits]counter2
+	globalHist uint32
+}
+
+type localState struct {
+	table [1 << localHistBits]counter2
+	hist  uint32
+}
+
+// NewBranchEntropy returns an empty tracker.
+func NewBranchEntropy() *BranchEntropy {
+	return &BranchEntropy{local: make(map[uint64]*localState)}
+}
+
+// Observe records the outcome of the conditional branch at pc and returns
+// the branch's (global, local) entropy in bits, evaluated on the context the
+// branch was seen in *before* updating — the same quantity a predictor would
+// have faced.
+func (b *BranchEntropy) Observe(pc uint64, taken bool) (global, local float64) {
+	ls, ok := b.local[pc]
+	if !ok {
+		ls = &localState{}
+		b.local[pc] = ls
+	}
+	gIdx := b.globalHist & (1<<globalHistBits - 1)
+	lIdx := ls.hist & (1<<localHistBits - 1)
+
+	global = b.global[gIdx].entropy()
+	local = ls.table[lIdx].entropy()
+
+	bit := uint32(0)
+	if taken {
+		bit = 1
+	}
+	b.global[gIdx][bit]++
+	ls.table[lIdx][bit]++
+	b.globalHist = (b.globalHist << 1) | bit
+	ls.hist = (ls.hist << 1) | bit
+	return global, local
+}

@@ -1,0 +1,191 @@
+// Package features extracts the paper's Table I instruction features: 51
+// microarchitecture-independent inputs per dynamic instruction, spanning
+// static properties (operation type, register operands), execution behaviour
+// (faults, branch outcomes), memory locality (stack distances), and branch
+// predictability (global/local branch entropy).
+//
+// These features are what make PerfVec's learned representations portable
+// across microarchitectures: none of them depends on cache geometry,
+// predictor tables, or pipeline shape.
+package features
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// NumFeatures is the per-instruction feature count (Table I).
+const NumFeatures = 51
+
+// Feature vector layout.
+const (
+	// 15 operation features.
+	featOpBase = 0 // one flag per class, see opFeature
+	// 28 register features: 8 src indices, 8 src categories,
+	// 6 dst indices, 6 dst categories.
+	featSrcIdxBase = 15
+	featSrcCatBase = 23
+	featDstIdxBase = 31
+	featDstCatBase = 37
+	// 2 execution-behaviour features.
+	featFault = 43
+	featTaken = 44
+	// 4 memory stack-distance features.
+	featSDFetch = 45
+	featSDData  = 46
+	featSDLoad  = 47
+	featSDStore = 48
+	// 2 branch-entropy features.
+	featEntropyGlobal = 49
+	featEntropyLocal  = 50
+)
+
+// Masks for the feature-ablation study (§V-B "microarchitecture-independent
+// features"): indices of the memory and branch-predictability features.
+var MemoryBranchFeatureIdx = []int{featSDFetch, featSDData, featSDLoad, featSDStore, featEntropyGlobal, featEntropyLocal}
+
+// LocalityGranularity is the fixed block size (bytes) at which stack
+// distances are computed. It is a property of the feature definition, not of
+// any modelled cache.
+const LocalityGranularity = 64
+
+// coldDistanceFeature is the encoded stack distance for first-touch
+// accesses; chosen above any log2 distance a bounded trace can produce.
+const coldDistanceFeature = 32
+
+// Extractor computes feature vectors over a dynamic instruction stream.
+// It is stateful: stack-distance and entropy features depend on history.
+type Extractor struct {
+	sdFetch *StackDist
+	sdData  *StackDist
+	sdLoad  *StackDist
+	sdStore *StackDist
+	entropy *BranchEntropy
+}
+
+// NewExtractor returns a fresh extractor; sizeHint is the expected trace
+// length (used to size internal structures).
+func NewExtractor(sizeHint int) *Extractor {
+	return &Extractor{
+		sdFetch: NewStackDist(sizeHint),
+		sdData:  NewStackDist(sizeHint),
+		sdLoad:  NewStackDist(sizeHint),
+		sdStore: NewStackDist(sizeHint),
+		entropy: NewBranchEntropy(),
+	}
+}
+
+// encodeSD maps a raw stack distance to its feature encoding: log2(2+d),
+// with cold misses pinned at coldDistanceFeature.
+func encodeSD(d int) float32 {
+	if d == Cold {
+		return coldDistanceFeature
+	}
+	return float32(math.Log2(float64(2 + d)))
+}
+
+// opFeature fills the 15 operation flags.
+func opFeature(r *trace.Record, out []float32) {
+	set := func(i int, cond bool) {
+		if cond {
+			out[featOpBase+i] = 1
+		}
+	}
+	set(0, r.Op == isa.IntALU || r.Op == isa.Nop)
+	set(1, r.Op == isa.IntMul)
+	set(2, r.Op == isa.IntDiv)
+	set(3, r.Op == isa.FPALU)
+	set(4, r.Op == isa.FPMul)
+	set(5, r.Op == isa.FPDiv)
+	set(6, r.Op.IsLoad())
+	set(7, r.Op.IsStore())
+	set(8, r.Op == isa.VecALU || r.Op == isa.VecMul || r.Op == isa.VecLoad || r.Op == isa.VecStore)
+	set(9, r.Op.IsBranch())
+	set(10, r.Op == isa.BranchCond)
+	set(11, r.IsDirectBranch())
+	set(12, r.Op == isa.BranchInd || r.Op == isa.Ret)
+	set(13, r.Op == isa.Call || r.Op == isa.Ret)
+	set(14, r.Op == isa.Barrier)
+}
+
+// regFeatures fills the 28 register-operand features: for each of the 8
+// source and 6 destination slots, a normalized register index and a category
+// code (0 = unused, then 1 + class).
+func regFeatures(r *trace.Record, out []float32) {
+	for s := 0; s < isa.MaxSrcRegs; s++ {
+		if s < int(r.NumSrc) {
+			reg := r.Src[s]
+			out[featSrcIdxBase+s] = float32(reg.Index()) / 32
+			out[featSrcCatBase+s] = float32(1 + int(reg.Class()))
+		}
+	}
+	for d := 0; d < isa.MaxDstRegs; d++ {
+		if d < int(r.NumDst) {
+			reg := r.Dst[d]
+			out[featDstIdxBase+d] = float32(reg.Index()) / 32
+			out[featDstCatBase+d] = float32(1 + int(reg.Class()))
+		}
+	}
+}
+
+// Extract computes the 51 features of r into out (len >= NumFeatures),
+// advancing the extractor's history state.
+func (e *Extractor) Extract(r *trace.Record, out []float32) {
+	for i := 0; i < NumFeatures; i++ {
+		out[i] = 0
+	}
+	opFeature(r, out)
+	regFeatures(r, out)
+
+	if r.Fault {
+		out[featFault] = 1
+	}
+	if r.IsBranch() && r.Taken {
+		out[featTaken] = 1
+	}
+
+	// Instruction-fetch locality: every instruction touches its I-line.
+	out[featSDFetch] = encodeSD(e.sdFetch.Access(r.PC / LocalityGranularity))
+
+	if r.IsMem() {
+		blk := r.Addr / LocalityGranularity
+		out[featSDData] = encodeSD(e.sdData.Access(blk))
+		if r.IsLoad() {
+			out[featSDLoad] = encodeSD(e.sdLoad.Access(blk))
+		}
+		if r.IsStore() {
+			out[featSDStore] = encodeSD(e.sdStore.Access(blk))
+		}
+	}
+
+	if r.Op == isa.BranchCond {
+		g, l := e.entropy.Observe(r.PC, r.Taken)
+		out[featEntropyGlobal] = float32(g)
+		out[featEntropyLocal] = float32(l)
+	}
+}
+
+// ExtractAll featurizes a whole trace, returning a dense [n x NumFeatures]
+// row-major matrix.
+func ExtractAll(recs []trace.Record) []float32 {
+	e := NewExtractor(len(recs))
+	out := make([]float32, len(recs)*NumFeatures)
+	for i := range recs {
+		e.Extract(&recs[i], out[i*NumFeatures:(i+1)*NumFeatures])
+	}
+	return out
+}
+
+// MaskFeatures zeroes the given feature columns in a dense feature matrix,
+// used by the feature-ablation experiment.
+func MaskFeatures(feats []float32, idx []int) {
+	n := len(feats) / NumFeatures
+	for row := 0; row < n; row++ {
+		base := row * NumFeatures
+		for _, j := range idx {
+			feats[base+j] = 0
+		}
+	}
+}

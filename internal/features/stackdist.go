@@ -1,0 +1,98 @@
+package features
+
+import "sort"
+
+// StackDist computes stack (reuse) distances over a stream of keys: for each
+// access, the number of *unique* keys touched since the previous access to
+// the same key (Ding & Zhong PLDI'03; paper §III-C). First-time accesses
+// report Cold.
+//
+// The implementation is the classic Fenwick-tree formulation: each key's most
+// recent access time holds a 1 in a bit-indexed tree; the distance is the
+// count of 1s after the key's previous time. When the time axis fills up,
+// the tracker compacts: only the most recent access per key matters, so
+// times are renumbered densely.
+type StackDist struct {
+	tree []int32
+	last map[uint64]int32
+	now  int32
+}
+
+// Live returns the number of distinct keys currently tracked.
+func (s *StackDist) Live() int { return len(s.last) }
+
+// Cold is the distance reported for a key's first access.
+const Cold = -1
+
+// NewStackDist returns a tracker with capacity for roughly sizeHint accesses
+// between compactions.
+func NewStackDist(sizeHint int) *StackDist {
+	if sizeHint < 1024 {
+		sizeHint = 1024
+	}
+	return &StackDist{
+		tree: make([]int32, sizeHint+1),
+		last: make(map[uint64]int32),
+	}
+}
+
+func (s *StackDist) add(i int32, delta int32) {
+	for i++; int(i) < len(s.tree); i += i & (-i) {
+		s.tree[i] += delta
+	}
+}
+
+// prefix returns the count of ones in positions [0, i].
+func (s *StackDist) prefix(i int32) int32 {
+	var sum int32
+	for i++; i > 0; i -= i & (-i) {
+		sum += s.tree[i]
+	}
+	return sum
+}
+
+// Access records a reference to key and returns its stack distance, or Cold
+// for the first access.
+func (s *StackDist) Access(key uint64) int {
+	if int(s.now)+1 >= len(s.tree) {
+		s.compact()
+	}
+	prev, seen := s.last[key]
+	dist := Cold
+	if seen {
+		// Unique keys accessed strictly after prev.
+		dist = int(s.prefix(s.now) - s.prefix(prev))
+		s.add(prev, -1)
+	}
+	s.add(s.now, 1)
+	s.last[key] = s.now
+	s.now++
+	return dist
+}
+
+// compact renumbers the surviving (most recent per key) access times densely
+// from zero, preserving order.
+func (s *StackDist) compact() {
+	type kv struct {
+		key uint64
+		t   int32
+	}
+	entries := make([]kv, 0, len(s.last))
+	for k, t := range s.last {
+		entries = append(entries, kv{k, t})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].t < entries[j].t })
+	// Grow if the live set alone nearly fills the time axis.
+	if 2*len(entries)+2 >= len(s.tree) {
+		s.tree = make([]int32, 2*len(s.tree))
+	} else {
+		for i := range s.tree {
+			s.tree[i] = 0
+		}
+	}
+	for i, e := range entries {
+		s.last[e.key] = int32(i)
+		s.add(int32(i), 1)
+	}
+	s.now = int32(len(entries))
+}

@@ -1,0 +1,269 @@
+// Package isa defines the synthetic RISC instruction set used throughout the
+// repository. It plays the role ARMv8 plays in the paper: programs are
+// compiled (via internal/asm) to this ISA, executed functionally by
+// internal/emu, timed by internal/sim, and featurized by internal/features.
+//
+// The ISA is deliberately ARM-flavoured: a load/store architecture with 32
+// integer registers, 32 floating-point registers, 16 four-lane vector
+// registers, direct/indirect/conditional branches, and memory barriers —
+// enough surface to populate every instruction feature in the paper's
+// Table I.
+package isa
+
+import "fmt"
+
+// Op is the coarse operation class of an instruction. These classes map
+// one-to-one onto the functional-unit types of the timing simulator and onto
+// the operation-type features of the representation model.
+type Op uint8
+
+// Operation classes.
+const (
+	Nop Op = iota
+	IntALU
+	IntMul
+	IntDiv
+	FPALU
+	FPMul
+	FPDiv
+	Load
+	Store
+	BranchCond // conditional direct branch
+	BranchDir  // unconditional direct branch
+	BranchInd  // indirect branch (target from a register)
+	Call
+	Ret
+	Barrier // full memory barrier
+	VecALU
+	VecMul
+	VecLoad
+	VecStore
+	NumOps int = iota
+)
+
+var opNames = [...]string{
+	"nop", "ialu", "imul", "idiv", "falu", "fmul", "fdiv",
+	"ld", "st", "bcc", "b", "br", "call", "ret", "dmb",
+	"valu", "vmul", "vld", "vst",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsBranch reports whether the op redirects control flow.
+func (o Op) IsBranch() bool {
+	switch o {
+	case BranchCond, BranchDir, BranchInd, Call, Ret:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the op accesses data memory.
+func (o Op) IsMem() bool {
+	switch o {
+	case Load, Store, VecLoad, VecStore:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the op reads data memory.
+func (o Op) IsLoad() bool { return o == Load || o == VecLoad }
+
+// IsStore reports whether the op writes data memory.
+func (o Op) IsStore() bool { return o == Store || o == VecStore }
+
+// SubOp refines an Op into a concrete operation the emulator can execute.
+type SubOp uint8
+
+// Sub-operations, grouped by the Op class they belong to.
+const (
+	SubNone SubOp = iota
+	// IntALU
+	SubAdd
+	SubSub
+	SubAnd
+	SubOr
+	SubXor
+	SubShl
+	SubShr
+	SubMov  // dst = src0
+	SubMovI // dst = imm
+	SubSlt  // dst = src0 < src1 (signed)
+	// IntMul / IntDiv
+	SubMul
+	SubDiv
+	SubRem
+	// FPALU
+	SubFAdd
+	SubFSub
+	SubFMov
+	SubFNeg
+	SubFCvt // int reg -> fp reg conversion
+	// FPMul / FPDiv
+	SubFMul
+	SubFMA // dst = dst + src0*src1
+	SubFDiv
+	SubFSqrt
+	// Branches (compare src0 against src1)
+	SubBEQ
+	SubBNE
+	SubBLT
+	SubBGE
+	// Vector
+	SubVAdd
+	SubVMul
+	SubVFMA   // acc += a*b per lane
+	SubVBcast // broadcast an FP register into all lanes
+)
+
+// RegClass partitions the architectural register file.
+type RegClass uint8
+
+// Register classes.
+const (
+	RegInt RegClass = iota
+	RegFP
+	RegVec
+	NumRegClasses int = iota
+)
+
+// Register-file geometry. The paper's feature table allows up to 8 source
+// and 6 destination registers per instruction.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	NumVecRegs = 16
+	VecLanes   = 4 // four 64-bit lanes per vector register
+
+	MaxSrcRegs = 8
+	MaxDstRegs = 6
+
+	// LinkReg receives the return address on Call.
+	LinkReg = 30
+)
+
+// Reg is an architectural register encoded as class*64 + index.
+// The zero value is integer register 0. RegNone marks unused slots.
+type Reg uint8
+
+// RegNone marks an unused register slot.
+const RegNone Reg = 0xFF
+
+// R returns integer register i.
+func R(i int) Reg { return Reg(i) }
+
+// F returns floating-point register i.
+func F(i int) Reg { return Reg(64 + i) }
+
+// V returns vector register i.
+func V(i int) Reg { return Reg(128 + i) }
+
+// Valid reports whether the register slot is in use.
+func (r Reg) Valid() bool { return r != RegNone }
+
+// Class returns the register's class.
+func (r Reg) Class() RegClass { return RegClass(r / 64) }
+
+// Index returns the register's index within its class.
+func (r Reg) Index() int { return int(r % 64) }
+
+func (r Reg) String() string {
+	if !r.Valid() {
+		return "-"
+	}
+	switch r.Class() {
+	case RegInt:
+		return fmt.Sprintf("r%d", r.Index())
+	case RegFP:
+		return fmt.Sprintf("f%d", r.Index())
+	default:
+		return fmt.Sprintf("v%d", r.Index())
+	}
+}
+
+// Inst is one static instruction.
+type Inst struct {
+	Op     Op
+	Sub    SubOp
+	Dst    [MaxDstRegs]Reg
+	Src    [MaxSrcRegs]Reg
+	NumDst uint8
+	NumSrc uint8
+	Imm    int64
+	// Target is the static index of the branch destination for direct
+	// branches and calls; -1 when inapplicable.
+	Target int32
+}
+
+// MakeInst builds an instruction, padding unused register slots with RegNone.
+func MakeInst(op Op, sub SubOp, dst, src []Reg, imm int64, target int32) Inst {
+	if len(dst) > MaxDstRegs {
+		panic(fmt.Sprintf("isa: %d destination registers exceeds max %d", len(dst), MaxDstRegs))
+	}
+	if len(src) > MaxSrcRegs {
+		panic(fmt.Sprintf("isa: %d source registers exceeds max %d", len(src), MaxSrcRegs))
+	}
+	in := Inst{Op: op, Sub: sub, Imm: imm, Target: target,
+		NumDst: uint8(len(dst)), NumSrc: uint8(len(src))}
+	for i := range in.Dst {
+		in.Dst[i] = RegNone
+	}
+	for i := range in.Src {
+		in.Src[i] = RegNone
+	}
+	copy(in.Dst[:], dst)
+	copy(in.Src[:], src)
+	return in
+}
+
+// Dsts returns the used destination registers.
+func (in *Inst) Dsts() []Reg { return in.Dst[:in.NumDst] }
+
+// Srcs returns the used source registers.
+func (in *Inst) Srcs() []Reg { return in.Src[:in.NumSrc] }
+
+// MemBytes returns the access width in bytes for memory ops (8 for scalar,
+// 32 for vector), and 0 for non-memory ops.
+func (in *Inst) MemBytes() int {
+	switch in.Op {
+	case Load, Store:
+		return 8
+	case VecLoad, VecStore:
+		return 8 * VecLanes
+	}
+	return 0
+}
+
+// HaltTarget is the sentinel branch target that terminates emulation; an
+// unconditional branch to it acts as the program's exit instruction.
+const HaltTarget int32 = -2
+
+// Program is a sequence of static instructions; control flow targets are
+// static indices into the slice.
+type Program struct {
+	Insts []Inst
+	Name  string
+}
+
+// Validate checks that all branch targets are in range.
+func (p *Program) Validate() error {
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		switch in.Op {
+		case BranchCond, BranchDir, Call:
+			if in.Op == BranchDir && in.Target == HaltTarget {
+				continue
+			}
+			if in.Target < 0 || int(in.Target) >= len(p.Insts) {
+				return fmt.Errorf("isa: instruction %d (%v) targets out-of-range index %d", i, in.Op, in.Target)
+			}
+		}
+	}
+	return nil
+}

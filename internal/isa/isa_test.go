@@ -1,0 +1,91 @@
+package isa
+
+import "testing"
+
+func TestOpClassPredicates(t *testing.T) {
+	cases := []struct {
+		op                       Op
+		branch, mem, load, store bool
+	}{
+		{IntALU, false, false, false, false},
+		{Load, false, true, true, false},
+		{Store, false, true, false, true},
+		{VecLoad, false, true, true, false},
+		{VecStore, false, true, false, true},
+		{BranchCond, true, false, false, false},
+		{BranchDir, true, false, false, false},
+		{BranchInd, true, false, false, false},
+		{Call, true, false, false, false},
+		{Ret, true, false, false, false},
+		{Barrier, false, false, false, false},
+	}
+	for _, c := range cases {
+		if c.op.IsBranch() != c.branch || c.op.IsMem() != c.mem ||
+			c.op.IsLoad() != c.load || c.op.IsStore() != c.store {
+			t.Errorf("%v: predicates wrong", c.op)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if IntALU.String() != "ialu" || Load.String() != "ld" || Barrier.String() != "dmb" {
+		t.Fatal("op names wrong")
+	}
+	if Op(200).String() == "" {
+		t.Fatal("unknown op must still format")
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	ld := MakeInst(Load, SubNone, []Reg{R(1)}, []Reg{R(2)}, 0, -1)
+	if ld.MemBytes() != 8 {
+		t.Fatalf("scalar load width = %d, want 8", ld.MemBytes())
+	}
+	vld := MakeInst(VecLoad, SubNone, []Reg{V(1)}, []Reg{R(2)}, 0, -1)
+	if vld.MemBytes() != 8*VecLanes {
+		t.Fatalf("vector load width = %d, want %d", vld.MemBytes(), 8*VecLanes)
+	}
+	add := MakeInst(IntALU, SubAdd, []Reg{R(1)}, []Reg{R(2), R(3)}, 0, -1)
+	if add.MemBytes() != 0 {
+		t.Fatal("non-memory op must report width 0")
+	}
+}
+
+func TestMakeInstPanicsOnTooManyRegs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for too many sources")
+		}
+	}()
+	srcs := make([]Reg, MaxSrcRegs+1)
+	MakeInst(IntALU, SubAdd, nil, srcs, 0, -1)
+}
+
+func TestDstsSrcsViews(t *testing.T) {
+	in := MakeInst(IntALU, SubAdd, []Reg{R(1)}, []Reg{R(2), R(3)}, 0, -1)
+	if len(in.Dsts()) != 1 || len(in.Srcs()) != 2 {
+		t.Fatalf("Dsts/Srcs lengths wrong: %d/%d", len(in.Dsts()), len(in.Srcs()))
+	}
+}
+
+func TestValidateRejectsBadTarget(t *testing.T) {
+	p := &Program{Insts: []Inst{
+		MakeInst(BranchDir, SubNone, nil, nil, 0, 5),
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected out-of-range target error")
+	}
+	p.Insts[0].Target = HaltTarget
+	if err := p.Validate(); err != nil {
+		t.Fatalf("halt sentinel must validate: %v", err)
+	}
+}
+
+func TestRegStringForms(t *testing.T) {
+	if R(3).String() != "r3" || F(4).String() != "f4" || V(5).String() != "v5" {
+		t.Fatal("register formatting wrong")
+	}
+	if RegNone.String() != "-" {
+		t.Fatal("RegNone formatting wrong")
+	}
+}

@@ -1,0 +1,24 @@
+package nn
+
+import "repro/internal/tensor"
+
+// MSE returns the mean squared error between pred and target as a scalar
+// tensor. This is the training loss used throughout the paper (§IV-D).
+func MSE(tp *tensor.Tape, pred, target *tensor.Tensor) *tensor.Tensor {
+	d := tensor.Sub(tp, pred, target)
+	return tensor.Mean(tp, tensor.Mul(tp, d, d))
+}
+
+// MAE returns the mean absolute error, computed without autodiff support; it
+// is an evaluation metric only.
+func MAE(pred, target *tensor.Tensor) float64 {
+	var s float64
+	for i, p := range pred.Data {
+		d := float64(p - target.Data[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s / float64(pred.Len())
+}

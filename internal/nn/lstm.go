@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// lstmLayer is one LSTM layer with combined gate weights.
+// Gate order within the 4H block: input, forget, cell, output.
+type lstmLayer struct {
+	W      *tensor.Tensor // [4H, in+H]
+	B      *tensor.Tensor // [4H]
+	hidden int
+}
+
+func newLSTMLayer(rng *rand.Rand, in, hidden int) *lstmLayer {
+	l := &lstmLayer{
+		W:      tensor.XavierUniform(rng, 4*hidden, in+hidden),
+		B:      tensor.New(4 * hidden),
+		hidden: hidden,
+	}
+	// Initialize the forget-gate bias to 1, the standard trick that keeps
+	// gradients flowing early in training.
+	for j := hidden; j < 2*hidden; j++ {
+		l.B.Data[j] = 1
+	}
+	return l
+}
+
+// step advances one timestep: returns (h', c').
+func (l *lstmLayer) step(tp *tensor.Tape, x, h, c *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	H := l.hidden
+	z := tensor.AddBias(tp, tensor.MatMulBT(tp, tensor.ConcatCols(tp, x, h), l.W), l.B)
+	i := tensor.Sigmoid(tp, tensor.SliceCols(tp, z, 0, H))
+	f := tensor.Sigmoid(tp, tensor.SliceCols(tp, z, H, 2*H))
+	g := tensor.Tanh(tp, tensor.SliceCols(tp, z, 2*H, 3*H))
+	o := tensor.Sigmoid(tp, tensor.SliceCols(tp, z, 3*H, 4*H))
+	cNew := tensor.Add(tp, tensor.Mul(tp, f, c), tensor.Mul(tp, i, g))
+	hNew := tensor.Mul(tp, o, tensor.Tanh(tp, cNew))
+	return hNew, cNew
+}
+
+// runSeq feeds the whole sequence through the layer and returns the hidden
+// state at every timestep.
+func (l *lstmLayer) runSeq(tp *tensor.Tape, xs []*tensor.Tensor) []*tensor.Tensor {
+	batch := xs[0].Rows()
+	h := tensor.New(batch, l.hidden)
+	c := tensor.New(batch, l.hidden)
+	hs := make([]*tensor.Tensor, len(xs))
+	for t, x := range xs {
+		h, c = l.step(tp, x, h, c)
+		hs[t] = h
+	}
+	return hs
+}
+
+// LSTM is a (multi-layer, optionally bidirectional) LSTM sequence encoder.
+// The encoding is the final hidden state of the top layer; for the
+// bidirectional variant it is the concatenation of the final states of the
+// forward and backward stacks (width 2H).
+type LSTM struct {
+	fwd, bwd []*lstmLayer // bwd is nil for unidirectional models
+	hidden   int
+}
+
+// NewLSTM builds a unidirectional LSTM with `layers` stacked layers of width
+// `hidden` over featDim-wide inputs.
+func NewLSTM(rng *rand.Rand, featDim, hidden, layers int) *LSTM {
+	return newLSTM(rng, featDim, hidden, layers, false)
+}
+
+// NewBiLSTM builds a bidirectional LSTM; its output width is 2*hidden.
+func NewBiLSTM(rng *rand.Rand, featDim, hidden, layers int) *LSTM {
+	return newLSTM(rng, featDim, hidden, layers, true)
+}
+
+func newLSTM(rng *rand.Rand, featDim, hidden, layers int, bi bool) *LSTM {
+	if layers < 1 {
+		panic("nn: LSTM needs at least one layer")
+	}
+	m := &LSTM{hidden: hidden}
+	in := featDim
+	for i := 0; i < layers; i++ {
+		m.fwd = append(m.fwd, newLSTMLayer(rng, in, hidden))
+		in = hidden
+	}
+	if bi {
+		in = featDim
+		for i := 0; i < layers; i++ {
+			m.bwd = append(m.bwd, newLSTMLayer(rng, in, hidden))
+			in = hidden
+		}
+	}
+	return m
+}
+
+// ForwardSeq implements SeqEncoder.
+func (m *LSTM) ForwardSeq(tp *tensor.Tape, xs []*tensor.Tensor) *tensor.Tensor {
+	hs := xs
+	for _, l := range m.fwd {
+		hs = l.runSeq(tp, hs)
+	}
+	out := hs[len(hs)-1]
+	if m.bwd == nil {
+		return out
+	}
+	rev := make([]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		rev[len(xs)-1-i] = x
+	}
+	for _, l := range m.bwd {
+		rev = l.runSeq(tp, rev)
+	}
+	return tensor.ConcatCols(tp, out, rev[len(rev)-1])
+}
+
+// OutDim implements SeqEncoder.
+func (m *LSTM) OutDim() int {
+	if m.bwd != nil {
+		return 2 * m.hidden
+	}
+	return m.hidden
+}
+
+// Params implements SeqEncoder.
+func (m *LSTM) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range m.fwd {
+		ps = append(ps, l.W, l.B)
+	}
+	for _, l := range m.bwd {
+		ps = append(ps, l.W, l.B)
+	}
+	return ps
+}

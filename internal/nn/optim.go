@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters in place from their accumulated gradients and
+// zeroes the gradients afterwards.
+type Optimizer interface {
+	// Step applies one update to every parameter.
+	Step(params []*tensor.Tensor)
+	// SetLR changes the learning rate (used by LR schedules).
+	SetLR(lr float32)
+	// LR reports the current learning rate.
+	LR() float32
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct {
+	lr float32
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float32) *SGD { return &SGD{lr: lr} }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*tensor.Tensor) {
+	for _, p := range params {
+		if p.Grad == nil {
+			continue
+		}
+		for i, g := range p.Grad {
+			p.Data[i] -= s.lr * g
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float32) { s.lr = lr }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float32 { return s.lr }
+
+// Adam implements the Adam optimizer (Kingma & Ba), the optimizer used to
+// train PerfVec (§IV-D: initial LR 1e-3, decayed 10x every 10 epochs).
+type Adam struct {
+	lr, beta1, beta2, eps float32
+	t                     int
+	m, v                  map[*tensor.Tensor][]float32
+}
+
+// NewAdam returns an Adam optimizer with standard hyperparameters
+// (beta1=0.9, beta2=0.999, eps=1e-8).
+func NewAdam(lr float32) *Adam {
+	return &Adam{
+		lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8,
+		m: make(map[*tensor.Tensor][]float32),
+		v: make(map[*tensor.Tensor][]float32),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*tensor.Tensor) {
+	a.t++
+	bc1 := 1 - float32(math.Pow(float64(a.beta1), float64(a.t)))
+	bc2 := 1 - float32(math.Pow(float64(a.beta2), float64(a.t)))
+	for _, p := range params {
+		if p.Grad == nil {
+			continue
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float32, p.Len())
+			a.m[p] = m
+			a.v[p] = make([]float32, p.Len())
+		}
+		v := a.v[p]
+		for i, g := range p.Grad {
+			m[i] = a.beta1*m[i] + (1-a.beta1)*g
+			v[i] = a.beta2*v[i] + (1-a.beta2)*g*g
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			p.Data[i] -= a.lr * mh / (float32(math.Sqrt(float64(vh))) + a.eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float32) { a.lr = lr }
+
+// LR implements Optimizer.
+func (a *Adam) LR() float32 { return a.lr }
+
+// StepDecay is the paper's learning-rate schedule: multiply the LR by Factor
+// every Every epochs.
+type StepDecay struct {
+	Every  int
+	Factor float32
+}
+
+// Apply adjusts opt's learning rate for the given (zero-based) epoch, derived
+// from the initial rate initLR.
+func (s StepDecay) Apply(opt Optimizer, epoch int, initLR float32) {
+	if s.Every <= 0 {
+		return
+	}
+	lr := initLR
+	for i := 0; i < epoch/s.Every; i++ {
+		lr *= s.Factor
+	}
+	opt.SetLR(lr)
+}
+
+// ClipGradients scales gradients so their global L2 norm is at most maxNorm.
+// It returns the pre-clip norm. RNN training uses this to avoid the exploding
+// gradients the paper cites as the reason long traces are intractable.
+func ClipGradients(params []*tensor.Tensor, maxNorm float32) float32 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			sq += float64(g) * float64(g)
+		}
+	}
+	norm := float32(math.Sqrt(sq))
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad {
+				p.Grad[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// encoderBlock is one pre-embedded Transformer encoder layer: multi-head
+// self-attention followed by a position-wise feed-forward network, each with
+// a residual connection and layer normalization (post-norm, as in the
+// original encoder).
+type encoderBlock struct {
+	Wq, Wk, Wv, Wo *tensor.Tensor // [D, D]
+	FF1            *Linear        // D -> ffDim
+	FF2            *Linear        // ffDim -> D
+	G1, B1, G2, B2 *tensor.Tensor // layernorm gains/biases [D]
+	heads, dim     int
+}
+
+func newEncoderBlock(rng *rand.Rand, dim, heads, ffDim int) *encoderBlock {
+	ones := func() *tensor.Tensor {
+		t := tensor.New(dim)
+		t.Fill(1)
+		return t
+	}
+	return &encoderBlock{
+		Wq:  tensor.XavierUniform(rng, dim, dim),
+		Wk:  tensor.XavierUniform(rng, dim, dim),
+		Wv:  tensor.XavierUniform(rng, dim, dim),
+		Wo:  tensor.XavierUniform(rng, dim, dim),
+		FF1: NewLinear(rng, dim, ffDim, true),
+		FF2: NewLinear(rng, ffDim, dim, true),
+		G1:  ones(), B1: tensor.New(dim),
+		G2: ones(), B2: tensor.New(dim),
+		heads: heads, dim: dim,
+	}
+}
+
+// forward processes one sample's sequence x[T, D].
+func (b *encoderBlock) forward(tp *tensor.Tape, x *tensor.Tensor) *tensor.Tensor {
+	q := tensor.MatMulBT(tp, x, b.Wq)
+	k := tensor.MatMulBT(tp, x, b.Wk)
+	v := tensor.MatMulBT(tp, x, b.Wv)
+	dk := b.dim / b.heads
+	scale := float32(1 / math.Sqrt(float64(dk)))
+	var headsOut *tensor.Tensor
+	for h := 0; h < b.heads; h++ {
+		qs := tensor.SliceCols(tp, q, h*dk, (h+1)*dk)
+		ks := tensor.SliceCols(tp, k, h*dk, (h+1)*dk)
+		vs := tensor.SliceCols(tp, v, h*dk, (h+1)*dk)
+		att := tensor.SoftmaxRows(tp, tensor.Scale(tp, tensor.MatMulBT(tp, qs, ks), scale))
+		o := tensor.MatMul(tp, att, vs)
+		if headsOut == nil {
+			headsOut = o
+		} else {
+			headsOut = tensor.ConcatCols(tp, headsOut, o)
+		}
+	}
+	attOut := tensor.MatMulBT(tp, headsOut, b.Wo)
+	x = tensor.LayerNorm(tp, tensor.Add(tp, x, attOut), b.G1, b.B1, 1e-5)
+	ff := b.FF2.Forward(tp, tensor.ReLU(tp, b.FF1.Forward(tp, x)))
+	return tensor.LayerNorm(tp, tensor.Add(tp, x, ff), b.G2, b.B2, 1e-5)
+}
+
+func (b *encoderBlock) params() []*tensor.Tensor {
+	ps := []*tensor.Tensor{b.Wq, b.Wk, b.Wv, b.Wo}
+	ps = append(ps, b.FF1.Params()...)
+	ps = append(ps, b.FF2.Params()...)
+	return append(ps, b.G1, b.B1, b.G2, b.B2)
+}
+
+// Transformer is the Transformer-encoder sequence model from the paper's
+// Figure 6 ablation: a linear input embedding with sinusoidal positional
+// encoding, a stack of encoder blocks, and the final-position output as the
+// sequence encoding.
+type Transformer struct {
+	Embed  *Linear
+	blocks []*encoderBlock
+	pos    []*tensor.Tensor // [D] per timestep, fixed (not trained)
+	dim    int
+}
+
+// NewTransformer builds an encoder with `layers` blocks of width `dim`,
+// `heads` attention heads, and a feed-forward width of 2*dim, over sequences
+// of exactly seqLen timesteps.
+func NewTransformer(rng *rand.Rand, seqLen, featDim, dim, heads, layers int) *Transformer {
+	if dim%heads != 0 {
+		panic("nn: transformer dim must be divisible by heads")
+	}
+	t := &Transformer{Embed: NewLinear(rng, featDim, dim, true), dim: dim}
+	for i := 0; i < layers; i++ {
+		t.blocks = append(t.blocks, newEncoderBlock(rng, dim, heads, 2*dim))
+	}
+	for p := 0; p < seqLen; p++ {
+		pe := tensor.New(dim)
+		for i := 0; i < dim; i++ {
+			angle := float64(p) / math.Pow(10000, float64(2*(i/2))/float64(dim))
+			if i%2 == 0 {
+				pe.Data[i] = float32(math.Sin(angle))
+			} else {
+				pe.Data[i] = float32(math.Cos(angle))
+			}
+		}
+		t.pos = append(t.pos, pe)
+	}
+	return t
+}
+
+// ForwardSeq implements SeqEncoder. Attention runs per sample: each batch row
+// is gathered into its own [T, D] sequence, encoded, and the final-position
+// vectors are restacked into [batch, D].
+func (t *Transformer) ForwardSeq(tp *tensor.Tape, xs []*tensor.Tensor) *tensor.Tensor {
+	if len(xs) > len(t.pos) {
+		panic("nn: transformer sequence longer than configured seqLen")
+	}
+	emb := make([]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		emb[i] = tensor.AddBias(tp, t.Embed.Forward(tp, x), t.pos[i])
+	}
+	batch := xs[0].Rows()
+	perSample := make([]*tensor.Tensor, batch)
+	T := len(xs)
+	for s := 0; s < batch; s++ {
+		seq := tensor.StackRows(tp, emb, s)
+		for _, blk := range t.blocks {
+			seq = blk.forward(tp, seq)
+		}
+		perSample[s] = tensor.SliceRows(tp, seq, T-1, T)
+	}
+	return tensor.ConcatRows(tp, perSample...)
+}
+
+// OutDim implements SeqEncoder.
+func (t *Transformer) OutDim() int { return t.dim }
+
+// Params implements SeqEncoder. Positional encodings are fixed and excluded.
+func (t *Transformer) Params() []*tensor.Tensor {
+	ps := t.Embed.Params()
+	for _, b := range t.blocks {
+		ps = append(ps, b.params()...)
+	}
+	return ps
+}

@@ -1,0 +1,88 @@
+package perfvec
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Detailed analysis (§III-B: "compositional representations enable not only
+// overall but also detailed analysis"). Because a program's predicted time
+// is the sum of per-instruction dot products, predicted time can be
+// attributed exactly to any partition of the dynamic trace — per static PC,
+// per instruction class, per phase — without re-running the model.
+
+// Attribution is one bucket's share of the predicted execution time.
+type Attribution struct {
+	Key         uint64  // bucket key (e.g. static PC)
+	Count       int     // dynamic instructions in the bucket
+	PredictedNs float64 // predicted time attributed to the bucket
+}
+
+// AttributePC splits a program's predicted execution time on the given
+// microarchitecture representation across static PCs, returning buckets
+// sorted by descending attributed time. recs must be the trace that
+// produced p's features (same length and order).
+func AttributePC(f *Foundation, p *ProgramData, recs []trace.Record, uarchRep []float32) []Attribution {
+	reps := f.InstructionReps(p)
+	return attribute(f, reps, uarchRep, len(recs), func(i int) uint64 { return recs[i].PC })
+}
+
+// AttributeOp splits predicted time across operation classes.
+func AttributeOp(f *Foundation, p *ProgramData, recs []trace.Record, uarchRep []float32) []Attribution {
+	reps := f.InstructionReps(p)
+	return attribute(f, reps, uarchRep, len(recs), func(i int) uint64 { return uint64(recs[i].Op) })
+}
+
+// attribute performs the generic bucketed dot-product attribution.
+func attribute(f *Foundation, reps *tensor.Tensor, uarchRep []float32, n int, keyOf func(int) uint64) []Attribution {
+	type agg struct {
+		count int
+		ticks float64
+	}
+	buckets := make(map[uint64]*agg)
+	d := reps.Cols()
+	for i := 0; i < n; i++ {
+		row := reps.Row(i)
+		var dot float64
+		for j := 0; j < d; j++ {
+			dot += float64(row[j]) * float64(uarchRep[j])
+		}
+		k := keyOf(i)
+		a := buckets[k]
+		if a == nil {
+			a = &agg{}
+			buckets[k] = a
+		}
+		a.count++
+		a.ticks += dot
+	}
+	out := make([]Attribution, 0, len(buckets))
+	for k, a := range buckets {
+		out = append(out, Attribution{
+			Key:         k,
+			Count:       a.count,
+			PredictedNs: a.ticks / float64(f.Cfg.TargetScale) / sim.TickPerNs,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PredictedNs != out[j].PredictedNs {
+			return out[i].PredictedNs > out[j].PredictedNs
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// TotalOf sums the attributed time of all buckets; by the composition
+// theorem it equals the whole-program prediction exactly (up to float
+// accumulation order).
+func TotalOf(attrs []Attribution) float64 {
+	var s float64
+	for _, a := range attrs {
+		s += a.PredictedNs
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+// Package perfvec implements the paper's primary contribution: a performance
+// modeling framework built on independent, orthogonal program and
+// microarchitecture representations (§II).
+//
+// The foundation model maps a window of microarchitecture-independent
+// instruction features to a representation R_i; a program's representation
+// is the sum of its instructions' representations (§III-B), and execution
+// time is predicted as the bias-free dot product R_p · M with a learned
+// microarchitecture representation M. Training uses microarchitecture
+// sampling (§IV-A: learn a table of K representations instead of a
+// configuration-to-representation model) and instruction representation
+// reuse (§IV-B: predict all K latencies from one forward pass).
+package perfvec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// ModelKind enumerates the foundation-model architectures of the paper's
+// Figure 6 ablation.
+type ModelKind string
+
+// Foundation-model architectures.
+const (
+	ModelLinear      ModelKind = "linear"
+	ModelMLP         ModelKind = "mlp"
+	ModelLSTM        ModelKind = "lstm"
+	ModelBiLSTM      ModelKind = "bilstm"
+	ModelGRU         ModelKind = "gru"
+	ModelTransformer ModelKind = "transformer"
+)
+
+// Config holds the model and training hyperparameters. The defaults are the
+// paper's choices scaled for CPU-only training (see DESIGN.md): the paper's
+// LSTM-2-256 with a 256-instruction context becomes LSTM-2-32 with an
+// 8-instruction context; both are configurable.
+type Config struct {
+	Model   ModelKind
+	Layers  int // encoder depth (paper: 2)
+	Hidden  int // encoder width (paper: 256)
+	RepDim  int // representation dimensionality d (paper: 256)
+	Window  int // context length c+1 (paper: 256)
+	FeatDim int // instruction features (Table I: 51)
+
+	// Training.
+	BatchSize   int
+	Epochs      int
+	LR          float32
+	LRDecayStep int     // epochs between 10x decays (paper: 10)
+	ClipNorm    float32 // gradient clipping for the recurrent models
+	Seed        int64
+	// EpochSamples caps the number of training samples visited per epoch
+	// (0 = the whole training set). The paper streams its full 737M-sample
+	// dataset across GPUs; on one CPU, stochastic epoch subsampling trades
+	// a little convergence speed for wall-clock feasibility.
+	EpochSamples int
+
+	// TargetScale multiplies raw incremental latencies (0.1 ns ticks)
+	// before they enter the MSE loss, keeping optimization well-scaled.
+	// Predictions are divided by it on the way out, so the composition
+	// theorem is unaffected (pure linear rescaling).
+	TargetScale float32
+}
+
+// DefaultConfig returns the scaled-down defaults used across experiments.
+func DefaultConfig() Config {
+	return Config{
+		Model:  ModelLSTM,
+		Layers: 2, Hidden: 32, RepDim: 32,
+		Window: 8, FeatDim: 51,
+		BatchSize: 256, Epochs: 12,
+		LR: 1e-3, LRDecayStep: 10, ClipNorm: 5,
+		Seed:         1,
+		EpochSamples: 0,
+		TargetScale:  0.05,
+	}
+}
+
+// Validate checks hyperparameter sanity.
+func (c *Config) Validate() error {
+	switch {
+	case c.Window < 1:
+		return fmt.Errorf("perfvec: window %d < 1", c.Window)
+	case c.RepDim < 1 || c.Hidden < 1 || c.Layers < 1:
+		return fmt.Errorf("perfvec: invalid model dims %d/%d/%d", c.Layers, c.Hidden, c.RepDim)
+	case c.BatchSize < 1 || c.Epochs < 1:
+		return fmt.Errorf("perfvec: invalid training params")
+	case c.TargetScale <= 0:
+		return fmt.Errorf("perfvec: TargetScale must be positive")
+	}
+	return nil
+}
+
+// newEncoder builds the configured sequence encoder.
+func (c *Config) newEncoder(rng *rand.Rand) nn.SeqEncoder {
+	switch c.Model {
+	case ModelLinear:
+		return nn.NewLinearSeq(rng, c.Window, c.FeatDim, c.Hidden)
+	case ModelMLP:
+		return nn.NewMLPSeq(rng, c.Window, c.FeatDim, c.Hidden, c.Layers, c.Hidden)
+	case ModelLSTM:
+		return nn.NewLSTM(rng, c.FeatDim, c.Hidden, c.Layers)
+	case ModelBiLSTM:
+		return nn.NewBiLSTM(rng, c.FeatDim, c.Hidden, c.Layers)
+	case ModelGRU:
+		return nn.NewGRU(rng, c.FeatDim, c.Hidden, c.Layers)
+	case ModelTransformer:
+		heads := 2
+		if c.Hidden%heads != 0 {
+			heads = 1
+		}
+		return nn.NewTransformer(rng, c.Window, c.FeatDim, c.Hidden, heads, c.Layers)
+	}
+	panic(fmt.Sprintf("perfvec: unknown model kind %q", c.Model))
+}

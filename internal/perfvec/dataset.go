@@ -1,0 +1,214 @@
+package perfvec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/features"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/uarch"
+)
+
+// ProgramData is one program's featurized trace plus its aligned
+// incremental-latency targets on K microarchitectures — the unit of data the
+// paper's representation-reuse training consumes (§IV-B: "execute the same
+// program on all sampled microarchitectures to obtain instruction latencies
+// of the same trace").
+type ProgramData struct {
+	Name     string
+	N        int       // dynamic instructions
+	FeatDim  int       // features per instruction
+	K        int       // microarchitectures
+	Features []float32 // [N x FeatDim]
+	Targets  []float32 // [N x K] incremental latencies, 0.1 ns ticks
+	// TotalNs[k] is the simulator's ground-truth execution time.
+	TotalNs []float64
+}
+
+// CollectProgramData traces the benchmark once (the logical trace is
+// microarchitecture-independent), featurizes it once, and simulates it on
+// every configuration in parallel.
+func CollectProgramData(b bench.Benchmark, cfgs []*uarch.Config, scale, maxInsts int) (*ProgramData, error) {
+	recs, err := b.Trace(scale, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("perfvec: %s produced an empty trace", b.Name)
+	}
+	feats := features.ExtractAll(recs)
+	results := sim.SimulateAll(cfgs, recs, true)
+
+	n, k := len(recs), len(cfgs)
+	pd := &ProgramData{
+		Name: b.Name, N: n, FeatDim: features.NumFeatures, K: k,
+		Features: feats,
+		Targets:  make([]float32, n*k),
+		TotalNs:  make([]float64, k),
+	}
+	for j, res := range results {
+		pd.TotalNs[j] = res.TotalNs
+		for i, v := range res.Incremental {
+			pd.Targets[i*k+j] = v
+		}
+	}
+	return pd, nil
+}
+
+// CollectFeatures traces and featurizes a benchmark without simulating any
+// microarchitecture — the prediction-only form used when a program's
+// representation is needed but no ground-truth targets are (e.g. the DSE
+// targets of §VI-A).
+func CollectFeatures(b bench.Benchmark, scale, maxInsts int) (*ProgramData, error) {
+	recs, err := b.Trace(scale, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("perfvec: %s produced an empty trace", b.Name)
+	}
+	return &ProgramData{
+		Name: b.Name, N: len(recs), FeatDim: features.NumFeatures,
+		Features: features.ExtractAll(recs),
+	}, nil
+}
+
+// CollectAll gathers ProgramData for several benchmarks concurrently.
+func CollectAll(benches []bench.Benchmark, cfgs []*uarch.Config, scale, maxInsts int) ([]*ProgramData, error) {
+	out := make([]*ProgramData, len(benches))
+	errs := make([]error, len(benches))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b bench.Benchmark) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = CollectProgramData(b, cfgs, scale, maxInsts)
+		}(i, b)
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// Dataset is a training corpus: several programs' data over the same K
+// microarchitectures, with a deterministic train/validation split.
+type Dataset struct {
+	Programs []*ProgramData
+	K        int
+	FeatDim  int
+
+	// index maps a flat sample id to (program, instruction).
+	progOf []int32
+	instOf []int32
+	train  []int // sample ids
+	val    []int
+}
+
+// NewDataset assembles programs into a dataset, holding out valFrac of the
+// samples (paper: 5%) for validation.
+func NewDataset(programs []*ProgramData, valFrac float64, seed int64) (*Dataset, error) {
+	if len(programs) == 0 {
+		return nil, errors.New("perfvec: dataset needs at least one program")
+	}
+	d := &Dataset{Programs: programs, K: programs[0].K, FeatDim: programs[0].FeatDim}
+	total := 0
+	for _, p := range programs {
+		if p.K != d.K {
+			return nil, fmt.Errorf("perfvec: program %s has %d uarchs, want %d", p.Name, p.K, d.K)
+		}
+		if p.FeatDim != d.FeatDim {
+			return nil, fmt.Errorf("perfvec: program %s has %d features, want %d", p.Name, p.FeatDim, d.FeatDim)
+		}
+		total += p.N
+	}
+	d.progOf = make([]int32, total)
+	d.instOf = make([]int32, total)
+	idx := 0
+	for pi, p := range programs {
+		for i := 0; i < p.N; i++ {
+			d.progOf[idx] = int32(pi)
+			d.instOf[idx] = int32(i)
+			idx++
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(total)
+	nVal := int(float64(total) * valFrac)
+	d.val = perm[:nVal]
+	d.train = perm[nVal:]
+	return d, nil
+}
+
+// TrainSize returns the number of training samples.
+func (d *Dataset) TrainSize() int { return len(d.train) }
+
+// ValSize returns the number of validation samples.
+func (d *Dataset) ValSize() int { return len(d.val) }
+
+// Subsample returns a dataset view whose training set is reduced to frac of
+// the original — the data-volume ablation of §V-B.
+func (d *Dataset) Subsample(frac float64) *Dataset {
+	cp := *d
+	n := int(float64(len(d.train)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	cp.train = d.train[:n]
+	return &cp
+}
+
+// batch materializes the window tensors and target matrix for sample ids.
+// xs[t] is the [B x FeatDim] feature tensor of window position t (oldest
+// first); windows are zero-padded at program start. targets is [B x K],
+// scaled by targetScale.
+func (d *Dataset) batch(ids []int, window int, targetScale float32) (xs []*tensor.Tensor, targets *tensor.Tensor) {
+	bsz := len(ids)
+	xs = make([]*tensor.Tensor, window)
+	for t := range xs {
+		xs[t] = tensor.New(bsz, d.FeatDim)
+	}
+	targets = tensor.New(bsz, d.K)
+	for b, id := range ids {
+		p := d.Programs[d.progOf[id]]
+		i := int(d.instOf[id])
+		for t := 0; t < window; t++ {
+			src := i - (window - 1) + t
+			if src < 0 {
+				continue // zero padding before program start
+			}
+			copy(xs[t].Row(b), p.Features[src*d.FeatDim:(src+1)*d.FeatDim])
+		}
+		for j := 0; j < d.K; j++ {
+			targets.Set(b, j, p.Targets[i*d.K+j]*targetScale)
+		}
+	}
+	return xs, targets
+}
+
+// WindowsFor materializes input windows for instructions [from, to) of a
+// single program — used for representation generation at inference time.
+func WindowsFor(p *ProgramData, from, to, window int) []*tensor.Tensor {
+	bsz := to - from
+	xs := make([]*tensor.Tensor, window)
+	for t := range xs {
+		xs[t] = tensor.New(bsz, p.FeatDim)
+	}
+	for b := 0; b < bsz; b++ {
+		i := from + b
+		for t := 0; t < window; t++ {
+			src := i - (window - 1) + t
+			if src < 0 {
+				continue
+			}
+			copy(xs[t].Row(b), p.Features[src*p.FeatDim:(src+1)*p.FeatDim])
+		}
+	}
+	return xs
+}

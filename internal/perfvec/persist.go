@@ -1,0 +1,94 @@
+package perfvec
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Dataset persistence. The paper's training corpus is a 2 TB on-disk
+// artifact collected once and reused across model trainings; this file
+// provides the equivalent workflow: ProgramData serializes with
+// encoding/gob, and a Cache keyed by (benchmark, uarch-set, budget) avoids
+// re-simulating when iterating on models.
+
+// SaveProgramData writes one program's data to w.
+func SaveProgramData(w io.Writer, pd *ProgramData) error {
+	return gob.NewEncoder(w).Encode(pd)
+}
+
+// LoadProgramData reads a ProgramData written by SaveProgramData.
+func LoadProgramData(r io.Reader) (*ProgramData, error) {
+	var pd ProgramData
+	if err := gob.NewDecoder(r).Decode(&pd); err != nil {
+		return nil, err
+	}
+	if len(pd.Features) != pd.N*pd.FeatDim {
+		return nil, fmt.Errorf("perfvec: corrupt program data %q: %d features for N=%d x F=%d",
+			pd.Name, len(pd.Features), pd.N, pd.FeatDim)
+	}
+	if pd.K > 0 && len(pd.Targets) != pd.N*pd.K {
+		return nil, fmt.Errorf("perfvec: corrupt program data %q: %d targets for N=%d x K=%d",
+			pd.Name, len(pd.Targets), pd.N, pd.K)
+	}
+	return &pd, nil
+}
+
+// Cache is an on-disk store of collected ProgramData, keyed by an arbitrary
+// tag the caller derives from the collection parameters.
+type Cache struct {
+	Dir string
+}
+
+// path sanitizes the tag into a file path.
+func (c *Cache) path(tag string) string {
+	safe := make([]rune, 0, len(tag))
+	for _, r := range tag {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			safe = append(safe, r)
+		default:
+			safe = append(safe, '_')
+		}
+	}
+	return filepath.Join(c.Dir, string(safe)+".gob")
+}
+
+// Get returns the cached data for tag, or ok=false if absent or unreadable.
+func (c *Cache) Get(tag string) (pd *ProgramData, ok bool) {
+	fp, err := os.Open(c.path(tag))
+	if err != nil {
+		return nil, false
+	}
+	defer fp.Close()
+	pd, err = LoadProgramData(fp)
+	if err != nil {
+		return nil, false
+	}
+	return pd, true
+}
+
+// Put stores data under tag, creating the cache directory if needed.
+func (c *Cache) Put(tag string, pd *ProgramData) error {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return err
+	}
+	tmp := c.path(tag) + ".tmp"
+	fp, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := SaveProgramData(fp, pd); err != nil {
+		fp.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fp.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, c.path(tag))
+}

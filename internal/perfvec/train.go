@@ -1,0 +1,180 @@
+package perfvec
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TrainResult reports per-epoch progress.
+type TrainResult struct {
+	TrainLoss []float64
+	ValLoss   []float64
+	BestEpoch int
+}
+
+// Trainer trains a foundation model and a microarchitecture representation
+// table jointly on a Dataset.
+type Trainer struct {
+	Model *Foundation
+	Table *Table
+	// Naive disables instruction-representation reuse: each training step
+	// predicts the latency on a single microarchitecture, so the encoder
+	// runs K times more often for the same coverage (the §IV-B baseline).
+	Naive bool
+	// Quiet suppresses progress logging to w.
+	Log io.Writer
+}
+
+// NewTrainer builds a trainer with a fresh table sized to the dataset.
+func NewTrainer(model *Foundation, k int) *Trainer {
+	return &Trainer{
+		Model: model,
+		Table: NewTable(k, model.Cfg.RepDim, model.Cfg.Seed+7),
+	}
+}
+
+func (t *Trainer) params() []*tensor.Tensor {
+	return append(t.Model.Params(), t.Table.M)
+}
+
+// Train runs the configured number of epochs and keeps the parameters of the
+// epoch with the lowest validation loss (§IV-D).
+func (t *Trainer) Train(d *Dataset) *TrainResult {
+	cfg := t.Model.Cfg
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	opt := nn.NewAdam(cfg.LR)
+	sched := nn.StepDecay{Every: cfg.LRDecayStep, Factor: 0.1}
+	params := t.params()
+
+	res := &TrainResult{BestEpoch: -1}
+	bestVal := float64(1e30)
+	var bestParams [][]float32
+
+	allIDs := append([]int(nil), d.train...)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		sched.Apply(opt, epoch, cfg.LR)
+		rng.Shuffle(len(allIDs), func(i, j int) { allIDs[i], allIDs[j] = allIDs[j], allIDs[i] })
+		ids := allIDs
+		if cfg.EpochSamples > 0 && cfg.EpochSamples < len(ids) {
+			ids = ids[:cfg.EpochSamples]
+		}
+
+		var lossSum float64
+		batches := 0
+		for from := 0; from+cfg.BatchSize <= len(ids); from += cfg.BatchSize {
+			batch := ids[from : from+cfg.BatchSize]
+			if t.Naive {
+				lossSum += t.stepNaive(d, batch, opt, rng)
+			} else {
+				lossSum += t.stepReuse(d, batch, opt)
+			}
+			batches++
+		}
+		if batches == 0 {
+			// Dataset smaller than one batch: train on everything at once.
+			if t.Naive {
+				lossSum += t.stepNaive(d, ids, opt, rng)
+			} else {
+				lossSum += t.stepReuse(d, ids, opt)
+			}
+			batches = 1
+		}
+		trainLoss := lossSum / float64(batches)
+		valLoss := t.Loss(d, d.val)
+		res.TrainLoss = append(res.TrainLoss, trainLoss)
+		res.ValLoss = append(res.ValLoss, valLoss)
+		if t.Log != nil {
+			fmt.Fprintf(t.Log, "epoch %2d: train %.5f val %.5f (lr %.2g)\n", epoch, trainLoss, valLoss, opt.LR())
+		}
+		if valLoss < bestVal {
+			bestVal = valLoss
+			res.BestEpoch = epoch
+			bestParams = snapshot(params)
+		}
+	}
+	if bestParams != nil {
+		restore(params, bestParams)
+	}
+	return res
+}
+
+// stepReuse is the efficient training step of §IV-B: one encoder forward
+// pass produces R_i, which is reused to predict the incremental latency on
+// all K microarchitectures simultaneously via a single matrix product.
+func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
+	cfg := t.Model.Cfg
+	xs, targets := d.batch(batch, cfg.Window, cfg.TargetScale)
+	tp := tensor.NewTape()
+	reps := t.Model.Forward(tp, xs)               // [B x D]
+	preds := tensor.MatMulBT(tp, reps, t.Table.M) // [B x K]
+	loss := nn.MSE(tp, preds, targets)
+	tp.Backward(loss)
+	if cfg.ClipNorm > 0 {
+		nn.ClipGradients(t.params(), cfg.ClipNorm)
+	}
+	opt.Step(t.params())
+	return float64(loss.Data[0])
+}
+
+// stepNaive predicts one microarchitecture per step: the slow baseline whose
+// cost scales linearly with K.
+func (t *Trainer) stepNaive(d *Dataset, batch []int, opt nn.Optimizer, rng *rand.Rand) float64 {
+	cfg := t.Model.Cfg
+	xs, targets := d.batch(batch, cfg.Window, cfg.TargetScale)
+	j := rng.Intn(d.K)
+	tp := tensor.NewTape()
+	reps := t.Model.Forward(tp, xs)
+	mj := tensor.SliceRows(tp, t.Table.M, j, j+1) // [1 x D]
+	preds := tensor.MatMulBT(tp, reps, mj)        // [B x 1]
+	tj := tensor.SliceCols(nil, targets, j, j+1)
+	loss := nn.MSE(tp, preds, tj)
+	tp.Backward(loss)
+	if cfg.ClipNorm > 0 {
+		nn.ClipGradients(t.params(), cfg.ClipNorm)
+	}
+	opt.Step(t.params())
+	return float64(loss.Data[0])
+}
+
+// Loss evaluates the (reuse-form) MSE over the given sample ids without
+// updating parameters.
+func (t *Trainer) Loss(d *Dataset, ids []int) float64 {
+	if len(ids) == 0 {
+		return 0
+	}
+	cfg := t.Model.Cfg
+	const evalBatch = 256
+	var sum float64
+	var count int
+	for from := 0; from < len(ids); from += evalBatch {
+		to := from + evalBatch
+		if to > len(ids) {
+			to = len(ids)
+		}
+		xs, targets := d.batch(ids[from:to], cfg.Window, cfg.TargetScale)
+		reps := t.Model.Forward(nil, xs)
+		preds := tensor.MatMulBT(nil, reps, t.Table.M)
+		loss := nn.MSE(nil, preds, targets)
+		sum += float64(loss.Data[0]) * float64(to-from)
+		count += to - from
+	}
+	return sum / float64(count)
+}
+
+func snapshot(params []*tensor.Tensor) [][]float32 {
+	out := make([][]float32, len(params))
+	for i, p := range params {
+		out[i] = append([]float32(nil), p.Data...)
+	}
+	return out
+}
+
+func restore(params []*tensor.Tensor, snap [][]float32) {
+	for i, p := range params {
+		copy(p.Data, snap[i])
+	}
+}

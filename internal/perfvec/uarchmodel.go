@@ -1,0 +1,128 @@
+package perfvec
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/uarch"
+)
+
+// UarchModel is the microarchitecture representation model of the DSE
+// workflow (§VI-A): a small MLP mapping normalized configuration parameters
+// to a d-dimensional representation, so that *unseen* points of a design
+// space can be embedded without simulation. It is trained with the
+// foundation model frozen, like FineTuneTable but generalizing over
+// configuration parameters instead of memorizing a table.
+type UarchModel struct {
+	Net    *nn.MLP
+	RepDim int
+	// Normalization of the input parameter vector (fit on training data).
+	mean, std []float32
+}
+
+// NewUarchModel builds the 2-layer MLP the paper uses for cache-size DSE
+// ("a simple 2-layer MLP").
+func NewUarchModel(repDim, hidden int, seed int64) *UarchModel {
+	rng := rand.New(rand.NewSource(seed))
+	return &UarchModel{
+		Net:    nn.NewMLP(rng, nn.ActReLU, uarch.NumParams, hidden, repDim),
+		RepDim: repDim,
+	}
+}
+
+// fitNorm computes feature-wise standardization over the training configs.
+func (u *UarchModel) fitNorm(cfgs []*uarch.Config) {
+	n := len(cfgs)
+	u.mean = make([]float32, uarch.NumParams)
+	u.std = make([]float32, uarch.NumParams)
+	cols := make([][]float32, n)
+	for i, c := range cfgs {
+		cols[i] = c.Params()
+		for j, v := range cols[i] {
+			u.mean[j] += v
+		}
+	}
+	for j := range u.mean {
+		u.mean[j] /= float32(n)
+	}
+	for _, p := range cols {
+		for j, v := range p {
+			d := v - u.mean[j]
+			u.std[j] += d * d
+		}
+	}
+	for j := range u.std {
+		u.std[j] = float32(math.Sqrt(float64(u.std[j]/float32(n)))) + 1e-6
+	}
+}
+
+// inputs builds the normalized [K x NumParams] matrix for configs.
+func (u *UarchModel) inputs(cfgs []*uarch.Config) *tensor.Tensor {
+	in := tensor.New(len(cfgs), uarch.NumParams)
+	for i, c := range cfgs {
+		row := in.Row(i)
+		for j, v := range c.Params() {
+			row[j] = (v - u.mean[j]) / u.std[j]
+		}
+	}
+	return in
+}
+
+// Rep embeds a single configuration.
+func (u *UarchModel) Rep(cfg *uarch.Config) []float32 {
+	out := u.Net.Forward(nil, u.inputs([]*uarch.Config{cfg}))
+	return out.Row(0)
+}
+
+// TrainUarchModel fits the model on tuning data gathered from trainCfgs
+// (which must be the K microarchitectures of the tuning ProgramData, in
+// order). The foundation model stays frozen; instruction representations are
+// cached once, exactly as in FineTuneTable.
+func TrainUarchModel(f *Foundation, u *UarchModel, tuning []*ProgramData, trainCfgs []*uarch.Config, epochs int, lr float32, seed int64) {
+	u.fitNorm(trainCfgs)
+	k := len(trainCfgs)
+
+	type cached struct {
+		reps    *tensor.Tensor
+		targets *tensor.Tensor
+	}
+	var data []cached
+	for _, p := range tuning {
+		reps := f.InstructionReps(p)
+		targets := tensor.New(p.N, k)
+		for i := 0; i < p.N; i++ {
+			for j := 0; j < k; j++ {
+				targets.Set(i, j, p.Targets[i*k+j]*f.Cfg.TargetScale)
+			}
+		}
+		data = append(data, cached{reps, targets})
+	}
+	in := u.inputs(trainCfgs)
+
+	opt := nn.NewAdam(lr)
+	rng := rand.New(rand.NewSource(seed))
+	const batch = 512
+	for e := 0; e < epochs; e++ {
+		for _, c := range data {
+			n := c.reps.Rows()
+			start := 0
+			if n > batch {
+				start = rng.Intn(n - batch)
+			}
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			tp := tensor.NewTape()
+			m := u.Net.Forward(tp, in) // [K x D]
+			reps := tensor.SliceRows(nil, c.reps, start, end)
+			targets := tensor.SliceRows(nil, c.targets, start, end)
+			preds := tensor.MatMulBT(tp, reps, m)
+			loss := nn.MSE(tp, preds, targets)
+			tp.Backward(loss)
+			opt.Step(u.Net.Params())
+		}
+	}
+}

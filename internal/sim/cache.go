@@ -1,0 +1,241 @@
+package sim
+
+import "repro/internal/uarch"
+
+// cacheLevel is a set-associative cache with true LRU replacement.
+// Lines are identified by line address (byte address >> lineShift).
+type cacheLevel struct {
+	sets      [][]uint64 // per set, line addresses in LRU order (front = MRU)
+	assoc     int
+	lineShift uint
+	setMask   uint64
+	latency   int64
+}
+
+func newCacheLevel(c uarch.Cache) *cacheLevel {
+	shift := uint(0)
+	for 1<<shift < c.LineBytes {
+		shift++
+	}
+	nsets := c.Sets()
+	sets := make([][]uint64, nsets)
+	return &cacheLevel{
+		sets:      sets,
+		assoc:     c.Assoc,
+		lineShift: shift,
+		setMask:   uint64(nsets - 1),
+		latency:   int64(c.Latency),
+	}
+}
+
+func (c *cacheLevel) lineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+func (c *cacheLevel) setIdx(line uint64) uint64 { return line & c.setMask }
+
+// lookup probes for line; on hit the line becomes MRU.
+func (c *cacheLevel) lookup(line uint64) bool {
+	set := c.sets[c.setIdx(line)]
+	for i, l := range set {
+		if l == line {
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	return false
+}
+
+// insert places line as MRU, returning the evicted victim line (ok=false if
+// nothing was evicted).
+func (c *cacheLevel) insert(line uint64) (victim uint64, ok bool) {
+	idx := c.setIdx(line)
+	set := c.sets[idx]
+	if len(set) < c.assoc {
+		set = append(set, 0)
+		copy(set[1:], set[:len(set)-1])
+		set[0] = line
+		c.sets[idx] = set
+		return 0, false
+	}
+	victim = set[len(set)-1]
+	copy(set[1:], set[:len(set)-1])
+	set[0] = line
+	return victim, true
+}
+
+// invalidate removes line if present.
+func (c *cacheLevel) invalidate(line uint64) {
+	idx := c.setIdx(line)
+	set := c.sets[idx]
+	for i, l := range set {
+		if l == line {
+			c.sets[idx] = append(set[:i], set[i+1:]...)
+			return
+		}
+	}
+}
+
+// MemStats counts hierarchy events during one simulation.
+type MemStats struct {
+	L1IAccesses, L1IMisses int64
+	L1DAccesses, L1DMisses int64
+	L2Accesses, L2Misses   int64
+	DRAMAccesses           int64
+	Prefetches             int64
+}
+
+// stridePrefetcher is a classic PC-indexed stride prefetcher: it tracks the
+// last address and stride per load PC and, once the stride repeats, predicts
+// the next line.
+type stridePrefetcher struct {
+	lastAddr [64]uint64
+	stride   [64]int64
+	conf     [64]int8
+}
+
+// observe updates the table and returns (prefetchAddr, true) when confident.
+func (p *stridePrefetcher) observe(pc, addr uint64) (uint64, bool) {
+	slot := (pc / 4) % 64
+	stride := int64(addr) - int64(p.lastAddr[slot])
+	if stride == p.stride[slot] && stride != 0 {
+		if p.conf[slot] < 3 {
+			p.conf[slot]++
+		}
+	} else {
+		p.conf[slot] = 0
+		p.stride[slot] = stride
+	}
+	p.lastAddr[slot] = addr
+	if p.conf[slot] >= 2 {
+		next := int64(addr) + p.stride[slot]
+		if next > 0 {
+			return uint64(next), true
+		}
+	}
+	return 0, false
+}
+
+// memHierarchy models L1I + L1D backed by a unified L2 and a DRAM channel
+// with fixed base latency and finite bandwidth. The L2 can optionally be
+// exclusive of the L1s (victim-cache style), one of the knobs the paper's
+// configuration sampler varies.
+type memHierarchy struct {
+	l1i, l1d, l2 *cacheLevel
+	exclusive    bool
+
+	prefetchKind uarch.PrefetchKind
+	stride       stridePrefetcher
+
+	dramLatency int64 // cycles
+	dramService int64 // cycles per line transfer (bandwidth)
+	dramFree    int64 // next cycle the channel is idle
+
+	stats MemStats
+}
+
+func newMemHierarchy(cfg *uarch.Config) *memHierarchy {
+	cyc := cfg.CycleNs()
+	service := float64(cfg.L2.LineBytes) / cfg.DRAMBandwidthGB / cyc // bytes/(GB/s)=ns
+	if service < 1 {
+		service = 1
+	}
+	return &memHierarchy{
+		l1i:          newCacheLevel(cfg.L1I),
+		l1d:          newCacheLevel(cfg.L1D),
+		l2:           newCacheLevel(cfg.L2),
+		exclusive:    cfg.L2Exclusive,
+		prefetchKind: cfg.Prefetcher,
+		dramLatency:  int64(cfg.DRAMLatencyNs/cyc + 0.5),
+		dramService:  int64(service + 0.5),
+	}
+}
+
+// dramAccess models the channel: queue behind in-flight transfers, then pay
+// base latency plus the transfer time.
+func (m *memHierarchy) dramAccess(now int64) int64 {
+	m.stats.DRAMAccesses++
+	start := now
+	if m.dramFree > start {
+		start = m.dramFree
+	}
+	m.dramFree = start + m.dramService
+	return (start - now) + m.dramLatency + m.dramService
+}
+
+// accessData returns the total latency in cycles of a data access issued at
+// cycle now by the instruction at pc. The prefetcher observes every demand
+// access and may pull the predicted next line into the L1D off the critical
+// path (it still consumes DRAM bandwidth).
+func (m *memHierarchy) accessData(pc, addr uint64, now int64) int64 {
+	m.stats.L1DAccesses++
+	line := m.l1d.lineAddr(addr)
+	hit := m.l1d.lookup(line)
+	var lat int64
+	if hit {
+		lat = m.l1d.latency
+	} else {
+		m.stats.L1DMisses++
+		lat = m.l1d.latency + m.fillFromL2(m.l1d, line, now+m.l1d.latency)
+	}
+
+	switch m.prefetchKind {
+	case uarch.PrefetchNextLine:
+		if !hit {
+			m.prefetch(line+1, now+lat)
+		}
+	case uarch.PrefetchStride:
+		if next, ok := m.stride.observe(pc, addr); ok {
+			m.prefetch(m.l1d.lineAddr(next), now+lat)
+		}
+	}
+	return lat
+}
+
+// prefetch fills line into the L1D through the normal miss path without
+// charging latency to any instruction.
+func (m *memHierarchy) prefetch(line uint64, now int64) {
+	if m.l1d.lookup(line) {
+		return
+	}
+	m.stats.Prefetches++
+	m.fillFromL2(m.l1d, line, now)
+}
+
+// accessInst returns the latency in cycles of an instruction fetch.
+func (m *memHierarchy) accessInst(addr uint64, now int64) int64 {
+	m.stats.L1IAccesses++
+	line := m.l1i.lineAddr(addr)
+	if m.l1i.lookup(line) {
+		return m.l1i.latency
+	}
+	m.stats.L1IMisses++
+	return m.l1i.latency + m.fillFromL2(m.l1i, line, now+m.l1i.latency)
+}
+
+// fillFromL2 services an L1 miss from the L2 (or DRAM below it), maintaining
+// the exclusive/inclusive policy, and returns the additional latency beyond
+// the L1 hit time. The L1/L2 line sizes are identical by construction of the
+// configuration sampler.
+func (m *memHierarchy) fillFromL2(l1 *cacheLevel, line uint64, now int64) int64 {
+	m.stats.L2Accesses++
+	extra := m.l2.latency
+	if m.l2.lookup(line) {
+		if m.exclusive {
+			m.l2.invalidate(line)
+		}
+	} else {
+		m.stats.L2Misses++
+		extra += m.dramAccess(now + m.l2.latency)
+		if !m.exclusive {
+			if v, ok := m.l2.insert(line); ok {
+				// Inclusive-style back-invalidate of the victim.
+				l1.invalidate(v)
+			}
+		}
+	}
+	if v, ok := l1.insert(line); ok && m.exclusive {
+		// Exclusive L2 acts as a victim cache for L1 evictions.
+		m.l2.insert(v)
+	}
+	return extra
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/uarch"
+)
+
+func newTestCache(sizeKB, assoc, line, lat int) *cacheLevel {
+	return newCacheLevel(uarch.Cache{SizeKB: sizeKB, Assoc: assoc, LineBytes: line, Latency: lat})
+}
+
+func TestCacheHitAfterInsert(t *testing.T) {
+	c := newTestCache(4, 2, 64, 1)
+	line := c.lineAddr(0x1000)
+	if c.lookup(line) {
+		t.Fatal("empty cache must miss")
+	}
+	c.insert(line)
+	if !c.lookup(line) {
+		t.Fatal("inserted line must hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Direct-mapped-ish: 2-way set; fill a set with 3 lines mapping to it.
+	c := newTestCache(4, 2, 64, 1) // 4KB/64B/2-way = 32 sets
+	nsets := uint64(len(c.sets))
+	a, b, d := uint64(0), nsets, 2*nsets // same set, different tags
+	c.insert(a)
+	c.insert(b)
+	// Touch a so b becomes LRU.
+	if !c.lookup(a) {
+		t.Fatal("a must hit")
+	}
+	victim, evicted := c.insert(d)
+	if !evicted || victim != b {
+		t.Fatalf("victim = %v (evicted=%v), want %v", victim, evicted, b)
+	}
+	if !c.lookup(a) || c.lookup(b) || !c.lookup(d) {
+		t.Fatal("LRU state wrong after eviction")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := newTestCache(4, 4, 64, 1)
+	c.insert(5)
+	c.invalidate(5)
+	if c.lookup(5) {
+		t.Fatal("invalidated line must miss")
+	}
+	// Invalidating an absent line is a no-op.
+	c.invalidate(99)
+}
+
+// TestLRUInclusionProperty: for the same access stream, a larger (same
+// associativity-ratio) LRU cache never misses more — the classic stack
+// property, checked empirically.
+func TestLRUInclusionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		small := newTestCache(4, 4, 64, 1)
+		big := newTestCache(16, 16, 64, 1) // same set count, more ways
+		missSmall, missBig := 0, 0
+		for i := 0; i < 3000; i++ {
+			addr := uint64(rng.Intn(1 << 14))
+			if !small.lookup(small.lineAddr(addr)) {
+				missSmall++
+				small.insert(small.lineAddr(addr))
+			}
+			if !big.lookup(big.lineAddr(addr)) {
+				missBig++
+				big.insert(big.lineAddr(addr))
+			}
+		}
+		return missBig <= missSmall
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRAMQueueingBacksUp(t *testing.T) {
+	cfg := uarch.A7Like()
+	cfg.DRAMBandwidthGB = 1 // very slow channel
+	m := newMemHierarchy(cfg)
+	// Two back-to-back accesses at the same cycle: the second must queue.
+	lat1 := m.dramAccess(100)
+	lat2 := m.dramAccess(100)
+	if lat2 <= lat1 {
+		t.Fatalf("second DRAM access (%d) not delayed behind first (%d)", lat2, lat1)
+	}
+	if m.stats.DRAMAccesses != 2 {
+		t.Fatalf("DRAM access count = %d", m.stats.DRAMAccesses)
+	}
+}
+
+func TestHierarchyMissPath(t *testing.T) {
+	cfg := uarch.A7Like()
+	m := newMemHierarchy(cfg)
+	// Cold access: L1 miss, L2 miss, DRAM.
+	lat := m.accessData(0x40, 0x4000, 0)
+	if lat <= int64(cfg.L1D.Latency+cfg.L2.Latency) {
+		t.Fatalf("cold access latency %d should include DRAM", lat)
+	}
+	if m.stats.L1DMisses != 1 || m.stats.L2Misses != 1 || m.stats.DRAMAccesses != 1 {
+		t.Fatalf("miss counts wrong: %+v", m.stats)
+	}
+	// Re-access: L1 hit at hit latency.
+	lat = m.accessData(0x40, 0x4000, 10)
+	if lat != int64(cfg.L1D.Latency) {
+		t.Fatalf("warm access latency %d, want %d", lat, cfg.L1D.Latency)
+	}
+}
+
+func TestExclusiveL2VictimPath(t *testing.T) {
+	cfg := uarch.A7Like()
+	cfg.L2Exclusive = true
+	cfg.L1D = uarch.Cache{SizeKB: 4, Assoc: 2, LineBytes: 64, Latency: 1}
+	m := newMemHierarchy(cfg)
+	nsets := uint64(len(m.l1d.sets))
+
+	// Fill one L1 set beyond capacity: evictions must land in the L2.
+	base := uint64(0x10000)
+	for i := uint64(0); i < 3; i++ {
+		m.accessData(0x40, base+i*nsets*64, int64(i)*100)
+	}
+	// The first line was evicted from L1; with an exclusive L2 it must now
+	// hit in L2 (no DRAM access).
+	dramBefore := m.stats.DRAMAccesses
+	m.accessData(0x40, base, 1000)
+	if m.stats.DRAMAccesses != dramBefore {
+		t.Fatal("exclusive L2 did not retain the L1 victim")
+	}
+}
+
+func TestInstructionCachePath(t *testing.T) {
+	cfg := uarch.A7Like()
+	m := newMemHierarchy(cfg)
+	lat1 := m.accessInst(0x100, 0)
+	lat2 := m.accessInst(0x100, 10)
+	if lat2 >= lat1 {
+		t.Fatalf("second fetch (%d) not faster than cold fetch (%d)", lat2, lat1)
+	}
+	if m.stats.L1IMisses != 1 {
+		t.Fatalf("L1I misses = %d, want 1", m.stats.L1IMisses)
+	}
+}

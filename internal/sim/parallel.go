@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// SimulateAll replays the same trace on every configuration concurrently,
+// one goroutine per configuration (bounded by GOMAXPROCS). This mirrors the
+// paper's data-collection step, where one program is simulated on all
+// sampled microarchitectures to produce aligned incremental-latency targets
+// for instruction-representation reuse (§IV-B).
+func SimulateAll(cfgs []*uarch.Config, recs []trace.Record, captureInc bool) []*Result {
+	results := make([]*Result, len(cfgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg *uarch.Config) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = Simulate(cfg, recs, captureInc)
+		}(i, cfg)
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+func predCfg(kind uarch.PredictorKind) *uarch.Config {
+	c := uarch.A7Like()
+	c.Predictor = kind
+	return c
+}
+
+func condBranch(pc uint64, taken bool, target uint64) *trace.Record {
+	return &trace.Record{PC: pc, Op: isa.BranchCond, Taken: taken, Target: target}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	p := newBranchPredictor(predCfg(uarch.PredBimodal))
+	for i := 0; i < 100; i++ {
+		p.predict(condBranch(0x40, true, 0x10))
+	}
+	// After warmup the always-taken branch must be predicted correctly.
+	before := p.Mispredicts
+	for i := 0; i < 100; i++ {
+		p.predict(condBranch(0x40, true, 0x10))
+	}
+	if p.Mispredicts != before {
+		t.Fatalf("bimodal mispredicted a saturated always-taken branch %d times", p.Mispredicts-before)
+	}
+}
+
+func TestGShareLearnsAlternation(t *testing.T) {
+	p := newBranchPredictor(predCfg(uarch.PredGShare))
+	// T,N,T,N... is learnable from global history.
+	for i := 0; i < 500; i++ {
+		p.predict(condBranch(0x80, i%2 == 0, 0x10))
+	}
+	before := p.Mispredicts
+	for i := 0; i < 200; i++ {
+		p.predict(condBranch(0x80, i%2 == 0, 0x10))
+	}
+	rate := float64(p.Mispredicts-before) / 200
+	if rate > 0.05 {
+		t.Fatalf("gshare mispredict rate on alternating branch = %v", rate)
+	}
+}
+
+func TestTournamentNotWorseThanComponentsOnMix(t *testing.T) {
+	run := func(kind uarch.PredictorKind) float64 {
+		p := newBranchPredictor(predCfg(kind))
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 4000; i++ {
+			// Branch A: strongly biased; branch B: history-correlated.
+			p.predict(condBranch(0x40, rng.Float64() < 0.95, 0x10))
+			p.predict(condBranch(0x80, i%2 == 0, 0x10))
+		}
+		return float64(p.Mispredicts) / float64(p.Branches)
+	}
+	tour := run(uarch.PredTournament)
+	bim := run(uarch.PredBimodal)
+	if tour > bim+0.03 {
+		t.Fatalf("tournament (%v) clearly worse than bimodal (%v) on mixed workload", tour, bim)
+	}
+}
+
+func TestStaticBackwardTaken(t *testing.T) {
+	p := newBranchPredictor(predCfg(uarch.PredStatic))
+	// Backward taken branch: predicted correctly.
+	before := p.Mispredicts
+	p.predict(condBranch(0x100, true, 0x40))
+	if p.Mispredicts != before {
+		t.Fatal("static predictor missed a backward-taken branch")
+	}
+	// Forward taken branch: mispredicted.
+	p.predict(condBranch(0x100, true, 0x200))
+	if p.Mispredicts != before+1 {
+		t.Fatal("static predictor should miss a forward-taken branch")
+	}
+}
+
+func TestBTBIndirectBranches(t *testing.T) {
+	p := newBranchPredictor(predCfg(uarch.PredBimodal))
+	ind := &trace.Record{PC: 0x40, Op: isa.BranchInd, Taken: true, Target: 0x400}
+	if p.predict(ind) {
+		t.Fatal("first indirect branch must miss in the BTB")
+	}
+	if !p.predict(ind) {
+		t.Fatal("repeated indirect branch with stable target must hit")
+	}
+	ind2 := &trace.Record{PC: 0x40, Op: isa.BranchInd, Taken: true, Target: 0x800}
+	if p.predict(ind2) {
+		t.Fatal("changed indirect target must mispredict")
+	}
+}
+
+func TestRASCallRet(t *testing.T) {
+	p := newBranchPredictor(predCfg(uarch.PredBimodal))
+	call := &trace.Record{PC: 0x40, Op: isa.Call, Taken: true, Target: 0x400}
+	p.predict(call)
+	ret := &trace.Record{PC: 0x440, Op: isa.Ret, Taken: true, Target: 0x44} // return to call+4
+	if !p.predict(ret) {
+		t.Fatal("return address stack should predict the matching return")
+	}
+	// Mismatched return (e.g. longjmp-style) must mispredict.
+	p.predict(call)
+	badRet := &trace.Record{PC: 0x440, Op: isa.Ret, Taken: true, Target: 0x999}
+	if p.predict(badRet) {
+		t.Fatal("non-matching return target must mispredict")
+	}
+}
+
+func TestUnconditionalDirectBranchBTB(t *testing.T) {
+	p := newBranchPredictor(predCfg(uarch.PredBimodal))
+	jmp := &trace.Record{PC: 0x40, Op: isa.BranchDir, Taken: true, Target: 0x100}
+	if p.predict(jmp) {
+		t.Fatal("cold unconditional branch must miss in the BTB")
+	}
+	if !p.predict(jmp) {
+		t.Fatal("warm unconditional branch must hit")
+	}
+}

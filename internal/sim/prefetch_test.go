@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/uarch"
+)
+
+func TestStridePrefetcherDetectsStride(t *testing.T) {
+	var p stridePrefetcher
+	pc := uint64(0x40)
+	// Constant stride of 64 bytes: confidence builds after a few accesses.
+	var got uint64
+	var ok bool
+	for i := 0; i < 5; i++ {
+		got, ok = p.observe(pc, uint64(0x1000+i*64))
+	}
+	if !ok {
+		t.Fatal("stride prefetcher never gained confidence on a constant stride")
+	}
+	if got != 0x1000+4*64+64 {
+		t.Fatalf("predicted %#x, want %#x", got, uint64(0x1000+5*64))
+	}
+}
+
+func TestStridePrefetcherIgnoresRandom(t *testing.T) {
+	var p stridePrefetcher
+	pc := uint64(0x40)
+	addrs := []uint64{0x1000, 0x8000, 0x2000, 0x9000, 0x3000, 0xA000}
+	fired := 0
+	for _, a := range addrs {
+		if _, ok := p.observe(pc, a); ok {
+			fired++
+		}
+	}
+	if fired > 0 {
+		t.Fatalf("stride prefetcher fired %d times on a random stream", fired)
+	}
+}
+
+func TestPrefetcherSpeedsUpStreaming(t *testing.T) {
+	recs := streamTrace(t, 32768, 64) // line-stride stream, 2 MiB footprint
+	base := *uarch.A7Like()
+	base.Prefetcher = uarch.PrefetchNone
+	next := *uarch.A7Like()
+	next.Prefetcher = uarch.PrefetchNextLine
+	stride := *uarch.A7Like()
+	stride.Prefetcher = uarch.PrefetchStride
+
+	tBase := Simulate(&base, recs, false)
+	tNext := Simulate(&next, recs, false)
+	tStride := Simulate(&stride, recs, false)
+
+	if tNext.TotalNs >= tBase.TotalNs {
+		t.Fatalf("next-line prefetcher not faster on stream: %v vs %v ns",
+			tNext.TotalNs, tBase.TotalNs)
+	}
+	if tStride.TotalNs >= tBase.TotalNs {
+		t.Fatalf("stride prefetcher not faster on stream: %v vs %v ns",
+			tStride.TotalNs, tBase.TotalNs)
+	}
+	if tStride.Stats.Mem.Prefetches == 0 {
+		t.Fatal("stride prefetcher issued no prefetches")
+	}
+}
+
+func TestPrefetcherHarmlessOnRandom(t *testing.T) {
+	recs := randomBranchTrace(t, 4000) // negligible memory traffic
+	base := *uarch.A7Like()
+	pf := *uarch.A7Like()
+	pf.Prefetcher = uarch.PrefetchStride
+	tBase := Simulate(&base, recs, false).TotalNs
+	tPf := Simulate(&pf, recs, false).TotalNs
+	// Within 5%: the prefetcher must not wreck non-streaming workloads.
+	if tPf > tBase*1.05 {
+		t.Fatalf("prefetcher slowed a non-memory workload: %v vs %v ns", tPf, tBase)
+	}
+}

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// loopTrace returns the dynamic trace of a simple arithmetic loop.
+func loopTrace(t *testing.T, iters int64) []trace.Record {
+	t.Helper()
+	b := asm.NewBuilder("loop")
+	b.MovI(isa.R(1), 0)
+	b.MovI(isa.R(2), iters)
+	b.Label("loop")
+	b.AddI(isa.R(3), isa.R(3), 7)
+	b.MulI(isa.R(4), isa.R(3), 3)
+	b.AddI(isa.R(1), isa.R(1), 1)
+	b.Blt(isa.R(1), isa.R(2), "loop")
+	b.Halt()
+	m := emu.NewMachine(1 << 12)
+	recs, err := emu.Capture(m, b.Build(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// streamTrace returns a trace that walks memory sequentially (streaming
+// loads), stressing caches and DRAM bandwidth.
+func streamTrace(t *testing.T, words int64, stride int64) []trace.Record {
+	t.Helper()
+	b := asm.NewBuilder("stream")
+	b.MovI(isa.R(1), 0)            // addr
+	b.MovI(isa.R(2), words*stride) // bound (bytes)
+	b.MovI(isa.R(3), stride)
+	b.Label("loop")
+	b.Ld(isa.F(0), isa.R(1), 0)
+	b.FAdd(isa.F(1), isa.F(1), isa.F(0))
+	b.Add(isa.R(1), isa.R(1), isa.R(3))
+	b.Blt(isa.R(1), isa.R(2), "loop")
+	b.Halt()
+	m := emu.NewMachine(int(words*stride) + 64)
+	recs, err := emu.Capture(m, b.Build(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// randomBranchTrace returns a trace whose conditional branch outcome is
+// data-dependent pseudo-random (xorshift in registers), defeating predictors.
+func randomBranchTrace(t *testing.T, iters int64) []trace.Record {
+	t.Helper()
+	b := asm.NewBuilder("randbranch")
+	b.MovI(isa.R(1), 0)
+	b.MovI(isa.R(2), iters)
+	b.MovI(isa.R(5), 88172645463325252)
+	b.MovI(isa.R(7), 2)
+	b.Label("loop")
+	// xorshift64: r5 ^= r5<<13; r5 ^= r5>>7; r5 ^= r5<<17
+	b.ShlI(isa.R(6), isa.R(5), 13).Xor(isa.R(5), isa.R(5), isa.R(6))
+	b.ShrI(isa.R(6), isa.R(5), 7).Xor(isa.R(5), isa.R(5), isa.R(6))
+	b.ShlI(isa.R(6), isa.R(5), 17).Xor(isa.R(5), isa.R(5), isa.R(6))
+	b.AndI(isa.R(6), isa.R(5), 1)
+	b.Beq(isa.R(6), isa.R(0), "even")
+	b.AddI(isa.R(8), isa.R(8), 1)
+	b.Label("even")
+	b.AddI(isa.R(1), isa.R(1), 1)
+	b.Blt(isa.R(1), isa.R(2), "loop")
+	b.Halt()
+	m := emu.NewMachine(1 << 12)
+	recs, err := emu.Capture(m, b.Build(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestIncrementalLatenciesNonNegativeAndIntegrable(t *testing.T) {
+	recs := loopTrace(t, 200)
+	for _, cfg := range uarch.Predefined() {
+		res := Simulate(cfg, recs, true)
+		var sum float64
+		for i, v := range res.Incremental {
+			if v < 0 {
+				t.Fatalf("%s: negative incremental latency at %d: %v", cfg.Name, i, v)
+			}
+			sum += float64(v)
+		}
+		total := sum / TickPerNs
+		if math.Abs(total-res.TotalNs) > 1e-6*math.Max(1, res.TotalNs) {
+			t.Fatalf("%s: sum of incremental latencies %.4f ns != total %.4f ns",
+				cfg.Name, total, res.TotalNs)
+		}
+	}
+}
+
+func TestSimulationDeterministic(t *testing.T) {
+	recs := streamTrace(t, 4096, 8)
+	cfg := uarch.Predefined()[3]
+	a := Simulate(cfg, recs, false)
+	b := Simulate(cfg, recs, false)
+	if a.TotalNs != b.TotalNs {
+		t.Fatalf("nondeterministic simulation: %v vs %v", a.TotalNs, b.TotalNs)
+	}
+}
+
+func TestInOrderIPCBounded(t *testing.T) {
+	recs := loopTrace(t, 500)
+	cfg := uarch.A7Like()
+	res := Simulate(cfg, recs, false)
+	if ipc := res.Stats.IPC(); ipc > float64(cfg.IssueWidth)+1e-9 {
+		t.Fatalf("in-order IPC %v exceeds issue width %d", ipc, cfg.IssueWidth)
+	}
+}
+
+func TestOoOFasterThanInOrderOnILP(t *testing.T) {
+	// A loop with independent long-latency multiplies: OoO should expose the
+	// ILP that the in-order core cannot.
+	b := asm.NewBuilder("ilp")
+	b.MovI(isa.R(1), 0)
+	b.MovI(isa.R(2), 300)
+	b.Label("loop")
+	b.MulI(isa.R(4), isa.R(1), 3)
+	b.MulI(isa.R(5), isa.R(1), 5)
+	b.MulI(isa.R(6), isa.R(1), 7)
+	b.AddI(isa.R(1), isa.R(1), 1)
+	b.Blt(isa.R(1), isa.R(2), "loop")
+	b.Halt()
+	m := emu.NewMachine(1 << 10)
+	recs, err := emu.Capture(m, b.Build(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := uarch.A7Like()
+	ooo := uarch.A7Like()
+	ooo.Name = "ooo-variant"
+	ooo.Core = uarch.OutOfOrder
+	ooo.ROBSize = 64
+	ooo.IntMul.Count = 2
+
+	tIn := Simulate(in, recs, false).TotalNs
+	tOoO := Simulate(ooo, recs, false).TotalNs
+	if tOoO >= tIn {
+		t.Fatalf("OoO (%v ns) not faster than in-order (%v ns) on ILP workload", tOoO, tIn)
+	}
+}
+
+func TestBiggerROBNeverSlower(t *testing.T) {
+	recs := streamTrace(t, 2048, 64)
+	small := uarch.Predefined()[3] // ooo-little
+	big := uarch.Predefined()[3]
+	bigCopy := *big
+	bigCopy.ROBSize = big.ROBSize * 4
+	bigCopy.Name = "ooo-bigger-rob"
+	tSmall := Simulate(small, recs, false).TotalNs
+	tBig := Simulate(&bigCopy, recs, false).TotalNs
+	if tBig > tSmall+1e-9 {
+		t.Fatalf("larger ROB slowed execution: %v ns vs %v ns", tBig, tSmall)
+	}
+}
+
+func TestLargerCacheReducesMisses(t *testing.T) {
+	// Working set of 64 KiB: misses badly in an 8 KiB L1D, fits in 128 KiB.
+	recs := make([]trace.Record, 0, 40000)
+	rng := rand.New(rand.NewSource(1))
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < 8192; i++ {
+			addr := uint64(rng.Intn(8192)) * 8
+			recs = append(recs, trace.Record{
+				PC: uint64(i%64) * trace.InstBytes, Op: isa.Load, Addr: addr,
+				MemLen: 8, NumDst: 1, Dst: [isa.MaxDstRegs]isa.Reg{isa.R(1)},
+			})
+		}
+	}
+	smallCfg := *uarch.A7Like()
+	smallCfg.L1D.SizeKB = 8
+	bigCfg := *uarch.A7Like()
+	bigCfg.L1D.SizeKB = 128
+
+	mSmall := Simulate(&smallCfg, recs, false).Stats.Mem.L1DMisses
+	mBig := Simulate(&bigCfg, recs, false).Stats.Mem.L1DMisses
+	if mBig >= mSmall {
+		t.Fatalf("larger L1D did not reduce misses: %d vs %d", mBig, mSmall)
+	}
+}
+
+func TestCacheMissesSlowExecution(t *testing.T) {
+	// Stride through far more memory than L1D: misses dominate.
+	hit := streamTrace(t, 512, 8)     // 4 KiB working set
+	miss := streamTrace(t, 65536, 64) // 4 MiB footprint at line stride
+	cfg := uarch.A7Like()
+	tHit := Simulate(cfg, hit, false)
+	tMiss := Simulate(cfg, miss, false)
+	perInstHit := tHit.TotalNs / float64(len(hit))
+	perInstMiss := tMiss.TotalNs / float64(len(miss))
+	if perInstMiss < 2*perInstHit {
+		t.Fatalf("cache-missing stream not slower per instruction: %v vs %v",
+			perInstMiss, perInstHit)
+	}
+}
+
+func TestDRAMBandwidthMatters(t *testing.T) {
+	recs := streamTrace(t, 65536, 64)
+	fast := *uarch.A7Like()
+	fast.DRAMBandwidthGB = 100
+	slow := *uarch.A7Like()
+	slow.DRAMBandwidthGB = 2
+	tFast := Simulate(&fast, recs, false).TotalNs
+	tSlow := Simulate(&slow, recs, false).TotalNs
+	if tSlow <= tFast {
+		t.Fatalf("low DRAM bandwidth not slower: %v vs %v ns", tSlow, tFast)
+	}
+}
+
+func TestPredictableBranchesLowMispredicts(t *testing.T) {
+	recs := loopTrace(t, 2000)
+	cfg := *uarch.A7Like()
+	cfg.Predictor = uarch.PredBimodal
+	res := Simulate(&cfg, recs, false)
+	rate := float64(res.Stats.Mispredicts) / float64(res.Stats.Branches)
+	if rate > 0.05 {
+		t.Fatalf("loop branch mispredict rate %v, want < 5%%", rate)
+	}
+}
+
+func TestRandomBranchesHighMispredicts(t *testing.T) {
+	recs := randomBranchTrace(t, 3000)
+	cfg := *uarch.A7Like()
+	cfg.Predictor = uarch.PredGShare
+	res := Simulate(&cfg, recs, false)
+	// Half the conditional branches (the data-dependent one) are coin flips;
+	// the loop-closing branch is predictable. Expect a substantial rate.
+	rate := float64(res.Stats.Mispredicts) / float64(res.Stats.Branches)
+	if rate < 0.10 {
+		t.Fatalf("random-branch mispredict rate %v suspiciously low", rate)
+	}
+}
+
+func TestMispredictsSlowExecution(t *testing.T) {
+	recs := randomBranchTrace(t, 3000)
+	deep := *uarch.A7Like()
+	deep.FrontendDepth = 20 // deeper pipe -> pricier mispredicts
+	shallow := *uarch.A7Like()
+	shallow.FrontendDepth = 3
+	tDeep := Simulate(&deep, recs, false).TotalNs
+	tShallow := Simulate(&shallow, recs, false).TotalNs
+	if tDeep <= tShallow {
+		t.Fatalf("deeper pipeline not slower under mispredicts: %v vs %v", tDeep, tShallow)
+	}
+}
+
+func TestStoreToLoadDependence(t *testing.T) {
+	// store to addr, immediately load it back: the load must wait.
+	b := asm.NewBuilder("stld")
+	b.MovI(isa.R(1), 64)
+	b.MovI(isa.R(2), 42)
+	b.St(isa.R(2), isa.R(1), 0)
+	b.Ld(isa.R(3), isa.R(1), 0)
+	b.Halt()
+	m := emu.NewMachine(256)
+	recs, err := emu.Capture(m, b.Build(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.Predefined()[5] // big OoO
+	res := Simulate(cfg, recs, true)
+	if res.TotalNs <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+func TestSimulateAllMatchesSequential(t *testing.T) {
+	recs := loopTrace(t, 300)
+	cfgs := uarch.Predefined()
+	par := SimulateAll(cfgs, recs, true)
+	for i, cfg := range cfgs {
+		seq := Simulate(cfg, recs, true)
+		if par[i].TotalNs != seq.TotalNs {
+			t.Fatalf("%s: parallel %v != sequential %v", cfg.Name, par[i].TotalNs, seq.TotalNs)
+		}
+	}
+}
+
+func TestExclusiveL2Works(t *testing.T) {
+	recs := streamTrace(t, 8192, 64)
+	excl := *uarch.A7Like()
+	excl.L2Exclusive = true
+	incl := *uarch.A7Like()
+	rExcl := Simulate(&excl, recs, false)
+	rIncl := Simulate(&incl, recs, false)
+	if rExcl.Stats.Mem.L1DAccesses != rIncl.Stats.Mem.L1DAccesses {
+		t.Fatal("policy changed the access count")
+	}
+	if rExcl.TotalNs <= 0 || rIncl.TotalNs <= 0 {
+		t.Fatal("zero simulation time")
+	}
+}
+
+func TestFasterClockRunsFaster(t *testing.T) {
+	recs := loopTrace(t, 1000)
+	slow := *uarch.A7Like()
+	slow.FreqMHz = 1000
+	fast := *uarch.A7Like()
+	fast.FreqMHz = 3000
+	tSlow := Simulate(&slow, recs, false).TotalNs
+	tFast := Simulate(&fast, recs, false).TotalNs
+	if tFast >= tSlow {
+		t.Fatalf("3 GHz (%v ns) not faster than 1 GHz (%v ns)", tFast, tSlow)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	recs := loopTrace(t, 100)
+	res := Simulate(uarch.A7Like(), recs, false)
+	if res.Stats.Instructions != int64(len(recs)) {
+		t.Fatalf("instruction count %d != trace length %d", res.Stats.Instructions, len(recs))
+	}
+	if res.Stats.Branches == 0 {
+		t.Fatal("no branches counted")
+	}
+	if res.Stats.Mem.L1IAccesses == 0 {
+		t.Fatal("no instruction fetches counted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package stats provides the small statistical and formatting helpers shared
+// by the evaluation harness: error metrics, summaries, and fixed-width table
+// rendering for experiment output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AbsRelErr returns |pred-truth| / |truth| (0 when truth is 0).
+func AbsRelErr(pred, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	return math.Abs(pred-truth) / math.Abs(truth)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MinMax returns the extrema of xs.
+func MinMax(xs []float64) (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var num, da, db float64
+	for i := range a {
+		x, y := a[i]-ma, b[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+// ArgMin returns the index of the smallest element (-1 for empty input).
+func ArgMin(xs []float64) int {
+	best := -1
+	for i, x := range xs {
+		if best < 0 || x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Table renders rows as a fixed-width text table with a header.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of cells, formatting non-strings with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbsRelErr(t *testing.T) {
+	if got := AbsRelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("AbsRelErr = %v, want 0.1", got)
+	}
+	if got := AbsRelErr(5, 0); got != 0 {
+		t.Fatalf("AbsRelErr with zero truth = %v, want 0", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if s := Std(xs); s != 2 {
+		t.Fatalf("Std = %v, want 2", s)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty input must yield 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = %v, %v", min, max)
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if r := Pearson(a, b); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want 1", r)
+	}
+	c := []float64{8, 6, 4, 2}
+	if r := Pearson(a, c); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		// Map arbitrary floats into a finite, overflow-safe range; the
+		// bound property is about correlation, not float64 extremes.
+		x := make([]float64, len(a))
+		y := make([]float64, len(b))
+		for i := range a {
+			x[i] = math.Tanh(a[i]/1e300) * 100
+			y[i] = math.Tanh(b[i]/1e300) * 100
+		}
+		r := Pearson(x, y)
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgMin(t *testing.T) {
+	if i := ArgMin([]float64{3, 1, 2}); i != 1 {
+		t.Fatalf("ArgMin = %d, want 1", i)
+	}
+	if i := ArgMin(nil); i != -1 {
+		t.Fatalf("ArgMin(nil) = %d, want -1", i)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.Add("alpha", 1.5)
+	tb.Add("b", "x")
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.036); got != "3.6%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}

@@ -1,0 +1,76 @@
+package tensor
+
+// Raw GEMM kernels shared by the forward and backward passes. All kernels
+// accumulate into dst (callers zero dst when overwrite semantics are needed)
+// and parallelize across rows of the output when the work is large enough.
+
+// mmNN computes dst[m,n] += a[m,k] * b[k,n].
+func mmNN(dst, a, b []float32, m, k, n int) {
+	body := func(start, end int) {
+		for i := start; i < end; i++ {
+			di := dst[i*n : (i+1)*n]
+			ai := a[i*k : (i+1)*k]
+			for l, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bl := b[l*n : (l+1)*n]
+				for j, bv := range bl {
+					di[j] += av * bv
+				}
+			}
+		}
+	}
+	if m*n*k >= parallelThreshold {
+		Parallel(m, body)
+	} else {
+		body(0, m)
+	}
+}
+
+// mmNT computes dst[m,n] += a[m,k] * b[n,k]^T.
+func mmNT(dst, a, b []float32, m, k, n int) {
+	body := func(start, end int) {
+		for i := start; i < end; i++ {
+			ai := a[i*k : (i+1)*k]
+			di := dst[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				var sum float32
+				for l, av := range ai {
+					sum += av * bj[l]
+				}
+				di[j] += sum
+			}
+		}
+	}
+	if m*n*k >= parallelThreshold {
+		Parallel(m, body)
+	} else {
+		body(0, m)
+	}
+}
+
+// mmTN computes dst[k,n] += a[m,k]^T * b[m,n].
+func mmTN(dst, a, b []float32, m, k, n int) {
+	body := func(start, end int) {
+		for l := start; l < end; l++ {
+			dl := dst[l*n : (l+1)*n]
+			for i := 0; i < m; i++ {
+				av := a[i*k+l]
+				if av == 0 {
+					continue
+				}
+				bi := b[i*n : (i+1)*n]
+				for j, bv := range bi {
+					dl[j] += av * bv
+				}
+			}
+		}
+	}
+	if m*n*k >= parallelThreshold {
+		Parallel(k, body)
+	} else {
+		body(0, k)
+	}
+}

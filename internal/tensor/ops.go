@@ -1,0 +1,476 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul returns a[m,k] * b[k,n]. When tp is non-nil the backward pass
+// accumulates dA += dC*B^T and dB += A^T*dC.
+func MatMul(tp *Tape, a, b *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	mmNN(out.Data, a.Data, b.Data, m, k, n)
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		mmNT(a.ensureGrad(), g, b.Data, m, n, k)
+		mmTN(b.ensureGrad(), a.Data, g, m, k, n)
+	})
+	return out
+}
+
+// MatMulBT returns a[m,k] * b[n,k]^T, i.e. the rows of a dotted with the rows
+// of b. This is the natural form for PerfVec's predictor, where each row of b
+// is one microarchitecture representation.
+func MatMulBT(tp *Tape, a, b *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	n, k2 := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulBT shape mismatch %v x %v^T", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	mmNT(out.Data, a.Data, b.Data, m, k, n)
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		// dA += dC * B ; dB += dC^T * A
+		mmNN(a.ensureGrad(), g, b.Data, m, n, k)
+		mmTN(b.ensureGrad(), g, a.Data, m, n, k)
+	})
+	return out
+}
+
+// Add returns a + b for tensors of identical shape.
+func Add(tp *Tape, a, b *Tensor) *Tensor {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := New(a.Shape...)
+	for i, av := range a.Data {
+		out.Data[i] = av + b.Data[i]
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga, gb := a.ensureGrad(), b.ensureGrad()
+		for i, gv := range g {
+			ga[i] += gv
+			gb[i] += gv
+		}
+	})
+	return out
+}
+
+// AddBias returns a[m,n] + bias[n] broadcast across rows.
+func AddBias(tp *Tape, a, bias *Tensor) *Tensor {
+	m, n := a.Rows(), a.Cols()
+	if bias.Len() != n {
+		panic(fmt.Sprintf("tensor: AddBias bias length %d != cols %d", bias.Len(), n))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ar, or := a.Row(i), out.Data[i*n:(i+1)*n]
+		for j, av := range ar {
+			or[j] = av + bias.Data[j]
+		}
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga, gb := a.ensureGrad(), bias.ensureGrad()
+		for i := 0; i < m; i++ {
+			gr := g[i*n : (i+1)*n]
+			gar := ga[i*n : (i+1)*n]
+			for j, gv := range gr {
+				gar[j] += gv
+				gb[j] += gv
+			}
+		}
+	})
+	return out
+}
+
+// Sub returns a - b for tensors of identical shape.
+func Sub(tp *Tape, a, b *Tensor) *Tensor {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := New(a.Shape...)
+	for i, av := range a.Data {
+		out.Data[i] = av - b.Data[i]
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga, gb := a.ensureGrad(), b.ensureGrad()
+		for i, gv := range g {
+			ga[i] += gv
+			gb[i] -= gv
+		}
+	})
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product of a and b.
+func Mul(tp *Tape, a, b *Tensor) *Tensor {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: Mul shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := New(a.Shape...)
+	for i, av := range a.Data {
+		out.Data[i] = av * b.Data[i]
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga, gb := a.ensureGrad(), b.ensureGrad()
+		for i, gv := range g {
+			ga[i] += gv * b.Data[i]
+			gb[i] += gv * a.Data[i]
+		}
+	})
+	return out
+}
+
+// Scale returns s * a.
+func Scale(tp *Tape, a *Tensor, s float32) *Tensor {
+	out := New(a.Shape...)
+	for i, av := range a.Data {
+		out.Data[i] = av * s
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga := a.ensureGrad()
+		for i, gv := range g {
+			ga[i] += gv * s
+		}
+	})
+	return out
+}
+
+// Sigmoid returns 1/(1+exp(-a)) elementwise.
+func Sigmoid(tp *Tape, a *Tensor) *Tensor {
+	out := New(a.Shape...)
+	for i, av := range a.Data {
+		out.Data[i] = float32(1 / (1 + math.Exp(-float64(av))))
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga := a.ensureGrad()
+		for i, gv := range g {
+			y := out.Data[i]
+			ga[i] += gv * y * (1 - y)
+		}
+	})
+	return out
+}
+
+// Tanh returns tanh(a) elementwise.
+func Tanh(tp *Tape, a *Tensor) *Tensor {
+	out := New(a.Shape...)
+	for i, av := range a.Data {
+		out.Data[i] = float32(math.Tanh(float64(av)))
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga := a.ensureGrad()
+		for i, gv := range g {
+			y := out.Data[i]
+			ga[i] += gv * (1 - y*y)
+		}
+	})
+	return out
+}
+
+// ReLU returns max(a, 0) elementwise.
+func ReLU(tp *Tape, a *Tensor) *Tensor {
+	out := New(a.Shape...)
+	for i, av := range a.Data {
+		if av > 0 {
+			out.Data[i] = av
+		}
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga := a.ensureGrad()
+		for i, gv := range g {
+			if a.Data[i] > 0 {
+				ga[i] += gv
+			}
+		}
+	})
+	return out
+}
+
+// SoftmaxRows applies a numerically-stable softmax independently to each row.
+func SoftmaxRows(tp *Tape, a *Tensor) *Tensor {
+	m, n := a.Rows(), a.Cols()
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ar, or := a.Row(i), out.Data[i*n:(i+1)*n]
+		maxv := ar[0]
+		for _, v := range ar[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range ar {
+			e := math.Exp(float64(v - maxv))
+			or[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range or {
+			or[j] *= inv
+		}
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga := a.ensureGrad()
+		for i := 0; i < m; i++ {
+			gr := g[i*n : (i+1)*n]
+			or := out.Data[i*n : (i+1)*n]
+			gar := ga[i*n : (i+1)*n]
+			var dot float32
+			for j, gv := range gr {
+				dot += gv * or[j]
+			}
+			for j, gv := range gr {
+				gar[j] += or[j] * (gv - dot)
+			}
+		}
+	})
+	return out
+}
+
+// ConcatCols concatenates matrices a[m,na] and b[m,nb] along columns.
+func ConcatCols(tp *Tape, a, b *Tensor) *Tensor {
+	m, na, nb := a.Rows(), a.Cols(), b.Cols()
+	if b.Rows() != m {
+		panic(fmt.Sprintf("tensor: ConcatCols row mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := New(m, na+nb)
+	for i := 0; i < m; i++ {
+		copy(out.Data[i*(na+nb):], a.Row(i))
+		copy(out.Data[i*(na+nb)+na:], b.Row(i))
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga, gb := a.ensureGrad(), b.ensureGrad()
+		for i := 0; i < m; i++ {
+			gr := g[i*(na+nb) : (i+1)*(na+nb)]
+			gar := ga[i*na : (i+1)*na]
+			gbr := gb[i*nb : (i+1)*nb]
+			for j := 0; j < na; j++ {
+				gar[j] += gr[j]
+			}
+			for j := 0; j < nb; j++ {
+				gbr[j] += gr[na+j]
+			}
+		}
+	})
+	return out
+}
+
+// SliceCols returns columns [from, to) of matrix a as a new tensor whose
+// gradient flows back into the corresponding columns of a.
+func SliceCols(tp *Tape, a *Tensor, from, to int) *Tensor {
+	m, n := a.Rows(), a.Cols()
+	if from < 0 || to > n || from >= to {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range for %v", from, to, a.Shape))
+	}
+	w := to - from
+	out := New(m, w)
+	for i := 0; i < m; i++ {
+		copy(out.Data[i*w:(i+1)*w], a.Data[i*n+from:i*n+to])
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga := a.ensureGrad()
+		for i := 0; i < m; i++ {
+			gr := g[i*w : (i+1)*w]
+			gar := ga[i*n+from : i*n+to]
+			for j, gv := range gr {
+				gar[j] += gv
+			}
+		}
+	})
+	return out
+}
+
+// SliceRows returns rows [from, to) of matrix a as a new tensor whose
+// gradient flows back into the corresponding rows of a.
+func SliceRows(tp *Tape, a *Tensor, from, to int) *Tensor {
+	m, n := a.Rows(), a.Cols()
+	if from < 0 || to > m || from >= to {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for %v", from, to, a.Shape))
+	}
+	h := to - from
+	out := New(h, n)
+	copy(out.Data, a.Data[from*n:to*n])
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga := a.ensureGrad()
+		for i, gv := range g {
+			ga[from*n+i] += gv
+		}
+	})
+	return out
+}
+
+// Transpose returns a[m,n]^T as an [n,m] tensor.
+func Transpose(tp *Tape, a *Tensor) *Tensor {
+	m, n := a.Rows(), a.Cols()
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga := a.ensureGrad()
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				ga[i*n+j] += g[j*m+i]
+			}
+		}
+	})
+	return out
+}
+
+// Sum reduces all elements to a scalar tensor.
+func Sum(tp *Tape, a *Tensor) *Tensor {
+	out := New(1)
+	var s float64
+	for _, v := range a.Data {
+		s += float64(v)
+	}
+	out.Data[0] = float32(s)
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga := a.ensureGrad()
+		gv := g[0]
+		for i := range ga {
+			ga[i] += gv
+		}
+	})
+	return out
+}
+
+// Mean reduces all elements to their scalar average.
+func Mean(tp *Tape, a *Tensor) *Tensor {
+	n := float32(a.Len())
+	s := Sum(tp, a)
+	return Scale(tp, s, 1/n)
+}
+
+// LayerNorm normalizes each row of x to zero mean and unit variance, then
+// applies the learned per-column gain and bias: gamma * xhat + beta.
+func LayerNorm(tp *Tape, x, gamma, beta *Tensor, eps float32) *Tensor {
+	m, n := x.Rows(), x.Cols()
+	if gamma.Len() != n || beta.Len() != n {
+		panic("tensor: LayerNorm gain/bias length mismatch")
+	}
+	out := New(m, n)
+	xhat := make([]float32, m*n)
+	invStd := make([]float32, m)
+	for i := 0; i < m; i++ {
+		xr := x.Row(i)
+		var mean float64
+		for _, v := range xr {
+			mean += float64(v)
+		}
+		mean /= float64(n)
+		var varc float64
+		for _, v := range xr {
+			d := float64(v) - mean
+			varc += d * d
+		}
+		varc /= float64(n)
+		is := float32(1 / math.Sqrt(varc+float64(eps)))
+		invStd[i] = is
+		for j, v := range xr {
+			h := (v - float32(mean)) * is
+			xhat[i*n+j] = h
+			out.Data[i*n+j] = gamma.Data[j]*h + beta.Data[j]
+		}
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		gx, gg, gb := x.ensureGrad(), gamma.ensureGrad(), beta.ensureGrad()
+		for i := 0; i < m; i++ {
+			gr := g[i*n : (i+1)*n]
+			hr := xhat[i*n : (i+1)*n]
+			// dxhat = g * gamma; accumulate gamma/beta grads.
+			var sumDh, sumDhH float32
+			dh := make([]float32, n)
+			for j, gv := range gr {
+				gg[j] += gv * hr[j]
+				gb[j] += gv
+				d := gv * gamma.Data[j]
+				dh[j] = d
+				sumDh += d
+				sumDhH += d * hr[j]
+			}
+			is := invStd[i]
+			nf := float32(n)
+			gxr := gx[i*n : (i+1)*n]
+			for j := range dh {
+				gxr[j] += (is / nf) * (nf*dh[j] - sumDh - hr[j]*sumDhH)
+			}
+		}
+	})
+	return out
+}

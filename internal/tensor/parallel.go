@@ -1,0 +1,38 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the amount of scalar work below which ops run serially;
+// goroutine dispatch overhead dominates on smaller problems.
+const parallelThreshold = 1 << 15
+
+// Parallel splits [0, n) into contiguous chunks and runs fn on each chunk in
+// its own goroutine, blocking until all complete. With n below a small bound
+// or a single CPU it degrades to a plain call.
+func Parallel(n int, fn func(start, end int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,72 @@
+package tensor
+
+import "fmt"
+
+// StackRows gathers row `row` from each matrix in xs and stacks them into a
+// [len(xs), cols] tensor. Gradients scatter back into the source rows. This
+// is how sequence models reorganize per-timestep batches ([T] x [B,F]) into
+// per-sample sequences ([T,F]) for attention.
+func StackRows(tp *Tape, xs []*Tensor, row int) *Tensor {
+	if len(xs) == 0 {
+		panic("tensor: StackRows needs at least one tensor")
+	}
+	n := xs[0].Cols()
+	out := New(len(xs), n)
+	for t, x := range xs {
+		if x.Cols() != n {
+			panic(fmt.Sprintf("tensor: StackRows column mismatch %d vs %d", x.Cols(), n))
+		}
+		copy(out.Data[t*n:(t+1)*n], x.Row(row))
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		for t, x := range xs {
+			gx := x.ensureGrad()
+			gr := g[t*n : (t+1)*n]
+			dst := gx[row*n : (row+1)*n]
+			for j, gv := range gr {
+				dst[j] += gv
+			}
+		}
+	})
+	return out
+}
+
+// ConcatRows stacks matrices with equal column counts vertically.
+func ConcatRows(tp *Tape, xs ...*Tensor) *Tensor {
+	if len(xs) == 0 {
+		panic("tensor: ConcatRows needs at least one tensor")
+	}
+	n := xs[0].Cols()
+	rows := 0
+	for _, x := range xs {
+		if x.Cols() != n {
+			panic("tensor: ConcatRows column mismatch")
+		}
+		rows += x.Rows()
+	}
+	out := New(rows, n)
+	off := 0
+	for _, x := range xs {
+		copy(out.Data[off:], x.Data)
+		off += len(x.Data)
+	}
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		off := 0
+		for _, x := range xs {
+			gx := x.ensureGrad()
+			for i := range gx {
+				gx[i] += g[off+i]
+			}
+			off += len(gx)
+		}
+	})
+	return out
+}

@@ -1,0 +1,45 @@
+package tensor
+
+// Tape records the backward closures of differentiable operations in
+// execution order so they can be replayed in reverse to compute gradients.
+//
+// A nil *Tape is valid everywhere an op takes one and means "inference mode":
+// the op computes its result without recording anything.
+type Tape struct {
+	ops []func()
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// record appends a backward closure; no-op on a nil tape.
+func (tp *Tape) record(fn func()) {
+	if tp != nil {
+		tp.ops = append(tp.ops, fn)
+	}
+}
+
+// Len returns the number of recorded operations.
+func (tp *Tape) Len() int {
+	if tp == nil {
+		return 0
+	}
+	return len(tp.ops)
+}
+
+// Reset clears the tape for reuse, retaining capacity.
+func (tp *Tape) Reset() { tp.ops = tp.ops[:0] }
+
+// Backward seeds d(loss)/d(loss) = 1 and runs all recorded closures in
+// reverse, accumulating gradients into every tensor that participated.
+// loss must be a scalar (single-element) tensor produced on this tape.
+func (tp *Tape) Backward(loss *Tensor) {
+	if len(loss.Data) != 1 {
+		panic("tensor: Backward requires a scalar loss")
+	}
+	g := loss.ensureGrad()
+	g[0] = 1
+	for i := len(tp.ops) - 1; i >= 0; i-- {
+		tp.ops[i]()
+	}
+}

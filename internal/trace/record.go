@@ -1,0 +1,51 @@
+// Package trace defines the dynamic instruction-execution trace records that
+// flow from the functional emulator to the timing simulator and the feature
+// extractor, plus the dataset types used to train PerfVec models.
+//
+// A trace plays the role of the gem5 instruction trace in the paper: it is
+// microarchitecture-independent (same program + input => same trace), and it
+// carries everything Table I's features and the timing models need.
+package trace
+
+import "repro/internal/isa"
+
+// InstBytes is the size of one instruction in the synthetic ISA's address
+// space; PCs are static indices scaled by this.
+const InstBytes = 4
+
+// Record is one dynamically executed instruction.
+type Record struct {
+	PC     uint64 // instruction byte address (StaticIdx * InstBytes)
+	Addr   uint64 // data byte address for memory ops
+	Target uint64 // branch target byte address (taken or fall-through)
+	Static int32  // static instruction index
+	Op     isa.Op
+	Sub    isa.SubOp
+	NumSrc uint8
+	NumDst uint8
+	Src    [isa.MaxSrcRegs]isa.Reg
+	Dst    [isa.MaxDstRegs]isa.Reg
+	MemLen uint8 // access width in bytes, 0 for non-memory ops
+	Taken  bool  // branch outcome (true for unconditional taken branches)
+	Fault  bool  // execution fault, e.g. divide by zero
+}
+
+// IsMem reports whether the record accesses data memory.
+func (r *Record) IsMem() bool { return r.Op.IsMem() }
+
+// IsLoad reports whether the record reads data memory.
+func (r *Record) IsLoad() bool { return r.Op.IsLoad() }
+
+// IsStore reports whether the record writes data memory.
+func (r *Record) IsStore() bool { return r.Op.IsStore() }
+
+// IsBranch reports whether the record redirects control flow.
+func (r *Record) IsBranch() bool { return r.Op.IsBranch() }
+
+// IsCondBranch reports whether the record is a conditional branch.
+func (r *Record) IsCondBranch() bool { return r.Op == isa.BranchCond }
+
+// IsDirectBranch reports whether the branch target is encoded statically.
+func (r *Record) IsDirectBranch() bool {
+	return r.Op == isa.BranchCond || r.Op == isa.BranchDir || r.Op == isa.Call
+}

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestRecordPredicatesDelegate(t *testing.T) {
+	r := Record{Op: isa.VecLoad}
+	if !r.IsMem() || !r.IsLoad() || r.IsStore() || r.IsBranch() {
+		t.Fatal("vector load predicates wrong")
+	}
+	b := Record{Op: isa.BranchCond}
+	if !b.IsBranch() || !b.IsCondBranch() || !b.IsDirectBranch() {
+		t.Fatal("conditional branch predicates wrong")
+	}
+	ind := Record{Op: isa.BranchInd}
+	if !ind.IsBranch() || ind.IsCondBranch() || ind.IsDirectBranch() {
+		t.Fatal("indirect branch predicates wrong")
+	}
+	call := Record{Op: isa.Call}
+	if !call.IsDirectBranch() {
+		t.Fatal("call must be a direct branch")
+	}
+	ret := Record{Op: isa.Ret}
+	if ret.IsDirectBranch() || !ret.IsBranch() {
+		t.Fatal("ret must be an indirect branch")
+	}
+}
+
+func TestInstBytesScalesPCs(t *testing.T) {
+	// The address-space convention: static index i lives at i*InstBytes.
+	r := Record{Static: 7, PC: 7 * InstBytes}
+	if r.PC/InstBytes != uint64(r.Static) {
+		t.Fatal("PC/static index relation broken")
+	}
+}

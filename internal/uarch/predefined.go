@@ -1,0 +1,160 @@
+package uarch
+
+// Predefined returns the seven fixed configurations that mirror the paper's
+// "seven predefined configurations in gem5 (four out-of-order and three
+// in-order)". They span a little in-order core (A7-like, also the core model
+// used by the paper's §VI case studies) up to a wide server-class OoO core.
+func Predefined() []*Config {
+	return []*Config{
+		A7Like(),
+		inorderMid(),
+		inorderFast(),
+		oooLittle(),
+		oooMid(),
+		oooBig(),
+		oooServer(),
+	}
+}
+
+// A7Like models a small dual-issue in-order core in the spirit of the ARM
+// Cortex-A7 configuration the paper uses for its DSE and loop-tiling studies.
+func A7Like() *Config {
+	return &Config{
+		Name: "a7like", Core: InOrder, FreqMHz: 1400,
+		FetchWidth: 2, FrontendDepth: 4,
+		Predictor: PredBimodal, PredTableBits: 9, BTBBits: 8, RASEntries: 8,
+		IssueWidth: 2, CommitWidth: 2, ROBSize: 8, LQSize: 8, SQSize: 8,
+		IntALU:  FU{Count: 2, Latency: 1, Pipelined: true},
+		IntMul:  FU{Count: 1, Latency: 4, Pipelined: true},
+		IntDiv:  FU{Count: 1, Latency: 12},
+		FPALU:   FU{Count: 1, Latency: 4, Pipelined: true},
+		FPMul:   FU{Count: 1, Latency: 5, Pipelined: true},
+		FPDiv:   FU{Count: 1, Latency: 16},
+		VecUnit: FU{Count: 1, Latency: 5, Pipelined: true},
+		MemPort: FU{Count: 1, Latency: 1, Pipelined: true},
+		L1I:     Cache{SizeKB: 32, Assoc: 2, LineBytes: 64, Latency: 1},
+		L1D:     Cache{SizeKB: 32, Assoc: 4, LineBytes: 64, Latency: 2},
+		L2:      Cache{SizeKB: 512, Assoc: 8, LineBytes: 64, Latency: 12},
+		DRAM:    DDR4, DRAMLatencyNs: 80, DRAMBandwidthGB: 12.8,
+	}
+}
+
+func inorderMid() *Config {
+	c := A7Like()
+	c.Name = "inorder-mid"
+	c.FreqMHz = 2000
+	c.L1D.SizeKB = 64
+	c.L2.SizeKB = 1024
+	c.Predictor = PredGShare
+	c.PredTableBits = 12
+	return c
+}
+
+func inorderFast() *Config {
+	c := A7Like()
+	c.Name = "inorder-fast"
+	c.FreqMHz = 2600
+	c.FetchWidth = 3
+	c.IssueWidth = 3
+	c.CommitWidth = 3
+	c.IntALU.Count = 3
+	c.L1I.SizeKB = 64
+	c.L1D.SizeKB = 64
+	c.L2.SizeKB = 2048
+	c.Predictor = PredTournament
+	c.PredTableBits = 12
+	c.DRAM = LPDDR5
+	c.DRAMLatencyNs = 70
+	c.DRAMBandwidthGB = 25.6
+	return c
+}
+
+func oooLittle() *Config {
+	return &Config{
+		Name: "ooo-little", Core: OutOfOrder, FreqMHz: 1800,
+		FetchWidth: 2, FrontendDepth: 6,
+		Predictor: PredBimodal, PredTableBits: 10, BTBBits: 9, RASEntries: 8,
+		IssueWidth: 2, CommitWidth: 2, ROBSize: 40, LQSize: 16, SQSize: 16,
+		IntALU:  FU{Count: 2, Latency: 1, Pipelined: true},
+		IntMul:  FU{Count: 1, Latency: 3, Pipelined: true},
+		IntDiv:  FU{Count: 1, Latency: 12},
+		FPALU:   FU{Count: 1, Latency: 3, Pipelined: true},
+		FPMul:   FU{Count: 1, Latency: 4, Pipelined: true},
+		FPDiv:   FU{Count: 1, Latency: 14},
+		VecUnit: FU{Count: 1, Latency: 4, Pipelined: true},
+		MemPort: FU{Count: 1, Latency: 1, Pipelined: true},
+		L1I:     Cache{SizeKB: 32, Assoc: 4, LineBytes: 64, Latency: 1},
+		L1D:     Cache{SizeKB: 32, Assoc: 4, LineBytes: 64, Latency: 2},
+		L2:      Cache{SizeKB: 1024, Assoc: 8, LineBytes: 64, Latency: 14},
+		DRAM:    DDR4, DRAMLatencyNs: 75, DRAMBandwidthGB: 19.2,
+	}
+}
+
+func oooMid() *Config {
+	c := oooLittle()
+	c.Name = "ooo-mid"
+	c.Prefetcher = PrefetchNextLine
+	c.FreqMHz = 2500
+	c.FetchWidth = 4
+	c.IssueWidth = 4
+	c.CommitWidth = 4
+	c.ROBSize = 96
+	c.LQSize = 32
+	c.SQSize = 32
+	c.IntALU.Count = 3
+	c.FPALU.Count = 2
+	c.MemPort.Count = 2
+	c.Predictor = PredGShare
+	c.PredTableBits = 13
+	c.L2.SizeKB = 2048
+	return c
+}
+
+func oooBig() *Config {
+	c := oooMid()
+	c.Name = "ooo-big"
+	c.Prefetcher = PrefetchStride
+	c.FreqMHz = 3200
+	c.FetchWidth = 6
+	c.IssueWidth = 6
+	c.CommitWidth = 6
+	c.ROBSize = 192
+	c.LQSize = 64
+	c.SQSize = 64
+	c.IntALU.Count = 4
+	c.IntMul.Count = 2
+	c.FPALU.Count = 2
+	c.FPMul.Count = 2
+	c.VecUnit.Count = 2
+	c.MemPort.Count = 2
+	c.Predictor = PredTournament
+	c.PredTableBits = 14
+	c.BTBBits = 12
+	c.RASEntries = 16
+	c.L1I.SizeKB = 64
+	c.L1D.SizeKB = 64
+	c.L2.SizeKB = 4096
+	c.DRAM = LPDDR5
+	c.DRAMLatencyNs = 65
+	c.DRAMBandwidthGB = 51.2
+	return c
+}
+
+func oooServer() *Config {
+	c := oooBig()
+	c.Name = "ooo-server"
+	c.FreqMHz = 3600
+	c.FetchWidth = 8
+	c.IssueWidth = 8
+	c.CommitWidth = 8
+	c.ROBSize = 320
+	c.LQSize = 96
+	c.SQSize = 96
+	c.IntALU.Count = 6
+	c.MemPort.Count = 3
+	c.L2.SizeKB = 8192
+	c.DRAM = HBM
+	c.DRAMLatencyNs = 95
+	c.DRAMBandwidthGB = 256
+	return c
+}

@@ -1,0 +1,130 @@
+package uarch
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sampler draws random valid microarchitecture configurations, the role of
+// the paper's tool that "randomly samples valid gem5 configurations" across
+// processor, cache, and memory knobs (§IV-C).
+type Sampler struct {
+	rng *rand.Rand
+}
+
+// NewSampler returns a sampler seeded deterministically.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *Sampler) choiceInt(vals ...int) int { return vals[s.rng.Intn(len(vals))] }
+func (s *Sampler) between(lo, hi int) int    { return lo + s.rng.Intn(hi-lo+1) }
+
+// Sample draws one random configuration of the requested core kind.
+func (s *Sampler) Sample(kind CoreKind) *Config {
+	c := &Config{Core: kind}
+	c.FreqMHz = s.choiceInt(1000, 1400, 1800, 2200, 2600, 3000, 3400, 3800)
+
+	switch kind {
+	case InOrder:
+		c.FetchWidth = s.choiceInt(1, 2, 2, 3)
+		c.IssueWidth = c.FetchWidth
+		c.CommitWidth = c.FetchWidth
+		c.FrontendDepth = s.between(3, 6)
+		c.ROBSize = 8
+		c.LQSize, c.SQSize = 8, 8
+	case OutOfOrder:
+		c.FetchWidth = s.choiceInt(2, 4, 4, 6, 8)
+		c.IssueWidth = c.FetchWidth
+		c.CommitWidth = c.FetchWidth
+		c.FrontendDepth = s.between(5, 14)
+		c.ROBSize = s.choiceInt(32, 64, 96, 128, 192, 256, 320)
+		c.LQSize = c.ROBSize / 4
+		c.SQSize = c.ROBSize / 4
+	}
+
+	c.Predictor = PredictorKind(s.rng.Intn(NumPredictorKinds))
+	c.PredTableBits = s.between(8, 14)
+	c.BTBBits = s.between(8, 12)
+	c.RASEntries = s.choiceInt(4, 8, 16)
+
+	alu := s.choiceInt(1, 2, 2, 3, 4)
+	if alu > c.IssueWidth {
+		alu = c.IssueWidth
+	}
+	c.IntALU = FU{Count: alu, Latency: 1, Pipelined: true}
+	c.IntMul = FU{Count: s.choiceInt(1, 1, 2), Latency: s.between(3, 5), Pipelined: true}
+	c.IntDiv = FU{Count: 1, Latency: s.between(8, 20)}
+	c.FPALU = FU{Count: s.choiceInt(1, 1, 2), Latency: s.between(2, 5), Pipelined: true}
+	c.FPMul = FU{Count: s.choiceInt(1, 1, 2), Latency: s.between(3, 6), Pipelined: true}
+	c.FPDiv = FU{Count: 1, Latency: s.between(10, 24)}
+	c.VecUnit = FU{Count: s.choiceInt(1, 1, 2), Latency: s.between(3, 6), Pipelined: true}
+	c.MemPort = FU{Count: s.choiceInt(1, 1, 2, 2, 3), Latency: 1, Pipelined: true}
+
+	line := s.choiceInt(32, 64, 64, 128)
+	c.L1I = Cache{
+		SizeKB: s.choiceInt(16, 32, 32, 64), Assoc: s.choiceInt(2, 2, 4),
+		LineBytes: line, Latency: s.between(1, 2),
+	}
+	c.L1D = Cache{
+		SizeKB: s.choiceInt(8, 16, 32, 32, 64, 128), Assoc: s.choiceInt(2, 4, 4, 8),
+		LineBytes: line, Latency: s.between(1, 4),
+	}
+	c.L2 = Cache{
+		SizeKB: s.choiceInt(256, 512, 1024, 2048, 4096, 8192), Assoc: s.choiceInt(4, 8, 8, 16),
+		LineBytes: line, Latency: s.between(8, 24),
+	}
+	c.L2Exclusive = s.rng.Intn(4) == 0
+	c.Prefetcher = PrefetchKind(s.rng.Intn(NumPrefetchKinds))
+
+	c.DRAM = DRAMKind(s.rng.Intn(NumDRAMKinds))
+	switch c.DRAM {
+	case DDR4:
+		c.DRAMLatencyNs = float64(s.between(70, 95))
+		c.DRAMBandwidthGB = float64(s.choiceInt(13, 19, 26))
+	case LPDDR5:
+		c.DRAMLatencyNs = float64(s.between(60, 85))
+		c.DRAMBandwidthGB = float64(s.choiceInt(26, 34, 51))
+	case GDDR5:
+		c.DRAMLatencyNs = float64(s.between(80, 110))
+		c.DRAMBandwidthGB = float64(s.choiceInt(112, 160, 224))
+	case HBM:
+		c.DRAMLatencyNs = float64(s.between(90, 120))
+		c.DRAMBandwidthGB = float64(s.choiceInt(128, 256, 410))
+	}
+
+	c.Name = fmt.Sprintf("%s-%dMHz-rob%d-l1d%dk-l2%dk-%s",
+		c.Core, c.FreqMHz, c.ROBSize, c.L1D.SizeKB, c.L2.SizeKB, c.DRAM)
+	if err := c.Validate(); err != nil {
+		panic(fmt.Sprintf("uarch: sampler produced invalid config: %v", err))
+	}
+	return c
+}
+
+// SampleSet draws the paper's training mixture: mostly out-of-order cores
+// with a smaller share of in-order ones ("60 out-of-order and 10 in-order"),
+// at the requested total count with the same 6:1 ratio.
+func (s *Sampler) SampleSet(total int) []*Config {
+	inorder := total / 7
+	if inorder < 1 && total > 1 {
+		inorder = 1
+	}
+	cfgs := make([]*Config, 0, total)
+	for i := 0; i < total-inorder; i++ {
+		cfgs = append(cfgs, s.Sample(OutOfOrder))
+	}
+	for i := 0; i < inorder; i++ {
+		cfgs = append(cfgs, s.Sample(InOrder))
+	}
+	for i, c := range cfgs {
+		c.Name = fmt.Sprintf("sample%02d-%s", i, c.Name)
+	}
+	return cfgs
+}
+
+// TrainingSet mirrors the paper's dataset construction: sampled
+// configurations plus the seven predefined ones.
+func TrainingSet(seed int64, sampled int) []*Config {
+	cfgs := NewSampler(seed).SampleSet(sampled)
+	return append(cfgs, Predefined()...)
+}

@@ -1,0 +1,278 @@
+// Package uarch describes microarchitecture configurations: the knobs the
+// paper samples with its gem5 configuration tool (§IV-C). A Config fully
+// determines the behaviour of the timing simulator in internal/sim, and its
+// normalized parameter vector is the input to the microarchitecture
+// representation model used for design space exploration (§VI-A).
+package uarch
+
+import (
+	"fmt"
+	"math"
+)
+
+// CoreKind selects the pipeline model.
+type CoreKind uint8
+
+// Core kinds.
+const (
+	InOrder CoreKind = iota
+	OutOfOrder
+)
+
+func (k CoreKind) String() string {
+	if k == InOrder {
+		return "inorder"
+	}
+	return "ooo"
+}
+
+// PredictorKind selects the branch predictor.
+type PredictorKind uint8
+
+// Branch predictor kinds.
+const (
+	PredStatic PredictorKind = iota // backward-taken / forward-not-taken
+	PredBimodal
+	PredGShare
+	PredTournament
+	NumPredictorKinds int = iota
+)
+
+func (p PredictorKind) String() string {
+	switch p {
+	case PredStatic:
+		return "static"
+	case PredBimodal:
+		return "bimodal"
+	case PredGShare:
+		return "gshare"
+	default:
+		return "tournament"
+	}
+}
+
+// PrefetchKind selects the L1D hardware prefetcher.
+type PrefetchKind uint8
+
+// Prefetcher kinds.
+const (
+	PrefetchNone PrefetchKind = iota
+	PrefetchNextLine
+	PrefetchStride
+	NumPrefetchKinds int = iota
+)
+
+func (p PrefetchKind) String() string {
+	switch p {
+	case PrefetchNone:
+		return "nopf"
+	case PrefetchNextLine:
+		return "nextline"
+	default:
+		return "stride"
+	}
+}
+
+// DRAMKind selects the memory technology, which fixes the latency/bandwidth
+// envelope the sampler draws from.
+type DRAMKind uint8
+
+// DRAM technologies.
+const (
+	DDR4 DRAMKind = iota
+	LPDDR5
+	GDDR5
+	HBM
+	NumDRAMKinds int = iota
+)
+
+func (d DRAMKind) String() string {
+	switch d {
+	case DDR4:
+		return "DDR4"
+	case LPDDR5:
+		return "LPDDR5"
+	case GDDR5:
+		return "GDDR5"
+	default:
+		return "HBM"
+	}
+}
+
+// FU describes one functional-unit pool.
+type FU struct {
+	Count     int  // number of units
+	Latency   int  // cycles from issue to completion
+	Pipelined bool // can accept a new op every cycle when true
+}
+
+// Cache describes one cache level.
+type Cache struct {
+	SizeKB    int
+	Assoc     int
+	LineBytes int
+	Latency   int // hit latency in cycles
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Cache) Sets() int {
+	lines := c.SizeKB * 1024 / c.LineBytes
+	return lines / c.Assoc
+}
+
+// Config is a complete microarchitecture description (~40 scalar knobs).
+type Config struct {
+	Name string
+	Core CoreKind
+
+	FreqMHz int
+
+	// Front end.
+	FetchWidth    int
+	FrontendDepth int // pipeline stages between fetch and dispatch
+	Predictor     PredictorKind
+	PredTableBits int // log2 entries of the predictor tables
+	BTBBits       int // log2 entries of the branch target buffer
+	RASEntries    int // return address stack depth
+
+	// Out-of-order window (ignored by in-order cores).
+	IssueWidth  int
+	CommitWidth int
+	ROBSize     int
+	LQSize      int
+	SQSize      int
+
+	// Execution units.
+	IntALU  FU
+	IntMul  FU
+	IntDiv  FU
+	FPALU   FU
+	FPMul   FU
+	FPDiv   FU
+	VecUnit FU
+	MemPort FU // load/store ports; latency unused (cache provides it)
+
+	// Memory hierarchy.
+	L1I         Cache
+	L1D         Cache
+	L2          Cache
+	L2Exclusive bool
+	Prefetcher  PrefetchKind
+
+	DRAM            DRAMKind
+	DRAMLatencyNs   float64
+	DRAMBandwidthGB float64
+}
+
+// Validate checks structural invariants the simulator relies on.
+func (c *Config) Validate() error {
+	chk := func(cond bool, format string, args ...any) error {
+		if !cond {
+			return fmt.Errorf("uarch %q: "+format, append([]any{c.Name}, args...)...)
+		}
+		return nil
+	}
+	checks := []error{
+		chk(c.FreqMHz >= 200 && c.FreqMHz <= 6000, "frequency %d MHz out of range", c.FreqMHz),
+		chk(c.FetchWidth >= 1 && c.FetchWidth <= 16, "fetch width %d out of range", c.FetchWidth),
+		chk(c.FrontendDepth >= 1 && c.FrontendDepth <= 24, "frontend depth %d out of range", c.FrontendDepth),
+		chk(c.IssueWidth >= 1 && c.IssueWidth <= 16, "issue width %d out of range", c.IssueWidth),
+		chk(c.CommitWidth >= 1 && c.CommitWidth <= 16, "commit width %d out of range", c.CommitWidth),
+		chk(c.Core == InOrder || c.ROBSize >= 8, "ROB size %d too small for OoO", c.ROBSize),
+		chk(c.PredTableBits >= 4 && c.PredTableBits <= 20, "predictor table bits %d out of range", c.PredTableBits),
+		chk(c.BTBBits >= 4 && c.BTBBits <= 16, "BTB bits %d out of range", c.BTBBits),
+		chk(c.DRAMLatencyNs > 0 && c.DRAMBandwidthGB > 0, "DRAM parameters must be positive"),
+	}
+	for _, cache := range []struct {
+		name string
+		c    Cache
+	}{{"L1I", c.L1I}, {"L1D", c.L1D}, {"L2", c.L2}} {
+		checks = append(checks,
+			chk(cache.c.SizeKB > 0, "%s size must be positive", cache.name),
+			chk(cache.c.Assoc > 0, "%s associativity must be positive", cache.name),
+			chk(cache.c.LineBytes >= 16 && (cache.c.LineBytes&(cache.c.LineBytes-1)) == 0,
+				"%s line size %d must be a power of two >= 16", cache.name, cache.c.LineBytes),
+			chk(cache.c.Sets() >= 1, "%s geometry yields zero sets", cache.name),
+			chk(cache.c.Latency >= 1, "%s latency must be >= 1 cycle", cache.name),
+		)
+	}
+	for _, fu := range []struct {
+		name string
+		f    FU
+	}{{"IntALU", c.IntALU}, {"IntMul", c.IntMul}, {"IntDiv", c.IntDiv},
+		{"FPALU", c.FPALU}, {"FPMul", c.FPMul}, {"FPDiv", c.FPDiv},
+		{"VecUnit", c.VecUnit}, {"MemPort", c.MemPort}} {
+		checks = append(checks,
+			chk(fu.f.Count >= 1, "%s needs at least one unit", fu.name),
+			chk(fu.f.Latency >= 1, "%s latency must be >= 1", fu.name))
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CycleNs returns the duration of one clock cycle in nanoseconds.
+func (c *Config) CycleNs() float64 { return 1000.0 / float64(c.FreqMHz) }
+
+// NumParams is the length of the normalized parameter vector.
+const NumParams = 41
+
+// Params flattens the configuration into a normalized float32 vector, the
+// input form consumed by the microarchitecture representation model. Sizes
+// and counts are log2-scaled so that doubling a resource moves the feature
+// by a constant step.
+func (c *Config) Params() []float32 {
+	log2 := func(v float64) float32 { return float32(math.Log2(v)) }
+
+	p := []float32{
+		float32(c.Core),
+		float32(c.Predictor),
+		float32(c.DRAM),
+		log2(float64(c.FreqMHz)),
+		float32(c.FetchWidth),
+		float32(c.FrontendDepth),
+		float32(c.IssueWidth),
+		float32(c.CommitWidth),
+		log2(float64(max(c.ROBSize, 1))),
+		log2(float64(max(c.LQSize, 1))),
+		log2(float64(max(c.SQSize, 1))),
+		float32(c.PredTableBits),
+		float32(c.BTBBits),
+		float32(c.RASEntries),
+		float32(c.IntALU.Count), float32(c.IntALU.Latency),
+		float32(c.IntMul.Count), float32(c.IntMul.Latency),
+		float32(c.IntDiv.Count), float32(c.IntDiv.Latency),
+		float32(c.FPALU.Count), float32(c.FPALU.Latency),
+		float32(c.FPMul.Count), float32(c.FPMul.Latency),
+		float32(c.FPDiv.Count), float32(c.FPDiv.Latency),
+		float32(c.VecUnit.Count), float32(c.MemPort.Count),
+		log2(float64(c.L1I.SizeKB)), float32(c.L1I.Assoc), float32(c.L1I.Latency),
+		log2(float64(c.L1D.SizeKB)), float32(c.L1D.Assoc), float32(c.L1D.Latency),
+		log2(float64(c.L2.SizeKB)), float32(c.L2.Assoc), float32(c.L2.Latency),
+		boolToF(c.L2Exclusive),
+		float32(c.Prefetcher),
+		log2(c.DRAMLatencyNs),
+		log2(c.DRAMBandwidthGB),
+	}
+	if len(p) != NumParams {
+		panic(fmt.Sprintf("uarch: Params produced %d values, want %d", len(p), NumParams))
+	}
+	return p
+}
+
+func boolToF(b bool) float32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
