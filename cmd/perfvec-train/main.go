@@ -31,6 +31,7 @@ func main() {
 		layers   = flag.Int("layers", 2, "model depth")
 		model    = flag.String("model", "lstm", "architecture: linear|mlp|lstm|bilstm|gru|transformer")
 		seed     = flag.Int64("seed", 1, "seed")
+		workers  = flag.Int("workers", 0, "data-parallel gradient workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 	cfg.Epochs = *epochs
 	cfg.EpochSamples = *samples
 	cfg.Seed = *seed
+	cfg.GradWorkers = *workers
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}

@@ -10,6 +10,20 @@
 // bench_test.go in this directory regenerates every table and figure of the
 // paper's evaluation as a testing.B benchmark.
 //
+// The module path is "repro" (go.mod at the repo root); the tier-1 check is
+//
+//	go build ./... && go test ./...
+//
+// The numeric substrate (internal/tensor) is a blocked, worker-pooled GEMM
+// engine: cache-tiled, register-blocked kernels for all three transpose
+// variants, with AVX2+FMA assembly micro-kernels on amd64 (runtime-detected,
+// portable Go fallback elsewhere), leading-dimension-parameterized so fused
+// ops (MatMulBTCat for recurrent cells, MatMulBTCols for attention heads)
+// run on column sub-views without copies. Data-parallel ops dispatch to a
+// persistent worker pool sized to GOMAXPROCS, and perfvec.Trainer shards
+// minibatches across gradient workers with deterministic reduction, so both
+// the kernel layer and the training loop scale with cores.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 package repro

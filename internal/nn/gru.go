@@ -29,10 +29,10 @@ func newGRULayer(rng *rand.Rand, in, hidden int) *gruLayer {
 
 func (l *gruLayer) step(tp *tensor.Tape, x, h *tensor.Tensor) *tensor.Tensor {
 	H := l.hidden
-	zr := tensor.Sigmoid(tp, tensor.AddBias(tp, tensor.MatMulBT(tp, tensor.ConcatCols(tp, x, h), l.Wzr), l.Bzr))
+	zr := tensor.Sigmoid(tp, tensor.AddBias(tp, tensor.MatMulBTCat(tp, x, h, l.Wzr), l.Bzr))
 	z := tensor.SliceCols(tp, zr, 0, H)
 	r := tensor.SliceCols(tp, zr, H, 2*H)
-	n := tensor.Tanh(tp, tensor.AddBias(tp, tensor.MatMulBT(tp, tensor.ConcatCols(tp, x, tensor.Mul(tp, r, h)), l.Wn), l.Bn))
+	n := tensor.Tanh(tp, tensor.AddBias(tp, tensor.MatMulBTCat(tp, x, tensor.Mul(tp, r, h), l.Wn), l.Bn))
 	// h' = (1-z)*n + z*h  =  n - z*n + z*h
 	return tensor.Add(tp, tensor.Sub(tp, n, tensor.Mul(tp, z, n)), tensor.Mul(tp, z, h))
 }

@@ -31,7 +31,7 @@ func newLSTMLayer(rng *rand.Rand, in, hidden int) *lstmLayer {
 // step advances one timestep: returns (h', c').
 func (l *lstmLayer) step(tp *tensor.Tape, x, h, c *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
 	H := l.hidden
-	z := tensor.AddBias(tp, tensor.MatMulBT(tp, tensor.ConcatCols(tp, x, h), l.W), l.B)
+	z := tensor.AddBias(tp, tensor.MatMulBTCat(tp, x, h, l.W), l.B)
 	i := tensor.Sigmoid(tp, tensor.SliceCols(tp, z, 0, H))
 	f := tensor.Sigmoid(tp, tensor.SliceCols(tp, z, H, 2*H))
 	g := tensor.Tanh(tp, tensor.SliceCols(tp, z, 2*H, 3*H))

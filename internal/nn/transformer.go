@@ -47,10 +47,11 @@ func (b *encoderBlock) forward(tp *tensor.Tape, x *tensor.Tensor) *tensor.Tensor
 	scale := float32(1 / math.Sqrt(float64(dk)))
 	var headsOut *tensor.Tensor
 	for h := 0; h < b.heads; h++ {
-		qs := tensor.SliceCols(tp, q, h*dk, (h+1)*dk)
-		ks := tensor.SliceCols(tp, k, h*dk, (h+1)*dk)
+		// Q*K^T runs directly on the head's column range of the full
+		// projections; only V still needs a materialized slice (its rows are
+		// gathered by the att*V product).
 		vs := tensor.SliceCols(tp, v, h*dk, (h+1)*dk)
-		att := tensor.SoftmaxRows(tp, tensor.Scale(tp, tensor.MatMulBT(tp, qs, ks), scale))
+		att := tensor.SoftmaxRows(tp, tensor.Scale(tp, tensor.MatMulBTCols(tp, q, k, h*dk, (h+1)*dk), scale))
 		o := tensor.MatMul(tp, att, vs)
 		if headsOut == nil {
 			headsOut = o

@@ -58,6 +58,18 @@ type Config struct {
 	// a little convergence speed for wall-clock feasibility.
 	EpochSamples int
 
+	// GradWorkers is the number of data-parallel gradient workers per
+	// training step (§IV-C trains data-parallel across GPUs; here each
+	// worker is a goroutine with its own tape and gradient buffers over
+	// shared weights). The minibatch is sharded across workers, each
+	// computes the gradient of its shard's loss, and the shard gradients
+	// are reduced in worker order before the optimizer step. 0 means
+	// GOMAXPROCS; 1 runs the unsharded serial step. Results are bitwise
+	// reproducible at a fixed worker count but differ slightly across
+	// counts (shard-reduction rounding), so DefaultConfig pins this to 1;
+	// the training CLIs opt into scaling with cores explicitly.
+	GradWorkers int
+
 	// TargetScale multiplies raw incremental latencies (0.1 ns ticks)
 	// before they enter the MSE loss, keeping optimization well-scaled.
 	// Predictions are divided by it on the way out, so the composition
@@ -75,6 +87,7 @@ func DefaultConfig() Config {
 		LR: 1e-3, LRDecayStep: 10, ClipNorm: 5,
 		Seed:         1,
 		EpochSamples: 0,
+		GradWorkers:  1, // numerics independent of the host's core count
 		TargetScale:  0.05,
 	}
 }

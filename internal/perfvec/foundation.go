@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/nn"
 	"repro/internal/sim"
@@ -50,31 +48,21 @@ func (f *Foundation) Forward(tp *tensor.Tape, xs []*tensor.Tensor) *tensor.Tenso
 
 // InstructionReps generates the representation of every instruction in p.
 // Per §III-B this is embarrassingly parallel: chunks of the trace are
-// encoded concurrently (the model is read-only during inference). The
-// result is an [N x RepDim] matrix.
+// encoded concurrently through the tensor worker pool (the model is
+// read-only during inference). The result is an [N x RepDim] matrix.
 func (f *Foundation) InstructionReps(p *ProgramData) *tensor.Tensor {
 	out := tensor.New(p.N, f.Cfg.RepDim)
 	const chunk = 256
 	nChunks := (p.N + chunk - 1) / chunk
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for c := 0; c < nChunks; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	tensor.Parallel(nChunks, func(c0, c1 int) {
+		for c := c0; c < c1; c++ {
 			from := c * chunk
-			to := from + chunk
-			if to > p.N {
-				to = p.N
-			}
+			to := min(from+chunk, p.N)
 			xs := WindowsFor(p, from, to, f.Cfg.Window)
 			reps := f.Forward(nil, xs)
 			copy(out.Data[from*f.Cfg.RepDim:to*f.Cfg.RepDim], reps.Data)
-		}(c)
-	}
-	wg.Wait()
+		}
+	})
 	return out
 }
 

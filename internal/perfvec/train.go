@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -27,6 +29,51 @@ type Trainer struct {
 	Naive bool
 	// Quiet suppresses progress logging to w.
 	Log io.Writer
+
+	workers []*gradWorker // lazily built data-parallel replicas
+}
+
+// gradWorker is one data-parallel training replica: a shadow of the model
+// and table whose parameter tensors share Data with the master (weights are
+// only read during forward/backward) but have their own Grad buffers, plus a
+// private tape reused across steps.
+type gradWorker struct {
+	model  *Foundation
+	table  *Table
+	params []*tensor.Tensor
+	tape   *tensor.Tape
+	loss   float64
+}
+
+// gradWorkers builds (once) the data-parallel replicas for stepReuse.
+func (t *Trainer) gradWorkers() []*gradWorker {
+	if t.workers != nil {
+		return t.workers
+	}
+	n := t.Model.Cfg.GradWorkers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n == 1 {
+		t.workers = []*gradWorker{}
+		return t.workers
+	}
+	master := t.params()
+	for w := 0; w < n; w++ {
+		// NewFoundation's random init is discarded when Data is aliased
+		// below — a one-time O(workers x params) startup cost, accepted to
+		// avoid structure-only constructors across the nn package.
+		model := NewFoundation(t.Model.Cfg)
+		table := &Table{M: tensor.New(t.Table.M.Shape...)}
+		params := append(model.Params(), table.M)
+		for i, p := range params {
+			p.Data = master[i].Data // share weights, not gradients
+		}
+		t.workers = append(t.workers, &gradWorker{
+			model: model, table: table, params: params, tape: tensor.NewTape(),
+		})
+	}
+	return t.workers
 }
 
 // NewTrainer builds a trainer with a fresh table sized to the dataset.
@@ -104,20 +151,83 @@ func (t *Trainer) Train(d *Dataset) *TrainResult {
 
 // stepReuse is the efficient training step of §IV-B: one encoder forward
 // pass produces R_i, which is reused to predict the incremental latency on
-// all K microarchitectures simultaneously via a single matrix product.
+// all K microarchitectures simultaneously via a single matrix product. With
+// more than one gradient worker the minibatch is sharded: each worker
+// backpropagates its shard's loss scaled by the shard's fraction of the
+// batch, so the reduced gradient equals the full-batch MSE gradient, and the
+// reduction runs in fixed worker order for run-to-run determinism at a given
+// worker count.
 func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 	cfg := t.Model.Cfg
-	xs, targets := d.batch(batch, cfg.Window, cfg.TargetScale)
-	tp := tensor.NewTape()
-	reps := t.Model.Forward(tp, xs)               // [B x D]
-	preds := tensor.MatMulBT(tp, reps, t.Table.M) // [B x K]
-	loss := nn.MSE(tp, preds, targets)
-	tp.Backward(loss)
-	if cfg.ClipNorm > 0 {
-		nn.ClipGradients(t.params(), cfg.ClipNorm)
+	workers := t.gradWorkers()
+	nW := len(workers)
+	if nW > len(batch) {
+		nW = len(batch)
 	}
-	opt.Step(t.params())
-	return float64(loss.Data[0])
+	if nW < 2 {
+		xs, targets := d.batch(batch, cfg.Window, cfg.TargetScale)
+		tp := tensor.NewTape()
+		reps := t.Model.Forward(tp, xs)               // [B x D]
+		preds := tensor.MatMulBT(tp, reps, t.Table.M) // [B x K]
+		loss := nn.MSE(tp, preds, targets)
+		tp.Backward(loss)
+		if cfg.ClipNorm > 0 {
+			nn.ClipGradients(t.params(), cfg.ClipNorm)
+		}
+		opt.Step(t.params())
+		return float64(loss.Data[0])
+	}
+
+	chunk := (len(batch) + nW - 1) / nW
+	var wg sync.WaitGroup
+	for wi := 0; wi < nW; wi++ {
+		from := wi * chunk
+		to := min(from+chunk, len(batch))
+		w := workers[wi]
+		w.loss = 0
+		if from >= to {
+			continue
+		}
+		wg.Add(1)
+		go func(w *gradWorker, shard []int, frac float32) {
+			defer wg.Done()
+			xs, targets := d.batch(shard, cfg.Window, cfg.TargetScale)
+			w.tape.Reset()
+			reps := w.model.Forward(w.tape, xs)
+			preds := tensor.MatMulBT(w.tape, reps, w.table.M)
+			loss := tensor.Scale(w.tape, nn.MSE(w.tape, preds, targets), frac)
+			w.tape.Backward(loss)
+			w.loss = float64(loss.Data[0])
+		}(w, batch[from:to], float32(to-from)/float32(len(batch)))
+	}
+	wg.Wait()
+
+	// Reduce shard gradients into the master parameters in worker order.
+	master := t.params()
+	var total float64
+	for wi := 0; wi < nW; wi++ {
+		w := workers[wi]
+		total += w.loss
+		for pi, p := range w.params {
+			if p.Grad == nil {
+				continue
+			}
+			g := master[pi].Grad
+			if g == nil {
+				master[pi].Grad = append([]float32(nil), p.Grad...)
+			} else {
+				for i, gv := range p.Grad {
+					g[i] += gv
+				}
+			}
+			p.ZeroGrad()
+		}
+	}
+	if cfg.ClipNorm > 0 {
+		nn.ClipGradients(master, cfg.ClipNorm)
+	}
+	opt.Step(master)
+	return total
 }
 
 // stepNaive predicts one microarchitecture per step: the slow baseline whose

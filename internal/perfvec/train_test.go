@@ -1,0 +1,80 @@
+package perfvec
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// TestDataParallelTrainingMatchesSerial shards minibatches across gradient
+// workers and checks the result against single-worker training: shard
+// gradients are scaled by shard fraction and reduced in worker order, so the
+// parallel step optimizes the same full-batch loss. Floating-point reduction
+// order differs, so the comparison is tolerance-based, not bitwise.
+func TestDataParallelTrainingMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	pds, _ := tinyData(t, 1500)
+
+	run := func(workers int) (*TrainResult, *Trainer) {
+		d, err := NewDataset(pds, 0.2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := tinyConfig()
+		cfg.GradWorkers = workers
+		model := NewFoundation(cfg)
+		tr := NewTrainer(model, pds[0].K)
+		res := tr.Train(d)
+		return res, tr
+	}
+
+	serial, _ := run(1)
+	parallel, _ := run(3)
+
+	if len(serial.TrainLoss) != len(parallel.TrainLoss) {
+		t.Fatalf("epoch count differs: %d vs %d", len(serial.TrainLoss), len(parallel.TrainLoss))
+	}
+	for e := range serial.TrainLoss {
+		s, p := serial.TrainLoss[e], parallel.TrainLoss[e]
+		if math.Abs(s-p) > 1e-2*math.Max(1, math.Abs(s)) {
+			t.Errorf("epoch %d train loss diverged: serial %.6f parallel %.6f", e, s, p)
+		}
+	}
+	// Both runs must actually learn.
+	for name, r := range map[string]*TrainResult{"serial": serial, "parallel": parallel} {
+		first, last := r.TrainLoss[0], r.TrainLoss[len(r.TrainLoss)-1]
+		if !(last < first) {
+			t.Errorf("%s: train loss did not decrease (%.6f -> %.6f)", name, first, last)
+		}
+	}
+}
+
+// TestDataParallelDeterministicAtFixedWorkerCount reruns parallel training
+// with identical seeds and worker counts; shard boundaries and the reduction
+// order are fixed, so results must be bitwise reproducible.
+func TestDataParallelDeterministicAtFixedWorkerCount(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	pds, _ := tinyData(t, 1200)
+
+	run := func() []float64 {
+		d, err := NewDataset(pds, 0.2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := tinyConfig()
+		cfg.GradWorkers = 3
+		cfg.Epochs = 2
+		tr := NewTrainer(NewFoundation(cfg), pds[0].K)
+		return tr.Train(d).TrainLoss
+	}
+
+	first := run()
+	second := run()
+	for e := range first {
+		if first[e] != second[e] {
+			t.Fatalf("epoch %d: %v vs %v — parallel training is nondeterministic", e, first[e], second[e])
+		}
+	}
+}

@@ -1,0 +1,41 @@
+//go:build amd64
+
+package tensor
+
+// useFMA routes the GEMM panel kernels through the AVX2+FMA assembly
+// micro-kernels in gemm_amd64.s when the CPU and OS support 256-bit vector
+// state. The portable register-blocked Go kernels remain as the fallback (and
+// as the reference the tests compare against).
+var useFMA = cpuHasAVX2FMA()
+
+// cpuHasAVX2FMA reports whether the processor supports AVX2 and FMA3 and the
+// OS preserves YMM state across context switches (OSXSAVE + XGETBV).
+func cpuHasAVX2FMA() bool
+
+// fmaSaxpy4 computes d_r[j] = fma(a_r, b[j], d_r[j]) for r in 0..3 and
+// j in [0,n): four simultaneous scaled-row accumulations sharing one load of
+// b. The vector body and the scalar tail both use fused multiply-adds, so
+// every element sees the identical operation regardless of its lane.
+//
+//go:noescape
+func fmaSaxpy4(d0, d1, d2, d3, b *float32, a0, a1, a2, a3 float32, n int)
+
+// fmaSaxpy1 is the single-row form of fmaSaxpy4, used for row remainders so
+// that a row's arithmetic does not depend on whether it fell into a 4-row
+// tile (which is what keeps parallel and serial results bitwise identical).
+//
+//go:noescape
+func fmaSaxpy1(d, b *float32, a float32, n int)
+
+// fmaDot4 computes out[r] = a . b_r for r in 0..3, sharing one load of a
+// across four dot products. Each dot accumulates eight vector lanes over the
+// main body, a scalar-lane tail, and a fixed horizontal-reduction tree.
+//
+//go:noescape
+func fmaDot4(a, b0, b1, b2, b3 *float32, k int, out *float32)
+
+// fmaDot1 is the single-dot form of fmaDot4 with the identical accumulation
+// structure, used for b-row remainders.
+//
+//go:noescape
+func fmaDot1(a, b *float32, k int) float32

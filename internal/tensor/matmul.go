@@ -1,76 +1,452 @@
 package tensor
 
-// Raw GEMM kernels shared by the forward and backward passes. All kernels
-// accumulate into dst (callers zero dst when overwrite semantics are needed)
-// and parallelize across rows of the output when the work is large enough.
+import "sync"
+
+// Blocked GEMM kernels shared by the forward and backward passes.
+//
+// All kernels accumulate into dst (callers zero dst when overwrite semantics
+// are needed) and parallelize across rows of the output when the work is
+// large enough. Each is built from a 4x4 register-blocked micro-kernel over
+// cache-sized panels (gemmBlock*): the micro-kernel holds a 4x4 tile of the
+// output in scalar registers and streams the shared operand panel through L1,
+// so every loaded input element feeds four multiply-adds instead of one.
+//
+// Layout is parameterized by leading dimensions (lda/ldb/ldc), which lets the
+// fused ops in ops.go (MatMulBTCat, MatMulBTCols) run the same kernels
+// directly on column sub-views of a matrix without materializing copies.
+//
+// The kernels are deliberately branch-free in the data: the seed versions
+// skipped zero multiplicands, which made their timing depend on input
+// sparsity (fast on ReLU-sparse activations, slow on dense gradients) and
+// made benchmark numbers incomparable across inputs. Constant-time kernels
+// cost a few extra multiplies on sparse inputs but give shape-only-dependent
+// throughput, which is what the kernel benchmarks in bench_test.go and
+// matmul_test.go cite.
+//
+// Every per-element accumulation runs in ascending reduction order regardless
+// of panel boundaries or worker count, so results are bitwise-identical
+// between serial and parallel execution (see TestGEMMParallelMatchesSerial).
+
+// packPool recycles gemmTN's transposition scratch: that kernel runs inside
+// every op's backward pass (dW += dC^T * X), so per-call allocation would
+// put steady GC pressure on the training loop.
+var packPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// packBuf returns a pooled scratch slice with capacity at least n.
+func packBuf(n int) *[]float32 {
+	p := packPool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	return p
+}
+
+const (
+	// gemmBlockK is the k-panel depth: a 4-row A stripe of this depth plus
+	// the B panel below stay L1-resident across the j loop.
+	gemmBlockK = 64
+	// gemmBlockN is the n-panel width: a gemmBlockK x gemmBlockN B block is
+	// 16 KiB, reused across every row tile of the output panel.
+	gemmBlockN = 64
+	// gemmBlockM is the reduction-panel height packed at a time by gemmTN.
+	gemmBlockM = 64
+)
 
 // mmNN computes dst[m,n] += a[m,k] * b[k,n].
-func mmNN(dst, a, b []float32, m, k, n int) {
-	body := func(start, end int) {
-		for i := start; i < end; i++ {
-			di := dst[i*n : (i+1)*n]
-			ai := a[i*k : (i+1)*k]
-			for l, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bl := b[l*n : (l+1)*n]
-				for j, bv := range bl {
-					di[j] += av * bv
-				}
-			}
-		}
-	}
-	if m*n*k >= parallelThreshold {
-		Parallel(m, body)
-	} else {
-		body(0, m)
-	}
-}
+func mmNN(dst, a, b []float32, m, k, n int) { gemmNN(dst, a, b, m, k, n, k, n, n) }
 
 // mmNT computes dst[m,n] += a[m,k] * b[n,k]^T.
-func mmNT(dst, a, b []float32, m, k, n int) {
-	body := func(start, end int) {
-		for i := start; i < end; i++ {
-			ai := a[i*k : (i+1)*k]
-			di := dst[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := b[j*k : (j+1)*k]
-				var sum float32
-				for l, av := range ai {
-					sum += av * bj[l]
-				}
-				di[j] += sum
+func mmNT(dst, a, b []float32, m, k, n int) { gemmNT(dst, a, b, m, k, n, k, k, n) }
+
+// mmTN computes dst[k,n] += a[m,k]^T * b[m,n].
+func mmTN(dst, a, b []float32, m, k, n int) { gemmTN(dst, a, b, m, k, n, k, n, n) }
+
+// gemmNN computes dst[i*ldc+j] += sum_l a[i*lda+l] * b[l*ldb+j] for
+// i in [0,m), j in [0,n), l in [0,k).
+func gemmNN(dst, a, b []float32, m, k, n, lda, ldb, ldc int) {
+	ParallelWork(m, m*n*k, func(i0, i1 int) {
+		for kb := 0; kb < k; kb += gemmBlockK {
+			kEnd := min(kb+gemmBlockK, k)
+			for jb := 0; jb < n; jb += gemmBlockN {
+				jEnd := min(jb+gemmBlockN, n)
+				gemmNNPanel(dst, a, b, i0, i1, jb, jEnd, kb, kEnd, lda, ldb, ldc)
 			}
 		}
+	})
+}
+
+// gemmNNPanel updates output rows [i0,i1), columns [j0,j1) from reduction
+// indices [k0,k1).
+func gemmNNPanel(dst, a, b []float32, i0, i1, j0, j1, k0, k1, lda, ldb, ldc int) {
+	if useFMA {
+		w := j1 - j0
+		i := i0
+		for ; i+4 <= i1; i += 4 {
+			a0 := a[i*lda+k0 : i*lda+k1]
+			a1 := a[(i+1)*lda+k0 : (i+1)*lda+k1]
+			a2 := a[(i+2)*lda+k0 : (i+2)*lda+k1]
+			a3 := a[(i+3)*lda+k0 : (i+3)*lda+k1]
+			d0 := dst[i*ldc+j0:]
+			d1 := dst[(i+1)*ldc+j0:]
+			d2 := dst[(i+2)*ldc+j0:]
+			d3 := dst[(i+3)*ldc+j0:]
+			for l := range a0 {
+				bl := b[(k0+l)*ldb+j0:]
+				fmaSaxpy4(&d0[0], &d1[0], &d2[0], &d3[0], &bl[0], a0[l], a1[l], a2[l], a3[l], w)
+			}
+		}
+		for ; i < i1; i++ {
+			ai := a[i*lda+k0 : i*lda+k1]
+			di := dst[i*ldc+j0:]
+			for l := range ai {
+				bl := b[(k0+l)*ldb+j0:]
+				fmaSaxpy1(&di[0], &bl[0], ai[l], w)
+			}
+		}
+		return
 	}
-	if m*n*k >= parallelThreshold {
-		Parallel(m, body)
-	} else {
-		body(0, m)
+	i := i0
+	for ; i+4 <= i1; i += 4 {
+		a0 := a[i*lda+k0 : i*lda+k1]
+		a1 := a[(i+1)*lda+k0 : (i+1)*lda+k1]
+		a2 := a[(i+2)*lda+k0 : (i+2)*lda+k1]
+		a3 := a[(i+3)*lda+k0 : (i+3)*lda+k1]
+		d0 := dst[i*ldc:]
+		d1 := dst[(i+1)*ldc:]
+		d2 := dst[(i+2)*ldc:]
+		d3 := dst[(i+3)*ldc:]
+		j := j0
+		for ; j+4 <= j1; j += 4 {
+			microNN4x4(d0, d1, d2, d3, a0, a1, a2, a3, b, j, k0, ldb)
+		}
+		for ; j < j1; j++ {
+			bi := k0*ldb + j
+			c0, c1, c2, c3 := d0[j], d1[j], d2[j], d3[j]
+			for l := 0; l < len(a0); l++ {
+				bv := b[bi]
+				c0 += a0[l] * bv
+				c1 += a1[l] * bv
+				c2 += a2[l] * bv
+				c3 += a3[l] * bv
+				bi += ldb
+			}
+			d0[j], d1[j], d2[j], d3[j] = c0, c1, c2, c3
+		}
+	}
+	for ; i < i1; i++ {
+		ai := a[i*lda+k0 : i*lda+k1]
+		di := dst[i*ldc:]
+		for j := j0; j < j1; j++ {
+			bi := k0*ldb + j
+			c := di[j]
+			for l := 0; l < len(ai); l++ {
+				c += ai[l] * b[bi]
+				bi += ldb
+			}
+			di[j] = c
+		}
 	}
 }
 
-// mmTN computes dst[k,n] += a[m,k]^T * b[m,n].
-func mmTN(dst, a, b []float32, m, k, n int) {
-	body := func(start, end int) {
-		for l := start; l < end; l++ {
-			dl := dst[l*n : (l+1)*n]
-			for i := 0; i < m; i++ {
-				av := a[i*k+l]
-				if av == 0 {
-					continue
+// microNN4x4 is the register-blocked inner kernel of gemmNN: a 4x4 output
+// tile at column j, accumulated over the a-row slices (already limited to the
+// current k-panel, whose first index is k0 in b's coordinates).
+func microNN4x4(d0, d1, d2, d3, a0, a1, a2, a3, b []float32, j, k0, ldb int) {
+	c00, c01, c02, c03 := d0[j], d0[j+1], d0[j+2], d0[j+3]
+	c10, c11, c12, c13 := d1[j], d1[j+1], d1[j+2], d1[j+3]
+	c20, c21, c22, c23 := d2[j], d2[j+1], d2[j+2], d2[j+3]
+	c30, c31, c32, c33 := d3[j], d3[j+1], d3[j+2], d3[j+3]
+	bi := k0*ldb + j
+	for l := 0; l < len(a0); l++ {
+		bl := b[bi : bi+4 : bi+4]
+		b0, b1, b2, b3 := bl[0], bl[1], bl[2], bl[3]
+		av := a0[l]
+		c00 += av * b0
+		c01 += av * b1
+		c02 += av * b2
+		c03 += av * b3
+		av = a1[l]
+		c10 += av * b0
+		c11 += av * b1
+		c12 += av * b2
+		c13 += av * b3
+		av = a2[l]
+		c20 += av * b0
+		c21 += av * b1
+		c22 += av * b2
+		c23 += av * b3
+		av = a3[l]
+		c30 += av * b0
+		c31 += av * b1
+		c32 += av * b2
+		c33 += av * b3
+		bi += ldb
+	}
+	d0[j], d0[j+1], d0[j+2], d0[j+3] = c00, c01, c02, c03
+	d1[j], d1[j+1], d1[j+2], d1[j+3] = c10, c11, c12, c13
+	d2[j], d2[j+1], d2[j+2], d2[j+3] = c20, c21, c22, c23
+	d3[j], d3[j+1], d3[j+2], d3[j+3] = c30, c31, c32, c33
+}
+
+// gemmNT computes dst[i*ldc+j] += sum_l a[i*lda+l] * b[j*ldb+l] for
+// i in [0,m), j in [0,n), l in [0,k). Both operands are traversed along
+// contiguous rows, so no packing or k-blocking is needed: the 4x4 tile reads
+// eight sequential streams and keeps its sixteen dot products in registers.
+func gemmNT(dst, a, b []float32, m, k, n, lda, ldb, ldc int) {
+	ParallelWork(m, m*n*k, func(i0, i1 int) {
+		if useFMA {
+			gemmNTFMA(dst, a, b, i0, i1, k, n, lda, ldb, ldc)
+			return
+		}
+		i := i0
+		for ; i+4 <= i1; i += 4 {
+			a0 := a[i*lda : i*lda+k]
+			a1 := a[(i+1)*lda : (i+1)*lda+k]
+			a2 := a[(i+2)*lda : (i+2)*lda+k]
+			a3 := a[(i+3)*lda : (i+3)*lda+k]
+			d0 := dst[i*ldc:]
+			d1 := dst[(i+1)*ldc:]
+			d2 := dst[(i+2)*ldc:]
+			d3 := dst[(i+3)*ldc:]
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				microNT4x4(d0, d1, d2, d3, a0, a1, a2, a3, b, j, k, ldb)
+			}
+			for ; j < n; j++ {
+				bj := b[j*ldb : j*ldb+k]
+				c0, c1, c2, c3 := d0[j], d1[j], d2[j], d3[j]
+				for l, bv := range bj {
+					c0 += a0[l] * bv
+					c1 += a1[l] * bv
+					c2 += a2[l] * bv
+					c3 += a3[l] * bv
 				}
-				bi := b[i*n : (i+1)*n]
-				for j, bv := range bi {
-					dl[j] += av * bv
-				}
+				d0[j], d1[j], d2[j], d3[j] = c0, c1, c2, c3
 			}
 		}
+		for ; i < i1; i++ {
+			ai := a[i*lda : i*lda+k]
+			di := dst[i*ldc:]
+			for j := 0; j < n; j++ {
+				bj := b[j*ldb : j*ldb+k]
+				c := di[j]
+				for l, bv := range bj {
+					c += ai[l] * bv
+				}
+				di[j] = c
+			}
+		}
+	})
+}
+
+// gemmNTFMA is the AVX2 path of gemmNT for output rows [i0,i1): dot-product
+// tiles sharing operand-row loads through fmaDot4, with fmaDot1 (identical
+// accumulation structure) covering the b-row remainder.
+func gemmNTFMA(dst, a, b []float32, i0, i1, k, n, lda, ldb, ldc int) {
+	var sums [4]float32
+	i := i0
+	for ; i+4 <= i1; i += 4 {
+		a0 := a[i*lda : i*lda+k]
+		a1 := a[(i+1)*lda : (i+1)*lda+k]
+		a2 := a[(i+2)*lda : (i+2)*lda+k]
+		a3 := a[(i+3)*lda : (i+3)*lda+k]
+		d0 := dst[i*ldc:]
+		d1 := dst[(i+1)*ldc:]
+		d2 := dst[(i+2)*ldc:]
+		d3 := dst[(i+3)*ldc:]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := &b[j*ldb]
+			b1 := &b[(j+1)*ldb]
+			b2 := &b[(j+2)*ldb]
+			b3 := &b[(j+3)*ldb]
+			fmaDot4(&a0[0], b0, b1, b2, b3, k, &sums[0])
+			d0[j] += sums[0]
+			d0[j+1] += sums[1]
+			d0[j+2] += sums[2]
+			d0[j+3] += sums[3]
+			fmaDot4(&a1[0], b0, b1, b2, b3, k, &sums[0])
+			d1[j] += sums[0]
+			d1[j+1] += sums[1]
+			d1[j+2] += sums[2]
+			d1[j+3] += sums[3]
+			fmaDot4(&a2[0], b0, b1, b2, b3, k, &sums[0])
+			d2[j] += sums[0]
+			d2[j+1] += sums[1]
+			d2[j+2] += sums[2]
+			d2[j+3] += sums[3]
+			fmaDot4(&a3[0], b0, b1, b2, b3, k, &sums[0])
+			d3[j] += sums[0]
+			d3[j+1] += sums[1]
+			d3[j+2] += sums[2]
+			d3[j+3] += sums[3]
+		}
+		for ; j < n; j++ {
+			bj := &b[j*ldb]
+			d0[j] += fmaDot1(&a0[0], bj, k)
+			d1[j] += fmaDot1(&a1[0], bj, k)
+			d2[j] += fmaDot1(&a2[0], bj, k)
+			d3[j] += fmaDot1(&a3[0], bj, k)
+		}
 	}
-	if m*n*k >= parallelThreshold {
-		Parallel(k, body)
-	} else {
-		body(0, k)
+	for ; i < i1; i++ {
+		ai := a[i*lda : i*lda+k]
+		di := dst[i*ldc:]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			fmaDot4(&ai[0], &b[j*ldb], &b[(j+1)*ldb], &b[(j+2)*ldb], &b[(j+3)*ldb], k, &sums[0])
+			di[j] += sums[0]
+			di[j+1] += sums[1]
+			di[j+2] += sums[2]
+			di[j+3] += sums[3]
+		}
+		for ; j < n; j++ {
+			di[j] += fmaDot1(&ai[0], &b[j*ldb], k)
+		}
+	}
+}
+
+// microNT4x4 accumulates a 4x4 tile of row-dot-products: four a-rows against
+// b-rows j..j+3, all along the contiguous k axis.
+func microNT4x4(d0, d1, d2, d3, a0, a1, a2, a3, b []float32, j, k, ldb int) {
+	b0 := b[j*ldb : j*ldb+k]
+	b1 := b[(j+1)*ldb : (j+1)*ldb+k]
+	b2 := b[(j+2)*ldb : (j+2)*ldb+k]
+	b3 := b[(j+3)*ldb : (j+3)*ldb+k]
+	c00, c01, c02, c03 := d0[j], d0[j+1], d0[j+2], d0[j+3]
+	c10, c11, c12, c13 := d1[j], d1[j+1], d1[j+2], d1[j+3]
+	c20, c21, c22, c23 := d2[j], d2[j+1], d2[j+2], d2[j+3]
+	c30, c31, c32, c33 := d3[j], d3[j+1], d3[j+2], d3[j+3]
+	for l := 0; l < k; l++ {
+		bv0, bv1, bv2, bv3 := b0[l], b1[l], b2[l], b3[l]
+		av := a0[l]
+		c00 += av * bv0
+		c01 += av * bv1
+		c02 += av * bv2
+		c03 += av * bv3
+		av = a1[l]
+		c10 += av * bv0
+		c11 += av * bv1
+		c12 += av * bv2
+		c13 += av * bv3
+		av = a2[l]
+		c20 += av * bv0
+		c21 += av * bv1
+		c22 += av * bv2
+		c23 += av * bv3
+		av = a3[l]
+		c30 += av * bv0
+		c31 += av * bv1
+		c32 += av * bv2
+		c33 += av * bv3
+	}
+	d0[j], d0[j+1], d0[j+2], d0[j+3] = c00, c01, c02, c03
+	d1[j], d1[j+1], d1[j+2], d1[j+3] = c10, c11, c12, c13
+	d2[j], d2[j+1], d2[j+2], d2[j+3] = c20, c21, c22, c23
+	d3[j], d3[j+1], d3[j+2], d3[j+3] = c30, c31, c32, c33
+}
+
+// gemmTN computes dst[l*ldc+j] += sum_i a[i*lda+l] * b[i*ldb+j] for
+// l in [0,k), j in [0,n), i in [0,m). a is accessed column-wise, so each
+// worker packs the a-columns it owns into a transposed panel (one
+// gemmBlockM-deep stripe at a time) and then runs the same register-blocked
+// tile as gemmNN over contiguous data.
+func gemmTN(dst, a, b []float32, m, k, n, lda, ldb, ldc int) {
+	ParallelWork(k, m*n*k, func(l0, l1 int) {
+		rows := l1 - l0
+		scratch := packBuf(rows * gemmBlockM)
+		defer packPool.Put(scratch)
+		pack := (*scratch)[:rows*gemmBlockM]
+		for ib := 0; ib < m; ib += gemmBlockM {
+			iEnd := min(ib+gemmBlockM, m)
+			ni := iEnd - ib
+			for ii := 0; ii < ni; ii++ {
+				row := a[(ib+ii)*lda:]
+				for l := l0; l < l1; l++ {
+					pack[(l-l0)*ni+ii] = row[l]
+				}
+			}
+			bPanel := b[ib*ldb:]
+			for jb := 0; jb < n; jb += gemmBlockN {
+				jEnd := min(jb+gemmBlockN, n)
+				gemmTNPanel(dst, pack, bPanel, l0, l1, jb, jEnd, ni, ldb, ldc)
+			}
+		}
+	})
+}
+
+// gemmTNPanel updates output rows [l0,l1), columns [j0,j1) from one packed
+// reduction stripe of depth ni. pack holds the transposed a-stripe with row r
+// of the output at pack[(r-l0)*ni : (r-l0+1)*ni].
+func gemmTNPanel(dst, pack, b []float32, l0, l1, j0, j1, ni, ldb, ldc int) {
+	if useFMA {
+		w := j1 - j0
+		l := l0
+		for ; l+4 <= l1; l += 4 {
+			p := (l - l0) * ni
+			a0 := pack[p : p+ni]
+			a1 := pack[p+ni : p+2*ni]
+			a2 := pack[p+2*ni : p+3*ni]
+			a3 := pack[p+3*ni : p+4*ni]
+			d0 := dst[l*ldc+j0:]
+			d1 := dst[(l+1)*ldc+j0:]
+			d2 := dst[(l+2)*ldc+j0:]
+			d3 := dst[(l+3)*ldc+j0:]
+			for ii := 0; ii < ni; ii++ {
+				bl := b[ii*ldb+j0:]
+				fmaSaxpy4(&d0[0], &d1[0], &d2[0], &d3[0], &bl[0], a0[ii], a1[ii], a2[ii], a3[ii], w)
+			}
+		}
+		for ; l < l1; l++ {
+			al := pack[(l-l0)*ni : (l-l0+1)*ni]
+			dl := dst[l*ldc+j0:]
+			for ii := 0; ii < ni; ii++ {
+				bl := b[ii*ldb+j0:]
+				fmaSaxpy1(&dl[0], &bl[0], al[ii], w)
+			}
+		}
+		return
+	}
+	l := l0
+	for ; l+4 <= l1; l += 4 {
+		p := (l - l0) * ni
+		a0 := pack[p : p+ni]
+		a1 := pack[p+ni : p+2*ni]
+		a2 := pack[p+2*ni : p+3*ni]
+		a3 := pack[p+3*ni : p+4*ni]
+		d0 := dst[l*ldc:]
+		d1 := dst[(l+1)*ldc:]
+		d2 := dst[(l+2)*ldc:]
+		d3 := dst[(l+3)*ldc:]
+		j := j0
+		for ; j+4 <= j1; j += 4 {
+			microNN4x4(d0, d1, d2, d3, a0, a1, a2, a3, b, j, 0, ldb)
+		}
+		for ; j < j1; j++ {
+			bi := j
+			c0, c1, c2, c3 := d0[j], d1[j], d2[j], d3[j]
+			for ii := 0; ii < ni; ii++ {
+				bv := b[bi]
+				c0 += a0[ii] * bv
+				c1 += a1[ii] * bv
+				c2 += a2[ii] * bv
+				c3 += a3[ii] * bv
+				bi += ldb
+			}
+			d0[j], d1[j], d2[j], d3[j] = c0, c1, c2, c3
+		}
+	}
+	for ; l < l1; l++ {
+		al := pack[(l-l0)*ni : (l-l0+1)*ni]
+		dl := dst[l*ldc:]
+		for j := j0; j < j1; j++ {
+			bi := j
+			c := dl[j]
+			for ii := 0; ii < ni; ii++ {
+				c += al[ii] * b[bi]
+				bi += ldb
+			}
+			dl[j] = c
+		}
 	}
 }

@@ -1,0 +1,367 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// Straightforward reference implementations the blocked kernels are checked
+// against: the seed's triple loops, minus the data-dependent zero-skip
+// branches (dropped deliberately; see the package comment in matmul.go).
+
+func refNN(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for l := 0; l < k; l++ {
+			av := a[i*k+l]
+			for j := 0; j < n; j++ {
+				dst[i*n+j] += av * b[l*n+j]
+			}
+		}
+	}
+}
+
+func refNT(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum float32
+			for l := 0; l < k; l++ {
+				sum += a[i*k+l] * b[j*k+l]
+			}
+			dst[i*n+j] += sum
+		}
+	}
+}
+
+func refTN(dst, a, b []float32, m, k, n int) {
+	for l := 0; l < k; l++ {
+		for i := 0; i < m; i++ {
+			av := a[i*k+l]
+			for j := 0; j < n; j++ {
+				dst[l*n+j] += av * b[i*n+j]
+			}
+		}
+	}
+}
+
+// gemmShapes covers tile-aligned sizes, odd and prime sizes that do not
+// divide any block dimension, degenerate single-row/col cases, and the
+// model-sized shapes the trainer actually produces.
+var gemmShapes = [][3]int{
+	{1, 1, 1}, {1, 7, 1}, {2, 3, 4}, {5, 7, 3}, {3, 1, 5},
+	{4, 4, 4}, {8, 8, 8}, {16, 16, 16},
+	{63, 65, 67}, {64, 64, 64}, {65, 64, 63}, {61, 127, 31},
+	{33, 129, 65}, {127, 61, 97}, {256, 83, 128},
+}
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+// relClose reports |x-y| <= tol * max(1, |x|, |y|).
+func relClose(x, y, tol float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+	return math.Abs(x-y) <= tol*scale
+}
+
+// withFMA runs fn under each available kernel dispatch path. The SIMD path
+// only exists where the host supports it; the portable path runs everywhere.
+func withFMA(t *testing.T, fn func(t *testing.T)) {
+	t.Helper()
+	orig := useFMA
+	defer func() { useFMA = orig }()
+	useFMA = false
+	t.Run("portable", fn)
+	if orig {
+		useFMA = true
+		t.Run("simd", fn)
+	}
+}
+
+func TestGEMMGoldenAgainstReference(t *testing.T) {
+	kernels := []struct {
+		name string
+		fn   func(dst, a, b []float32, m, k, n int)
+		ref  func(dst, a, b []float32, m, k, n int)
+		// dims maps (m,k,n) to the operand and output lengths.
+		dims func(m, k, n int) (la, lb, ld int)
+	}{
+		{"NN", mmNN, refNN, func(m, k, n int) (int, int, int) { return m * k, k * n, m * n }},
+		{"NT", mmNT, refNT, func(m, k, n int) (int, int, int) { return m * k, n * k, m * n }},
+		{"TN", mmTN, refTN, func(m, k, n int) (int, int, int) { return m * k, m * n, k * n }},
+	}
+	for _, kn := range kernels {
+		t.Run(kn.name, func(t *testing.T) {
+			withFMA(t, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(42))
+				for _, sh := range gemmShapes {
+					m, k, n := sh[0], sh[1], sh[2]
+					la, lb, ld := kn.dims(m, k, n)
+					a := randSlice(rng, la)
+					b := randSlice(rng, lb)
+					got := randSlice(rng, ld) // nonzero dst checks accumulate semantics
+					want := append([]float32(nil), got...)
+					kn.fn(got, a, b, m, k, n)
+					kn.ref(want, a, b, m, k, n)
+					for i := range got {
+						if !relClose(float64(got[i]), float64(want[i]), 1e-4) {
+							t.Fatalf("%dx%dx%d: elem %d = %v, reference %v", m, k, n, i, got[i], want[i])
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestGEMMParallelMatchesSerial extends the guarantee checked by perfvec's
+// TestInstructionRepsParallelMatchesSerial down to the kernel layer, and
+// tightens it to bitwise equality: a given element's accumulation order is
+// independent of worker count, so changing GOMAXPROCS must not change a
+// single bit of the output.
+func TestGEMMParallelMatchesSerial(t *testing.T) {
+	kernels := map[string]func(dst, a, b []float32, m, k, n int){
+		"NN": mmNN, "NT": mmNT, "TN": mmTN,
+	}
+	for name, fn := range kernels {
+		t.Run(name, func(t *testing.T) {
+			withFMA(t, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(7))
+				// Odd row counts force different row-remainder handling at
+				// different chunk boundaries.
+				for _, sh := range [][3]int{{61, 67, 57}, {128, 64, 128}, {97, 33, 10}} {
+					m, k, n := sh[0], sh[1], sh[2]
+					a := randSlice(rng, m*k)
+					b := randSlice(rng, k*n)
+					if name == "TN" {
+						b = randSlice(rng, m*n)
+					}
+					serial := make([]float32, outLen(name, m, k, n))
+					parallel := append([]float32(nil), serial...)
+					prev := runtime.GOMAXPROCS(1)
+					fn(serial, a, b, m, k, n)
+					runtime.GOMAXPROCS(4)
+					fn(parallel, a, b, m, k, n)
+					runtime.GOMAXPROCS(prev)
+					for i := range serial {
+						if serial[i] != parallel[i] {
+							t.Fatalf("%dx%dx%d: elem %d differs bitwise: % x vs % x",
+								m, k, n, i, serial[i], parallel[i])
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func outLen(kind string, m, k, n int) int {
+	if kind == "TN" {
+		return k * n
+	}
+	return m * n
+}
+
+func TestMatMulBTCatMatchesConcat(t *testing.T) {
+	withFMA(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(5))
+		for _, sh := range [][3]int{{3, 4, 5}, {9, 13, 7}, {32, 51, 64}} {
+			m, xc, hc := sh[0], sh[1], sh[2]
+			nOut := 2*hc + 1
+			x := Randn(rng, 0.5, m, xc)
+			h := Randn(rng, 0.5, m, hc)
+			w := Randn(rng, 0.5, nOut, xc+hc)
+
+			tpA := NewTape()
+			outA := MatMulBTCat(tpA, x, h, w)
+			tpA.Backward(Sum(tpA, Mul(tpA, outA, outA)))
+			gxA := append([]float32(nil), x.Grad...)
+			ghA := append([]float32(nil), h.Grad...)
+			gwA := append([]float32(nil), w.Grad...)
+			x.ZeroGrad()
+			h.ZeroGrad()
+			w.ZeroGrad()
+
+			tpB := NewTape()
+			outB := MatMulBT(tpB, ConcatCols(tpB, x, h), w)
+			tpB.Backward(Sum(tpB, Mul(tpB, outB, outB)))
+
+			for i := range outA.Data {
+				if !relClose(float64(outA.Data[i]), float64(outB.Data[i]), 1e-4) {
+					t.Fatalf("forward elem %d: %v vs %v", i, outA.Data[i], outB.Data[i])
+				}
+			}
+			check := func(name string, got, want []float32) {
+				t.Helper()
+				for i := range got {
+					if !relClose(float64(got[i]), float64(want[i]), 1e-3) {
+						t.Fatalf("%s grad elem %d: %v vs %v", name, i, got[i], want[i])
+					}
+				}
+			}
+			check("x", gxA, x.Grad)
+			check("h", ghA, h.Grad)
+			check("w", gwA, w.Grad)
+		}
+	})
+}
+
+func TestMatMulBTColsMatchesSlice(t *testing.T) {
+	withFMA(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(6))
+		for _, sh := range [][4]int{{4, 10, 2, 7}, {16, 32, 8, 16}, {7, 21, 0, 21}} {
+			m, c, from, to := sh[0], sh[1], sh[2], sh[3]
+			n := m + 3
+			a := Randn(rng, 0.5, m, c)
+			b := Randn(rng, 0.5, n, c)
+
+			tpA := NewTape()
+			outA := MatMulBTCols(tpA, a, b, from, to)
+			tpA.Backward(Sum(tpA, Mul(tpA, outA, outA)))
+			gaA := append([]float32(nil), a.Grad...)
+			gbA := append([]float32(nil), b.Grad...)
+			a.ZeroGrad()
+			b.ZeroGrad()
+
+			tpB := NewTape()
+			outB := MatMulBT(tpB, SliceCols(tpB, a, from, to), SliceCols(tpB, b, from, to))
+			tpB.Backward(Sum(tpB, Mul(tpB, outB, outB)))
+
+			for i := range outA.Data {
+				if !relClose(float64(outA.Data[i]), float64(outB.Data[i]), 1e-4) {
+					t.Fatalf("forward elem %d: %v vs %v", i, outA.Data[i], outB.Data[i])
+				}
+			}
+			for i := range gaA {
+				if !relClose(float64(gaA[i]), float64(a.Grad[i]), 1e-3) {
+					t.Fatalf("a grad elem %d: %v vs %v", i, gaA[i], a.Grad[i])
+				}
+			}
+			for i := range gbA {
+				if !relClose(float64(gbA[i]), float64(b.Grad[i]), 1e-3) {
+					t.Fatalf("b grad elem %d: %v vs %v", i, gbA[i], b.Grad[i])
+				}
+			}
+		}
+	})
+}
+
+func TestGradMatMulBTCat(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := Randn(rng, 0.5, 3, 4)
+	h := Randn(rng, 0.5, 3, 2)
+	w := Randn(rng, 0.5, 5, 6)
+	build := func(tp *Tape) *Tensor { return Sum(tp, MatMulBTCat(tp, x, h, w)) }
+	for name, p := range map[string]*Tensor{"x": x, "h": h, "w": w} {
+		if err := MaxGradError(p, build, 1e-2); err > 2e-2 {
+			t.Errorf("MatMulBTCat/%s: max relative grad error %v", name, err)
+		}
+	}
+}
+
+func TestGradMatMulBTCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := Randn(rng, 0.5, 3, 6)
+	b := Randn(rng, 0.5, 4, 6)
+	build := func(tp *Tape) *Tensor {
+		o := MatMulBTCols(tp, a, b, 2, 5)
+		return Sum(tp, Mul(tp, o, o))
+	}
+	for name, p := range map[string]*Tensor{"a": a, "b": b} {
+		if err := MaxGradError(p, build, 1e-2); err > 2e-2 {
+			t.Errorf("MatMulBTCols/%s: max relative grad error %v", name, err)
+		}
+	}
+}
+
+// TestParallelNestedNoDeadlock exercises Parallel calls issued from inside
+// pool workers: the unbuffered dispatch channel plus run-inline fallback must
+// never deadlock, whatever the nesting.
+func TestParallelNestedNoDeadlock(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	total := make([]int, 64*64)
+	Parallel(64, func(s, e int) {
+		for i := s; i < e; i++ {
+			Parallel(64, func(s2, e2 int) {
+				for j := s2; j < e2; j++ {
+					total[i*64+j]++
+				}
+			})
+		}
+	})
+	for i, v := range total {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestParallelWorkCutoff(t *testing.T) {
+	// Below the threshold the callback must receive the whole range at once.
+	calls := 0
+	ParallelWork(100, parallelThreshold-1, func(s, e int) {
+		calls++
+		if s != 0 || e != 100 {
+			t.Fatalf("serial path got chunk [%d,%d)", s, e)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial path ran %d chunks", calls)
+	}
+}
+
+// --- Kernel benchmarks ---
+//
+// The 256-cubed shape matches the acceptance benchmark in the repo root's
+// bench_test.go. Inputs are dense and nonzero: the kernels are branch-free in
+// the data (the seed skipped zero multiplicands, which made its timings
+// input-dependent), so these numbers depend only on shape.
+
+func benchGEMM(b *testing.B, fn func(dst, a, bb []float32, m, k, n int)) {
+	const m, k, n = 256, 256, 256
+	rng := rand.New(rand.NewSource(1))
+	a := randSlice(rng, m*k)
+	bb := randSlice(rng, k*n)
+	dst := make([]float32, m*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(dst, a, bb, m, k, n)
+	}
+	flops := 2 * float64(m) * float64(k) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkGEMMNN(b *testing.B) { benchGEMM(b, mmNN) }
+func BenchmarkGEMMNT(b *testing.B) { benchGEMM(b, mmNT) }
+func BenchmarkGEMMTN(b *testing.B) { benchGEMM(b, mmTN) }
+
+func BenchmarkGEMMPortable(b *testing.B) {
+	orig := useFMA
+	defer func() { useFMA = orig }()
+	useFMA = false
+	for _, kn := range []struct {
+		name string
+		fn   func(dst, a, bb []float32, m, k, n int)
+	}{{"NN", mmNN}, {"NT", mmNT}, {"TN", mmTN}} {
+		b.Run(kn.name, func(b *testing.B) { benchGEMM(b, kn.fn) })
+	}
+}
+
+func ExampleMatMulBTCat() {
+	x := FromSlice([]float32{1, 2}, 1, 2)
+	h := FromSlice([]float32{3}, 1, 1)
+	w := FromSlice([]float32{
+		1, 0, 0,
+		0, 1, 1,
+	}, 2, 3)
+	out := MatMulBTCat(nil, x, h, w)
+	fmt.Println(out.Data)
+	// Output: [1 5]
+}

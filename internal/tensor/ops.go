@@ -49,25 +49,96 @@ func MatMulBT(tp *Tape, a, b *Tensor) *Tensor {
 	return out
 }
 
-// Add returns a + b for tensors of identical shape.
-func Add(tp *Tape, a, b *Tensor) *Tensor {
-	if !SameShape(a, b) {
-		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", a.Shape, b.Shape))
+// MatMulBTCat returns [x|h] * w^T without materializing the column
+// concatenation of x[m,xc] and h[m,hc]: w[n, xc+hc] is treated as two column
+// blocks and the leading-dimension-aware kernels run directly on the
+// sub-views. This is the hot op of the recurrent cells (GRU/LSTM), where the
+// seed built a fresh ConcatCols tensor every timestep of every layer.
+func MatMulBTCat(tp *Tape, x, h, w *Tensor) *Tensor {
+	m, xc := x.Rows(), x.Cols()
+	hc := h.Cols()
+	n, wc := w.Rows(), w.Cols()
+	if h.Rows() != m || wc != xc+hc {
+		panic(fmt.Sprintf("tensor: MatMulBTCat shape mismatch [%v|%v] x %v^T", x.Shape, h.Shape, w.Shape))
 	}
-	out := New(a.Shape...)
-	for i, av := range a.Data {
-		out.Data[i] = av + b.Data[i]
+	out := New(m, n)
+	gemmNT(out.Data, x.Data, w.Data, m, xc, n, xc, wc, n)
+	gemmNT(out.Data, h.Data, w.Data[xc:], m, hc, n, hc, wc, n)
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		gx, gh, gw := x.ensureGrad(), h.ensureGrad(), w.ensureGrad()
+		// dX += dC * W[:, :xc] ; dH += dC * W[:, xc:]
+		gemmNN(gx, g, w.Data, m, n, xc, n, wc, xc)
+		gemmNN(gh, g, w.Data[xc:], m, n, hc, n, wc, hc)
+		// dW[:, :xc] += dC^T * X ; dW[:, xc:] += dC^T * H
+		gemmTN(gw, g, x.Data, m, n, xc, n, xc, wc)
+		gemmTN(gw[xc:], g, h.Data, m, n, hc, n, hc, wc)
+	})
+	return out
+}
+
+// MatMulBTCols returns a[:, from:to] * b[:, from:to]^T without materializing
+// the column slices; gradients flow back into the corresponding columns of a
+// and b. This is the attention-score form: per-head Q*K^T on column
+// sub-ranges of the full projections.
+func MatMulBTCols(tp *Tape, a, b *Tensor, from, to int) *Tensor {
+	m, ac := a.Rows(), a.Cols()
+	n, bc := b.Rows(), b.Cols()
+	if from < 0 || to > ac || to > bc || from >= to {
+		panic(fmt.Sprintf("tensor: MatMulBTCols [%d,%d) out of range for %v x %v^T", from, to, a.Shape, b.Shape))
 	}
+	w := to - from
+	out := New(m, n)
+	gemmNT(out.Data, a.Data[from:], b.Data[from:], m, w, n, ac, bc, n)
 	tp.record(func() {
 		g := out.Grad
 		if g == nil {
 			return
 		}
 		ga, gb := a.ensureGrad(), b.ensureGrad()
-		for i, gv := range g {
-			ga[i] += gv
-			gb[i] += gv
+		gemmNN(ga[from:], g, b.Data[from:], m, n, w, n, bc, ac)
+		gemmTN(gb[from:], g, a.Data[from:], m, n, w, n, ac, bc)
+	})
+	return out
+}
+
+// Elementwise ops run their loops through ParallelWork, whose work argument
+// is elements times an estimated per-element cost: 1 for arithmetic, ewTransc
+// for transcendental functions (exp/tanh), so e.g. a Sigmoid over 4k elements
+// parallelizes while an Add of the same size stays serial. Backward closures
+// partition the same index ranges; per-element gradient updates are
+// independent, so chunked execution is race-free and bitwise-deterministic
+// even when an op's two inputs alias the same tensor. Ops that reduce across
+// the partition axis in backward (AddBias, LayerNorm, Sum) keep those
+// reductions serial.
+const ewTransc = 16
+
+// Add returns a + b for tensors of identical shape.
+func Add(tp *Tape, a, b *Tensor) *Tensor {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := New(a.Shape...)
+	ParallelWork(len(out.Data), len(out.Data), func(s, e int) {
+		for i := s; i < e; i++ {
+			out.Data[i] = a.Data[i] + b.Data[i]
 		}
+	})
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		ga, gb := a.ensureGrad(), b.ensureGrad()
+		ParallelWork(len(g), len(g), func(s, e int) {
+			for i := s; i < e; i++ {
+				ga[i] += g[i]
+				gb[i] += g[i]
+			}
+		})
 	})
 	return out
 }
@@ -79,17 +150,20 @@ func AddBias(tp *Tape, a, bias *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: AddBias bias length %d != cols %d", bias.Len(), n))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		ar, or := a.Row(i), out.Data[i*n:(i+1)*n]
-		for j, av := range ar {
-			or[j] = av + bias.Data[j]
+	ParallelWork(m, m*n, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			ar, or := a.Row(i), out.Data[i*n:(i+1)*n]
+			for j, av := range ar {
+				or[j] = av + bias.Data[j]
+			}
 		}
-	}
+	})
 	tp.record(func() {
 		g := out.Grad
 		if g == nil {
 			return
 		}
+		// gb reduces across rows, so the backward stays serial.
 		ga, gb := a.ensureGrad(), bias.ensureGrad()
 		for i := 0; i < m; i++ {
 			gr := g[i*n : (i+1)*n]
@@ -109,19 +183,23 @@ func Sub(tp *Tape, a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", a.Shape, b.Shape))
 	}
 	out := New(a.Shape...)
-	for i, av := range a.Data {
-		out.Data[i] = av - b.Data[i]
-	}
+	ParallelWork(len(out.Data), len(out.Data), func(s, e int) {
+		for i := s; i < e; i++ {
+			out.Data[i] = a.Data[i] - b.Data[i]
+		}
+	})
 	tp.record(func() {
 		g := out.Grad
 		if g == nil {
 			return
 		}
 		ga, gb := a.ensureGrad(), b.ensureGrad()
-		for i, gv := range g {
-			ga[i] += gv
-			gb[i] -= gv
-		}
+		ParallelWork(len(g), len(g), func(s, e int) {
+			for i := s; i < e; i++ {
+				ga[i] += g[i]
+				gb[i] -= g[i]
+			}
+		})
 	})
 	return out
 }
@@ -132,19 +210,23 @@ func Mul(tp *Tape, a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: Mul shape mismatch %v vs %v", a.Shape, b.Shape))
 	}
 	out := New(a.Shape...)
-	for i, av := range a.Data {
-		out.Data[i] = av * b.Data[i]
-	}
+	ParallelWork(len(out.Data), len(out.Data), func(s, e int) {
+		for i := s; i < e; i++ {
+			out.Data[i] = a.Data[i] * b.Data[i]
+		}
+	})
 	tp.record(func() {
 		g := out.Grad
 		if g == nil {
 			return
 		}
 		ga, gb := a.ensureGrad(), b.ensureGrad()
-		for i, gv := range g {
-			ga[i] += gv * b.Data[i]
-			gb[i] += gv * a.Data[i]
-		}
+		ParallelWork(len(g), len(g), func(s, e int) {
+			for i := s; i < e; i++ {
+				ga[i] += g[i] * b.Data[i]
+				gb[i] += g[i] * a.Data[i]
+			}
+		})
 	})
 	return out
 }
@@ -152,18 +234,22 @@ func Mul(tp *Tape, a, b *Tensor) *Tensor {
 // Scale returns s * a.
 func Scale(tp *Tape, a *Tensor, s float32) *Tensor {
 	out := New(a.Shape...)
-	for i, av := range a.Data {
-		out.Data[i] = av * s
-	}
+	ParallelWork(len(out.Data), len(out.Data), func(start, end int) {
+		for i := start; i < end; i++ {
+			out.Data[i] = a.Data[i] * s
+		}
+	})
 	tp.record(func() {
 		g := out.Grad
 		if g == nil {
 			return
 		}
 		ga := a.ensureGrad()
-		for i, gv := range g {
-			ga[i] += gv * s
-		}
+		ParallelWork(len(g), len(g), func(start, end int) {
+			for i := start; i < end; i++ {
+				ga[i] += g[i] * s
+			}
+		})
 	})
 	return out
 }
@@ -171,19 +257,23 @@ func Scale(tp *Tape, a *Tensor, s float32) *Tensor {
 // Sigmoid returns 1/(1+exp(-a)) elementwise.
 func Sigmoid(tp *Tape, a *Tensor) *Tensor {
 	out := New(a.Shape...)
-	for i, av := range a.Data {
-		out.Data[i] = float32(1 / (1 + math.Exp(-float64(av))))
-	}
+	ParallelWork(len(out.Data), len(out.Data)*ewTransc, func(s, e int) {
+		for i := s; i < e; i++ {
+			out.Data[i] = float32(1 / (1 + math.Exp(-float64(a.Data[i]))))
+		}
+	})
 	tp.record(func() {
 		g := out.Grad
 		if g == nil {
 			return
 		}
 		ga := a.ensureGrad()
-		for i, gv := range g {
-			y := out.Data[i]
-			ga[i] += gv * y * (1 - y)
-		}
+		ParallelWork(len(g), len(g), func(s, e int) {
+			for i := s; i < e; i++ {
+				y := out.Data[i]
+				ga[i] += g[i] * y * (1 - y)
+			}
+		})
 	})
 	return out
 }
@@ -191,19 +281,23 @@ func Sigmoid(tp *Tape, a *Tensor) *Tensor {
 // Tanh returns tanh(a) elementwise.
 func Tanh(tp *Tape, a *Tensor) *Tensor {
 	out := New(a.Shape...)
-	for i, av := range a.Data {
-		out.Data[i] = float32(math.Tanh(float64(av)))
-	}
+	ParallelWork(len(out.Data), len(out.Data)*ewTransc, func(s, e int) {
+		for i := s; i < e; i++ {
+			out.Data[i] = float32(math.Tanh(float64(a.Data[i])))
+		}
+	})
 	tp.record(func() {
 		g := out.Grad
 		if g == nil {
 			return
 		}
 		ga := a.ensureGrad()
-		for i, gv := range g {
-			y := out.Data[i]
-			ga[i] += gv * (1 - y*y)
-		}
+		ParallelWork(len(g), len(g), func(s, e int) {
+			for i := s; i < e; i++ {
+				y := out.Data[i]
+				ga[i] += g[i] * (1 - y*y)
+			}
+		})
 	})
 	return out
 }
@@ -211,22 +305,26 @@ func Tanh(tp *Tape, a *Tensor) *Tensor {
 // ReLU returns max(a, 0) elementwise.
 func ReLU(tp *Tape, a *Tensor) *Tensor {
 	out := New(a.Shape...)
-	for i, av := range a.Data {
-		if av > 0 {
-			out.Data[i] = av
+	ParallelWork(len(out.Data), len(out.Data), func(s, e int) {
+		for i := s; i < e; i++ {
+			if av := a.Data[i]; av > 0 {
+				out.Data[i] = av
+			}
 		}
-	}
+	})
 	tp.record(func() {
 		g := out.Grad
 		if g == nil {
 			return
 		}
 		ga := a.ensureGrad()
-		for i, gv := range g {
-			if a.Data[i] > 0 {
-				ga[i] += gv
+		ParallelWork(len(g), len(g), func(s, e int) {
+			for i := s; i < e; i++ {
+				if a.Data[i] > 0 {
+					ga[i] += g[i]
+				}
 			}
-		}
+		})
 	})
 	return out
 }
@@ -235,43 +333,47 @@ func ReLU(tp *Tape, a *Tensor) *Tensor {
 func SoftmaxRows(tp *Tape, a *Tensor) *Tensor {
 	m, n := a.Rows(), a.Cols()
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		ar, or := a.Row(i), out.Data[i*n:(i+1)*n]
-		maxv := ar[0]
-		for _, v := range ar[1:] {
-			if v > maxv {
-				maxv = v
+	ParallelWork(m, m*n*ewTransc, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			ar, or := a.Row(i), out.Data[i*n:(i+1)*n]
+			maxv := ar[0]
+			for _, v := range ar[1:] {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float64
+			for j, v := range ar {
+				e := math.Exp(float64(v - maxv))
+				or[j] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for j := range or {
+				or[j] *= inv
 			}
 		}
-		var sum float64
-		for j, v := range ar {
-			e := math.Exp(float64(v - maxv))
-			or[j] = float32(e)
-			sum += e
-		}
-		inv := float32(1 / sum)
-		for j := range or {
-			or[j] *= inv
-		}
-	}
+	})
 	tp.record(func() {
 		g := out.Grad
 		if g == nil {
 			return
 		}
 		ga := a.ensureGrad()
-		for i := 0; i < m; i++ {
-			gr := g[i*n : (i+1)*n]
-			or := out.Data[i*n : (i+1)*n]
-			gar := ga[i*n : (i+1)*n]
-			var dot float32
-			for j, gv := range gr {
-				dot += gv * or[j]
+		ParallelWork(m, m*n, func(r0, r1 int) {
+			for i := r0; i < r1; i++ {
+				gr := g[i*n : (i+1)*n]
+				or := out.Data[i*n : (i+1)*n]
+				gar := ga[i*n : (i+1)*n]
+				var dot float32
+				for j, gv := range gr {
+					dot += gv * or[j]
+				}
+				for j, gv := range gr {
+					gar[j] += or[j] * (gv - dot)
+				}
 			}
-			for j, gv := range gr {
-				gar[j] += or[j] * (gv - dot)
-			}
-		}
+		})
 	})
 	return out
 }
@@ -423,27 +525,30 @@ func LayerNorm(tp *Tape, x, gamma, beta *Tensor, eps float32) *Tensor {
 	out := New(m, n)
 	xhat := make([]float32, m*n)
 	invStd := make([]float32, m)
-	for i := 0; i < m; i++ {
-		xr := x.Row(i)
-		var mean float64
-		for _, v := range xr {
-			mean += float64(v)
+	ParallelWork(m, m*n*4, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			xr := x.Row(i)
+			var mean float64
+			for _, v := range xr {
+				mean += float64(v)
+			}
+			mean /= float64(n)
+			var varc float64
+			for _, v := range xr {
+				d := float64(v) - mean
+				varc += d * d
+			}
+			varc /= float64(n)
+			is := float32(1 / math.Sqrt(varc+float64(eps)))
+			invStd[i] = is
+			for j, v := range xr {
+				h := (v - float32(mean)) * is
+				xhat[i*n+j] = h
+				out.Data[i*n+j] = gamma.Data[j]*h + beta.Data[j]
+			}
 		}
-		mean /= float64(n)
-		var varc float64
-		for _, v := range xr {
-			d := float64(v) - mean
-			varc += d * d
-		}
-		varc /= float64(n)
-		is := float32(1 / math.Sqrt(varc+float64(eps)))
-		invStd[i] = is
-		for j, v := range xr {
-			h := (v - float32(mean)) * is
-			xhat[i*n+j] = h
-			out.Data[i*n+j] = gamma.Data[j]*h + beta.Data[j]
-		}
-	}
+	})
+	// The backward stays serial: gg/gb reduce across rows.
 	tp.record(func() {
 		g := out.Grad
 		if g == nil {

@@ -5,34 +5,96 @@ import (
 	"sync"
 )
 
-// parallelThreshold is the amount of scalar work below which ops run serially;
-// goroutine dispatch overhead dominates on smaller problems.
+// parallelThreshold is the estimated number of scalar operations below which
+// an op runs serially: a pool handoff costs on the order of a microsecond, so
+// smaller problems lose more to dispatch than they gain from extra cores.
+// Callers express that decision through ParallelWork; Parallel itself splits
+// whenever more than one worker is available.
 const parallelThreshold = 1 << 15
 
-// Parallel splits [0, n) into contiguous chunks and runs fn on each chunk in
-// its own goroutine, blocking until all complete. With n below a small bound
-// or a single CPU it degrades to a plain call.
+// task is one contiguous chunk of a Parallel call, dispatched to the pool.
+type task struct {
+	fn         func(start, end int)
+	start, end int
+	wg         *sync.WaitGroup
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan task
+)
+
+// ensurePool starts the persistent worker pool, sized to GOMAXPROCS at first
+// use. The task channel is unbuffered, so a dispatch succeeds only when a
+// worker is actually idle; Parallel runs any chunk it cannot hand off on the
+// calling goroutine. That keeps nested Parallel calls (a worker's chunk
+// itself calling Parallel) deadlock-free: work never waits in a queue that
+// only blocked workers could drain.
+func ensurePool() {
+	poolOnce.Do(func() {
+		poolTasks = make(chan task)
+		for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+			go func() {
+				for t := range poolTasks {
+					t.fn(t.start, t.end)
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// Parallel splits [0, n) into one contiguous chunk per available worker and
+// runs fn on the chunks concurrently, blocking until all complete. Chunk
+// boundaries depend only on n and GOMAXPROCS, and every index is processed by
+// exactly one invocation of fn, so ops whose per-index arithmetic does not
+// depend on chunk grouping produce bitwise-identical results at any worker
+// count.
+//
+// Unlike the seed implementation, chunks are executed by a persistent worker
+// pool instead of freshly spawned goroutines, and the work-size cutoff lives
+// in ParallelWork rather than being hardcoded here.
 func Parallel(n int, fn func(start, end int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 || n < 64 {
+	if workers <= 1 {
 		fn(0, n)
 		return
 	}
+	ensurePool()
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunk {
+	for start := chunk; start < n; start += chunk {
 		end := start + chunk
 		if end > n {
 			end = n
 		}
+		t := task{fn: fn, start: start, end: end, wg: &wg}
 		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			fn(s, e)
-		}(start, end)
+		select {
+		case poolTasks <- t:
+		default:
+			// No idle worker: run the chunk here instead of queueing.
+			fn(t.start, t.end)
+			wg.Done()
+		}
 	}
+	fn(0, chunk) // the caller always works on the first chunk itself
 	wg.Wait()
+}
+
+// ParallelWork runs fn over [0, n) like Parallel when the estimated total
+// scalar work meets parallelThreshold, and serially otherwise. work is the
+// caller's estimate of total scalar operations: m*n*k for a GEMM, elements
+// times per-element cost for elementwise ops. This replaces the seed's
+// n-based cutoff, which wrongly serialized low-row/high-work problems (e.g. a
+// 32-row GEMM with huge k and n).
+func ParallelWork(n, work int, fn func(start, end int)) {
+	if work < parallelThreshold {
+		fn(0, n)
+		return
+	}
+	Parallel(n, fn)
 }

@@ -5,6 +5,14 @@ package tensor
 //
 // A nil *Tape is valid everywhere an op takes one and means "inference mode":
 // the op computes its result without recording anything.
+//
+// A Tape is not safe for concurrent use. Data-parallel training (see
+// perfvec.Trainer) gives each gradient worker its own Tape over its own
+// shadow parameter tensors — parameters share Data but not Grad — and reuses
+// the tapes across steps via Reset, which retains the closure slice's
+// capacity. Ops recorded on one tape may still parallelize internally: the
+// kernels in matmul.go and the elementwise loops in ops.go split their own
+// work across the worker pool in parallel.go.
 type Tape struct {
 	ops []func()
 }
