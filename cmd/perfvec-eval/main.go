@@ -32,6 +32,7 @@ func main() {
 		layers    = flag.Int("layers", 2, "model depth (must match training)")
 		model     = flag.String("arch", "lstm", "architecture (must match training)")
 		seed      = flag.Int64("seed", 1, "seed (must match training)")
+		stream    = flag.Bool("stream", false, "evaluate in one streaming pass per benchmark (no trace materialization)")
 	)
 	flag.Parse()
 
@@ -67,11 +68,21 @@ func main() {
 
 	tb := &stats.Table{Header: []string{"program", "mean", "std", "min", "max"}}
 	for _, b := range benches {
-		pd, err := perfvec.CollectProgramData(b, cfgs, 1, *maxInsts)
-		if err != nil {
-			fatal(err)
+		var errs []float64
+		if *stream {
+			var err error
+			errs, err = perfvec.StreamProgramErrors(f, table, b, cfgs, 1, *maxInsts)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			pd, err := perfvec.CollectProgramData(b, cfgs, 1, *maxInsts)
+			if err != nil {
+				fatal(err)
+			}
+			errs = perfvec.ProgramErrors(f, table, pd)
 		}
-		s := perfvec.Summarize(b.Name, perfvec.ProgramErrors(f, table, pd))
+		s := perfvec.Summarize(b.Name, errs)
 		tb.Add(s.Name, stats.Pct(s.Mean), stats.Pct(s.Std), stats.Pct(s.Min), stats.Pct(s.Max))
 	}
 	fmt.Printf("prediction error across %d seen microarchitectures:\n%s", len(cfgs), tb.String())

@@ -24,6 +24,20 @@
 // minibatches across gradient workers with deterministic reduction, so both
 // the kernel layer and the training loop scale with cores.
 //
+// The data path is streaming end to end: emu.Stepper executes programs one
+// pulled instruction at a time (trace.Stream), features.StreamExtractor
+// featurizes records as they arrive, and a ring-buffered
+// features.WindowAssembler yields encoder input windows from an O(window)
+// working set — a trace is never materialized unless a consumer asks for it.
+// perfvec.Collector selects between the streaming and materialized
+// collection pipelines behind one interface (both produce bitwise-identical
+// ProgramData; the streaming one buffers only 256-record chunks), and
+// Dataset.batch shards window assembly across the worker pool with
+// deterministic shard order, so batches are bitwise identical to the serial
+// path at any worker count. The perfvec-train, perfvec-eval, and
+// perfvec-trace commands expose the pipeline through -stream and
+// -batch-workers flags.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 package repro

@@ -40,6 +40,32 @@ func (b Benchmark) Trace(scale, maxInsts int) ([]trace.Record, error) {
 	return recs, nil
 }
 
+// Stream executes the benchmark as a pull-based record stream, truncated at
+// maxInsts (0 = run to completion). Unlike Trace, no []trace.Record is ever
+// materialized: the emulator advances one instruction per Next call, so the
+// consumer's working set bounds memory instead of the trace length. As in
+// Trace, exhausting the instruction budget ends the stream cleanly.
+func (b Benchmark) Stream(scale, maxInsts int) trace.Stream {
+	prog, m := b.Build(scale)
+	return &benchStream{src: emu.Stream(m, prog, maxInsts), name: b.Name}
+}
+
+type benchStream struct {
+	src  trace.Stream
+	name string
+}
+
+func (s *benchStream) Next(rec *trace.Record) (bool, error) {
+	ok, err := s.src.Next(rec)
+	if err != nil {
+		if errors.Is(err, emu.ErrMaxInstructions) {
+			return false, nil // budget exhausted: a complete, truncated trace
+		}
+		return false, fmt.Errorf("bench %s: %w", s.name, err)
+	}
+	return ok, nil
+}
+
 // Training returns the nine training benchmarks of Table II.
 func Training() []Benchmark {
 	return []Benchmark{

@@ -56,95 +56,18 @@ var ErrMaxInstructions = errors.New("emu: reached max dynamic instruction count"
 // It returns the number of instructions executed. Faulting instructions
 // (e.g. divide by zero) are recorded and skipped, as in the paper's feature
 // set where "fault or not" is an input feature rather than a terminator.
+//
+// Run is the push-based driver over Stepper; streaming consumers pull the
+// same execution record by record through Stream.
 func Run(m *Machine, prog *isa.Program, maxInsts int, emit func(*trace.Record)) (int, error) {
-	pc := 0
-	count := 0
-	insts := prog.Insts
+	s := NewStepper(m, prog, maxInsts)
 	var rec trace.Record
-	for pc >= 0 && pc < len(insts) {
-		if maxInsts > 0 && count >= maxInsts {
-			return count, ErrMaxInstructions
-		}
-		in := &insts[pc]
-		if in.Op == isa.BranchDir && in.Target == isa.HaltTarget {
-			return count, nil
-		}
-
-		rec = trace.Record{
-			PC:     uint64(pc) * trace.InstBytes,
-			Static: int32(pc),
-			Op:     in.Op,
-			Sub:    in.Sub,
-			NumSrc: in.NumSrc,
-			NumDst: in.NumDst,
-			Src:    in.Src,
-			Dst:    in.Dst,
-		}
-
-		next := pc + 1
-		switch in.Op {
-		case isa.Nop, isa.Barrier:
-			// no architectural effect
-
-		case isa.IntALU, isa.IntMul, isa.IntDiv:
-			m.execInt(in, &rec)
-
-		case isa.FPALU, isa.FPMul, isa.FPDiv:
-			m.execFP(in, &rec)
-
-		case isa.VecALU, isa.VecMul:
-			m.execVec(in)
-
-		case isa.Load, isa.VecLoad, isa.Store, isa.VecStore:
-			if err := m.execMem(in, &rec); err != nil {
-				return count, fmt.Errorf("emu: pc %d: %w", pc, err)
-			}
-
-		case isa.BranchCond:
-			taken := m.evalCond(in)
-			rec.Taken = taken
-			if taken {
-				next = int(in.Target)
-				rec.Target = uint64(in.Target) * trace.InstBytes
-			} else {
-				rec.Target = uint64(next) * trace.InstBytes
-			}
-
-		case isa.BranchDir:
-			rec.Taken = true
-			next = int(in.Target)
-			rec.Target = uint64(in.Target) * trace.InstBytes
-
-		case isa.BranchInd:
-			rec.Taken = true
-			next = int(m.IntRegs[in.Src[0].Index()])
-			rec.Target = uint64(next) * trace.InstBytes
-
-		case isa.Call:
-			rec.Taken = true
-			m.IntRegs[isa.LinkReg] = int64(pc + 1)
-			next = int(in.Target)
-			rec.Target = uint64(in.Target) * trace.InstBytes
-
-		case isa.Ret:
-			rec.Taken = true
-			next = int(m.IntRegs[in.Src[0].Index()])
-			rec.Target = uint64(next) * trace.InstBytes
-
-		default:
-			return count, fmt.Errorf("emu: pc %d: unknown op %v", pc, in.Op)
-		}
-
+	for s.Step(&rec) {
 		if emit != nil {
 			emit(&rec)
 		}
-		count++
-		pc = next
 	}
-	if pc < 0 || pc >= len(insts) {
-		return count, fmt.Errorf("emu: control flow left program at index %d", pc)
-	}
-	return count, nil
+	return s.Count(), s.Err()
 }
 
 func (m *Machine) execInt(in *isa.Inst, rec *trace.Record) {

@@ -1,0 +1,153 @@
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Stepper executes a program one dynamic instruction at a time — the
+// pull-based form of Run that streaming pipelines drive. Run is implemented
+// on top of Stepper, so both paths execute the identical instruction
+// semantics and produce bitwise-identical records.
+type Stepper struct {
+	m        *Machine
+	insts    []isa.Inst
+	maxInsts int
+	pc       int
+	count    int
+	done     bool
+	err      error
+}
+
+// NewStepper returns a stepper over prog on m. maxInsts bounds the dynamic
+// instruction count (0 = unlimited), exactly as in Run.
+func NewStepper(m *Machine, prog *isa.Program, maxInsts int) *Stepper {
+	return &Stepper{m: m, insts: prog.Insts, maxInsts: maxInsts}
+}
+
+// Count returns the number of instructions executed so far.
+func (s *Stepper) Count() int { return s.count }
+
+// Err returns the terminal error once Step has returned false: nil after a
+// clean halt, ErrMaxInstructions when the budget ran out, or the execution
+// error otherwise.
+func (s *Stepper) Err() error { return s.err }
+
+// Step executes the next dynamic instruction, filling rec, and reports
+// whether one was produced. After a false return the stepper stays finished
+// and Err describes why. The check order (control-flow bounds, instruction
+// budget, halt) matches the original Run loop.
+func (s *Stepper) Step(rec *trace.Record) bool {
+	if s.done {
+		return false
+	}
+	if s.pc < 0 || s.pc >= len(s.insts) {
+		s.done = true
+		s.err = fmt.Errorf("emu: control flow left program at index %d", s.pc)
+		return false
+	}
+	if s.maxInsts > 0 && s.count >= s.maxInsts {
+		s.done = true
+		s.err = ErrMaxInstructions
+		return false
+	}
+	in := &s.insts[s.pc]
+	if in.Op == isa.BranchDir && in.Target == isa.HaltTarget {
+		s.done = true
+		return false
+	}
+
+	*rec = trace.Record{
+		PC:     uint64(s.pc) * trace.InstBytes,
+		Static: int32(s.pc),
+		Op:     in.Op,
+		Sub:    in.Sub,
+		NumSrc: in.NumSrc,
+		NumDst: in.NumDst,
+		Src:    in.Src,
+		Dst:    in.Dst,
+	}
+
+	m := s.m
+	next := s.pc + 1
+	switch in.Op {
+	case isa.Nop, isa.Barrier:
+		// no architectural effect
+
+	case isa.IntALU, isa.IntMul, isa.IntDiv:
+		m.execInt(in, rec)
+
+	case isa.FPALU, isa.FPMul, isa.FPDiv:
+		m.execFP(in, rec)
+
+	case isa.VecALU, isa.VecMul:
+		m.execVec(in)
+
+	case isa.Load, isa.VecLoad, isa.Store, isa.VecStore:
+		if err := m.execMem(in, rec); err != nil {
+			s.done = true
+			s.err = fmt.Errorf("emu: pc %d: %w", s.pc, err)
+			return false
+		}
+
+	case isa.BranchCond:
+		taken := m.evalCond(in)
+		rec.Taken = taken
+		if taken {
+			next = int(in.Target)
+			rec.Target = uint64(in.Target) * trace.InstBytes
+		} else {
+			rec.Target = uint64(next) * trace.InstBytes
+		}
+
+	case isa.BranchDir:
+		rec.Taken = true
+		next = int(in.Target)
+		rec.Target = uint64(in.Target) * trace.InstBytes
+
+	case isa.BranchInd:
+		rec.Taken = true
+		next = int(m.IntRegs[in.Src[0].Index()])
+		rec.Target = uint64(next) * trace.InstBytes
+
+	case isa.Call:
+		rec.Taken = true
+		m.IntRegs[isa.LinkReg] = int64(s.pc + 1)
+		next = int(in.Target)
+		rec.Target = uint64(in.Target) * trace.InstBytes
+
+	case isa.Ret:
+		rec.Taken = true
+		next = int(m.IntRegs[in.Src[0].Index()])
+		rec.Target = uint64(next) * trace.InstBytes
+
+	default:
+		s.done = true
+		s.err = fmt.Errorf("emu: pc %d: unknown op %v", s.pc, in.Op)
+		return false
+	}
+
+	s.count++
+	s.pc = next
+	return true
+}
+
+// stepStream adapts a Stepper to the trace.Stream interface.
+type stepStream struct{ s *Stepper }
+
+// Stream returns a pull-based trace.Stream over prog's execution on m. The
+// stream ends with ErrMaxInstructions when the budget is exhausted; callers
+// that treat a truncated trace as complete (as Benchmark.Trace does) should
+// translate that error to a clean end of stream.
+func Stream(m *Machine, prog *isa.Program, maxInsts int) trace.Stream {
+	return &stepStream{s: NewStepper(m, prog, maxInsts)}
+}
+
+func (ss *stepStream) Next(rec *trace.Record) (bool, error) {
+	if ss.s.Step(rec) {
+		return true, nil
+	}
+	return false, ss.s.Err()
+}

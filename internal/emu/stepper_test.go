@@ -1,0 +1,98 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestStepperMatchesRun pins the refactor invariant: pulling records through
+// a Stepper yields exactly the records, count, and terminal status Run emits.
+func TestStepperMatchesRun(t *testing.T) {
+	prog := buildSumLoop(20)
+	ref, err := Capture(NewMachine(1<<12), prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStepper(NewMachine(1<<12), prog, 0)
+	var rec trace.Record
+	var got []trace.Record
+	for s.Step(&rec) {
+		got = append(got, rec)
+	}
+	if s.Err() != nil {
+		t.Fatalf("clean halt reported error: %v", s.Err())
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("stepper count %d, want %d", s.Count(), len(ref))
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("stepper emitted %d records, want %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestStepperBudget(t *testing.T) {
+	s := NewStepper(NewMachine(1<<12), buildSumLoop(1_000_000), 50)
+	var rec trace.Record
+	n := 0
+	for s.Step(&rec) {
+		n++
+	}
+	if n != 50 || s.Count() != 50 {
+		t.Fatalf("stepped %d/%d instructions, want 50", n, s.Count())
+	}
+	if !errors.Is(s.Err(), ErrMaxInstructions) {
+		t.Fatalf("err = %v, want ErrMaxInstructions", s.Err())
+	}
+	// A finished stepper stays finished.
+	if s.Step(&rec) {
+		t.Fatal("Step returned true after termination")
+	}
+}
+
+func TestStreamMatchesCapture(t *testing.T) {
+	prog := buildSumLoop(15)
+	ref, err := Capture(NewMachine(1<<12), prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Stream(NewMachine(1<<12), prog, 0)
+	var rec trace.Record
+	for i := 0; ; i++ {
+		ok, err := src.Next(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if i != len(ref) {
+				t.Fatalf("stream ended after %d records, want %d", i, len(ref))
+			}
+			return
+		}
+		if i >= len(ref) || rec != ref[i] {
+			t.Fatalf("stream record %d differs from capture", i)
+		}
+	}
+}
+
+func TestStreamSurfacesBudgetError(t *testing.T) {
+	src := Stream(NewMachine(1<<12), buildSumLoop(1_000_000), 10)
+	var rec trace.Record
+	for {
+		ok, err := src.Next(&rec)
+		if ok {
+			continue
+		}
+		if !errors.Is(err, ErrMaxInstructions) {
+			t.Fatalf("err = %v, want ErrMaxInstructions", err)
+		}
+		return
+	}
+}

@@ -47,6 +47,14 @@ func NewBranchEntropy() *BranchEntropy {
 	return &BranchEntropy{local: make(map[uint64]*localState)}
 }
 
+// Reset clears all branch history, returning the tracker to its freshly
+// constructed state.
+func (b *BranchEntropy) Reset() {
+	clear(b.local)
+	b.global = [1 << globalHistBits]counter2{}
+	b.globalHist = 0
+}
+
 // Observe records the outcome of the conditional branch at pc and returns
 // the branch's (global, local) entropy in bits, evaluated on the context the
 // branch was seen in *before* updating — the same quantity a predictor would

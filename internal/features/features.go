@@ -77,6 +77,20 @@ func NewExtractor(sizeHint int) *Extractor {
 	}
 }
 
+// Reset clears all history state — stack-distance trackers and branch
+// entropy — returning the extractor to its freshly constructed condition.
+// An extractor reused across programs MUST be reset between traces:
+// features are defined over a single program's history, and carrying one
+// trace's reuse distances or branch statistics into the next would silently
+// corrupt the features of every program after the first.
+func (e *Extractor) Reset() {
+	e.sdFetch.Reset()
+	e.sdData.Reset()
+	e.sdLoad.Reset()
+	e.sdStore.Reset()
+	e.entropy.Reset()
+}
+
 // encodeSD maps a raw stack distance to its feature encoding: log2(2+d),
 // with cold misses pinned at coldDistanceFeature.
 func encodeSD(d int) float32 {

@@ -36,6 +36,14 @@ func NewStackDist(sizeHint int) *StackDist {
 	}
 }
 
+// Reset forgets every tracked key, returning the tracker to its freshly
+// constructed state (capacity is retained).
+func (s *StackDist) Reset() {
+	clear(s.tree)
+	clear(s.last)
+	s.now = 0
+}
+
 func (s *StackDist) add(i int32, delta int32) {
 	for i++; int(i) < len(s.tree); i += i & (-i) {
 		s.tree[i] += delta

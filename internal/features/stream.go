@@ -1,0 +1,100 @@
+package features
+
+import "repro/internal/trace"
+
+// StreamExtractor featurizes a record stream incrementally: each Next call
+// pulls one record from the source and computes its Table I feature vector,
+// so a whole trace is never materialized. The rows it produces are bitwise
+// identical to ExtractAll over the same record sequence — the extractor
+// state advances through the identical Extract calls in the identical order.
+type StreamExtractor struct {
+	src trace.Stream
+	ext *Extractor
+	rec trace.Record
+	n   int
+}
+
+// NewStreamExtractor wraps src. ext may be nil, in which case a fresh
+// extractor is used; a caller supplying its own extractor to reuse across
+// programs must Reset it between traces (see Extractor.Reset).
+func NewStreamExtractor(src trace.Stream, ext *Extractor) *StreamExtractor {
+	if ext == nil {
+		ext = NewExtractor(4096)
+	}
+	return &StreamExtractor{src: src, ext: ext}
+}
+
+// Next extracts the next instruction's features into out
+// (len >= NumFeatures), reporting false when the trace ends.
+func (s *StreamExtractor) Next(out []float32) (bool, error) {
+	ok, err := s.src.Next(&s.rec)
+	if err != nil || !ok {
+		return false, err
+	}
+	s.ext.Extract(&s.rec, out)
+	s.n++
+	return true, nil
+}
+
+// Count returns the number of rows produced so far.
+func (s *StreamExtractor) Count() int { return s.n }
+
+// WindowAssembler is a ring buffer of the last `window` feature rows of a
+// stream — the O(window) working set from which per-instruction input
+// windows are assembled on the fly. After pushing row i, Slot(t) for
+// t in [0, window) is the feature row at window position t of instruction i
+// (oldest first), exactly the layout perfvec.WindowsFor materializes; slots
+// before the start of the stream return nil and stand for zero padding.
+//
+// The buffer is allocated once at window x featDim floats and never grows,
+// which is what bounds streaming featurization memory by the window size
+// rather than the trace length.
+type WindowAssembler struct {
+	window  int
+	featDim int
+	ring    []float32 // [window x featDim], slot g%window holds row g
+	pushed  int
+}
+
+// NewWindowAssembler returns an empty assembler for the given window length
+// and feature dimensionality.
+func NewWindowAssembler(window, featDim int) *WindowAssembler {
+	if window < 1 || featDim < 1 {
+		panic("features: window and featDim must be positive")
+	}
+	return &WindowAssembler{
+		window:  window,
+		featDim: featDim,
+		ring:    make([]float32, window*featDim),
+	}
+}
+
+// Push appends the next feature row (len >= featDim), evicting the row that
+// fell out of the window.
+func (a *WindowAssembler) Push(row []float32) {
+	slot := a.pushed % a.window
+	copy(a.ring[slot*a.featDim:(slot+1)*a.featDim], row[:a.featDim])
+	a.pushed++
+}
+
+// Slot returns the feature row at window position t (0 = oldest,
+// window-1 = the row just pushed), or nil when position t falls before the
+// start of the stream and the window is zero-padded there.
+func (a *WindowAssembler) Slot(t int) []float32 {
+	g := a.pushed - a.window + t
+	if g < 0 {
+		return nil
+	}
+	slot := g % a.window
+	return a.ring[slot*a.featDim : (slot+1)*a.featDim]
+}
+
+// Pushed returns the number of rows pushed so far.
+func (a *WindowAssembler) Pushed() int { return a.pushed }
+
+// BufferedRows returns the number of rows currently resident — never more
+// than the window length, however long the stream.
+func (a *WindowAssembler) BufferedRows() int { return min(a.pushed, a.window) }
+
+// Window returns the configured window length.
+func (a *WindowAssembler) Window() int { return a.window }

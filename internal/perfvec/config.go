@@ -70,6 +70,14 @@ type Config struct {
 	// the training CLIs opt into scaling with cores explicitly.
 	GradWorkers int
 
+	// BatchWorkers is the number of shards window assembly is split into
+	// per minibatch (Dataset.batch): contiguous sample ranges dispatched
+	// through the tensor worker pool. 0 means GOMAXPROCS; 1 assembles
+	// serially. Unlike GradWorkers, the assembled tensors are bitwise
+	// identical at any worker count (every output row is an independent
+	// copy), so scaling with cores is always numerically safe.
+	BatchWorkers int
+
 	// TargetScale multiplies raw incremental latencies (0.1 ns ticks)
 	// before they enter the MSE loss, keeping optimization well-scaled.
 	// Predictions are divided by it on the way out, so the composition
@@ -88,6 +96,7 @@ func DefaultConfig() Config {
 		Seed:         1,
 		EpochSamples: 0,
 		GradWorkers:  1, // numerics independent of the host's core count
+		BatchWorkers: 0, // bitwise identical at any count: scale with cores
 		TargetScale:  0.05,
 	}
 }

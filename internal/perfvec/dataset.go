@@ -78,8 +78,17 @@ func CollectFeatures(b bench.Benchmark, scale, maxInsts int) (*ProgramData, erro
 	}, nil
 }
 
-// CollectAll gathers ProgramData for several benchmarks concurrently.
+// CollectAll gathers ProgramData for several benchmarks concurrently through
+// the materialized pipeline; Collector.All selects the pipeline.
 func CollectAll(benches []bench.Benchmark, cfgs []*uarch.Config, scale, maxInsts int) ([]*ProgramData, error) {
+	return collectAll(benches, func(b bench.Benchmark) (*ProgramData, error) {
+		return CollectProgramData(b, cfgs, scale, maxInsts)
+	})
+}
+
+// collectAll runs collect over every benchmark concurrently, bounded by
+// GOMAXPROCS.
+func collectAll(benches []bench.Benchmark, collect func(bench.Benchmark) (*ProgramData, error)) ([]*ProgramData, error) {
 	out := make([]*ProgramData, len(benches))
 	errs := make([]error, len(benches))
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -90,7 +99,7 @@ func CollectAll(benches []bench.Benchmark, cfgs []*uarch.Config, scale, maxInsts
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i], errs[i] = CollectProgramData(b, cfgs, scale, maxInsts)
+			out[i], errs[i] = collect(b)
 		}(i, b)
 	}
 	wg.Wait()
@@ -168,34 +177,67 @@ func (d *Dataset) Subsample(frac float64) *Dataset {
 // xs[t] is the [B x FeatDim] feature tensor of window position t (oldest
 // first); windows are zero-padded at program start. targets is [B x K],
 // scaled by targetScale.
-func (d *Dataset) batch(ids []int, window int, targetScale float32) (xs []*tensor.Tensor, targets *tensor.Tensor) {
+//
+// Window assembly is sharded across `workers` contiguous id ranges
+// dispatched through the tensor worker pool (0 = GOMAXPROCS, 1 = serial).
+// Shard boundaries depend only on (len(ids), workers) and every output row
+// is an independent copy written by exactly one shard, so the assembled
+// tensors are bitwise identical to the serial path at any worker count.
+func (d *Dataset) batch(ids []int, window int, targetScale float32, workers int) (xs []*tensor.Tensor, targets *tensor.Tensor) {
 	bsz := len(ids)
 	xs = make([]*tensor.Tensor, window)
 	for t := range xs {
 		xs[t] = tensor.New(bsz, d.FeatDim)
 	}
 	targets = tensor.New(bsz, d.K)
-	for b, id := range ids {
-		p := d.Programs[d.progOf[id]]
-		i := int(d.instOf[id])
-		for t := 0; t < window; t++ {
-			src := i - (window - 1) + t
-			if src < 0 {
-				continue // zero padding before program start
+	fill := func(b0, b1 int) {
+		for b := b0; b < b1; b++ {
+			id := ids[b]
+			p := d.Programs[d.progOf[id]]
+			i := int(d.instOf[id])
+			for t := 0; t < window; t++ {
+				src := i - (window - 1) + t
+				if src < 0 {
+					continue // zero padding before program start
+				}
+				copy(xs[t].Row(b), p.Features[src*d.FeatDim:(src+1)*d.FeatDim])
 			}
-			copy(xs[t].Row(b), p.Features[src*d.FeatDim:(src+1)*d.FeatDim])
-		}
-		for j := 0; j < d.K; j++ {
-			targets.Set(b, j, p.Targets[i*d.K+j]*targetScale)
+			for j := 0; j < d.K; j++ {
+				targets.Set(b, j, p.Targets[i*d.K+j]*targetScale)
+			}
 		}
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > bsz {
+		workers = bsz
+	}
+	if workers <= 1 {
+		fill(0, bsz)
+		return xs, targets
+	}
+	shard := (bsz + workers - 1) / workers
+	tensor.Parallel(workers, func(w0, w1 int) {
+		for w := w0; w < w1; w++ {
+			from := w * shard
+			to := min(from+shard, bsz)
+			if from < to {
+				fill(from, to)
+			}
+		}
+	})
 	return xs, targets
 }
 
 // WindowsFor materializes input windows for instructions [from, to) of a
 // single program — used for representation generation at inference time.
+// An empty range (from >= to) returns nil.
 func WindowsFor(p *ProgramData, from, to, window int) []*tensor.Tensor {
 	bsz := to - from
+	if bsz <= 0 {
+		return nil
+	}
 	xs := make([]*tensor.Tensor, window)
 	for t := range xs {
 		xs[t] = tensor.New(bsz, p.FeatDim)

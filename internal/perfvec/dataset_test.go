@@ -1,0 +1,235 @@
+package perfvec
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/uarch"
+)
+
+// synthProgram fabricates a ProgramData with recognizable feature values so
+// window copies can be traced back to their source instruction.
+func synthProgram(name string, n, featDim, k int) *ProgramData {
+	p := &ProgramData{Name: name, N: n, FeatDim: featDim, K: k,
+		Features: make([]float32, n*featDim),
+		Targets:  make([]float32, n*k),
+		TotalNs:  make([]float64, k),
+	}
+	for i := range p.Features {
+		p.Features[i] = float32(i%251) + 0.25
+	}
+	for i := range p.Targets {
+		p.Targets[i] = float32(i % 17)
+	}
+	return p
+}
+
+func TestNewDatasetEmpty(t *testing.T) {
+	if _, err := NewDataset(nil, 0.05, 1); err == nil {
+		t.Fatal("expected error for empty program list")
+	}
+}
+
+func TestNewDatasetSingleton(t *testing.T) {
+	d, err := NewDataset([]*ProgramData{synthProgram("solo", 40, 5, 2)}, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TrainSize()+d.ValSize() != 40 {
+		t.Fatalf("split %d+%d != 40", d.TrainSize(), d.ValSize())
+	}
+	if d.ValSize() != 4 {
+		t.Fatalf("val size %d, want 4 (10%% of 40)", d.ValSize())
+	}
+}
+
+func TestNewDatasetShapeMismatch(t *testing.T) {
+	a := synthProgram("a", 10, 5, 2)
+	if _, err := NewDataset([]*ProgramData{a, synthProgram("b", 10, 5, 3)}, 0, 1); err == nil {
+		t.Fatal("expected error for mismatched K")
+	}
+	if _, err := NewDataset([]*ProgramData{a, synthProgram("c", 10, 6, 2)}, 0, 1); err == nil {
+		t.Fatal("expected error for mismatched FeatDim")
+	}
+}
+
+func TestSubsampleDeterminism(t *testing.T) {
+	mk := func() *Dataset {
+		d, err := NewDataset([]*ProgramData{synthProgram("p", 200, 4, 2)}, 0.1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := mk().Subsample(0.3), mk().Subsample(0.3)
+	if a.TrainSize() != b.TrainSize() {
+		t.Fatalf("sizes differ: %d vs %d", a.TrainSize(), b.TrainSize())
+	}
+	for i := range a.train {
+		if a.train[i] != b.train[i] {
+			t.Fatalf("sample %d differs at a fixed seed: %d vs %d", i, a.train[i], b.train[i])
+		}
+	}
+	// The subsample is a prefix view: it must not disturb the parent.
+	d := mk()
+	before := append([]int(nil), d.train...)
+	_ = d.Subsample(0.5)
+	for i := range before {
+		if d.train[i] != before[i] {
+			t.Fatal("Subsample mutated the parent dataset")
+		}
+	}
+	// frac so small it rounds to zero still yields one sample.
+	if got := mk().Subsample(1e-9).TrainSize(); got != 1 {
+		t.Fatalf("tiny-frac subsample size %d, want 1", got)
+	}
+}
+
+func TestWindowsForBoundaries(t *testing.T) {
+	p := synthProgram("p", 6, 3, 1)
+	// Empty range: no windows, no panic.
+	if xs := WindowsFor(p, 3, 3, 4); xs != nil {
+		t.Fatalf("from==to returned %d tensors, want nil", len(xs))
+	}
+	// Window longer than the whole trace: early slots are zero padding.
+	window := p.N + 4
+	xs := WindowsFor(p, 0, p.N, window)
+	for b := 0; b < p.N; b++ {
+		for tt := 0; tt < window; tt++ {
+			src := b - (window - 1) + tt
+			row := xs[tt].Row(b)
+			for j, v := range row {
+				want := float32(0)
+				if src >= 0 {
+					want = p.Features[src*p.FeatDim+j]
+				}
+				if v != want {
+					t.Fatalf("inst %d slot %d feature %d = %v, want %v", b, tt, j, v, want)
+				}
+			}
+		}
+	}
+	// Window ending exactly at the trace's last instruction.
+	last := WindowsFor(p, p.N-1, p.N, 2)
+	if got, want := last[1].Row(0)[0], p.Features[(p.N-1)*p.FeatDim]; got != want {
+		t.Fatalf("final-instruction slot = %v, want %v", got, want)
+	}
+	if got, want := last[0].Row(0)[0], p.Features[(p.N-2)*p.FeatDim]; got != want {
+		t.Fatalf("penultimate slot = %v, want %v", got, want)
+	}
+}
+
+// collectDataset builds a small real dataset shared by the sharding tests.
+func collectDataset(tb testing.TB, maxInsts int) *Dataset {
+	tb.Helper()
+	cfgs := uarch.Predefined()[:2]
+	var bs []bench.Benchmark
+	for _, n := range []string{"999.specrand", "505.mcf"} {
+		b, err := bench.ByName(n)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		bs = append(bs, b)
+	}
+	pds, err := CollectAll(bs, cfgs, 1, maxInsts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	d, err := NewDataset(pds, 0.05, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+// TestBatchWorkerSweep pins the sharded assembler's determinism contract:
+// the tensors are bitwise identical at worker counts 1, 2, and 8.
+func TestBatchWorkerSweep(t *testing.T) {
+	d := collectDataset(t, 1200)
+	rng := rand.New(rand.NewSource(5))
+	ids := make([]int, 97) // odd size so shards are uneven
+	for i := range ids {
+		ids[i] = rng.Intn(d.TrainSize())
+	}
+	const window = 5
+	refXs, refTargets := d.batch(ids, window, 0.05, 1)
+	for _, workers := range []int{2, 8} {
+		xs, targets := d.batch(ids, window, 0.05, workers)
+		for tt := range xs {
+			for i, v := range refXs[tt].Data {
+				if xs[tt].Data[i] != v {
+					t.Fatalf("workers=%d: xs[%d] element %d differs", workers, tt, i)
+				}
+			}
+		}
+		for i, v := range refTargets.Data {
+			if targets.Data[i] != v {
+				t.Fatalf("workers=%d: target %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestBatchConcurrent exercises concurrent sharded batch assembly — the
+// shape gradient workers produce — under the race detector.
+func TestBatchConcurrent(t *testing.T) {
+	d := collectDataset(t, 1000)
+	ref, refTargets := d.batch([]int{1, 5, 9, 13, 17, 21, 25, 29}, 4, 0.05, 1)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				xs, targets := d.batch([]int{1, 5, 9, 13, 17, 21, 25, 29}, 4, 0.05, 2)
+				for tt := range xs {
+					for i, v := range ref[tt].Data {
+						if xs[tt].Data[i] != v {
+							errCh <- fmt.Errorf("concurrent batch xs[%d][%d] differs", tt, i)
+							return
+						}
+					}
+				}
+				for i, v := range refTargets.Data {
+					if targets.Data[i] != v {
+						errCh <- fmt.Errorf("concurrent batch target %d differs", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkBatch measures window assembly throughput, serial vs sharded —
+// the CI smoke step (go test -run=NONE -bench=Batch -benchtime=1x) runs it
+// so batch-path regressions fail loudly.
+func BenchmarkBatch(b *testing.B) {
+	d := collectDataset(b, 4000)
+	rng := rand.New(rand.NewSource(9))
+	ids := make([]int, 256)
+	for i := range ids {
+		ids[i] = rng.Intn(d.TrainSize())
+	}
+	const window = 8
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"sharded", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.batch(ids, window, 0.05, tc.workers)
+			}
+			b.ReportMetric(float64(b.N)*float64(len(ids))/b.Elapsed().Seconds(), "windows/s")
+		})
+	}
+}

@@ -52,7 +52,9 @@ func (f *Foundation) Forward(tp *tensor.Tape, xs []*tensor.Tensor) *tensor.Tenso
 // read-only during inference). The result is an [N x RepDim] matrix.
 func (f *Foundation) InstructionReps(p *ProgramData) *tensor.Tensor {
 	out := tensor.New(p.N, f.Cfg.RepDim)
-	const chunk = 256
+	// Chunking at streamChunk keeps these batches identical to the ones
+	// StreamRep encodes, so the two inference paths agree bitwise.
+	const chunk = streamChunk
 	nChunks := (p.N + chunk - 1) / chunk
 	tensor.Parallel(nChunks, func(c0, c1 int) {
 		for c := c0; c < c1; c++ {

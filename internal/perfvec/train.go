@@ -165,7 +165,7 @@ func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 		nW = len(batch)
 	}
 	if nW < 2 {
-		xs, targets := d.batch(batch, cfg.Window, cfg.TargetScale)
+		xs, targets := d.batch(batch, cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
 		tp := tensor.NewTape()
 		reps := t.Model.Forward(tp, xs)               // [B x D]
 		preds := tensor.MatMulBT(tp, reps, t.Table.M) // [B x K]
@@ -191,7 +191,7 @@ func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 		wg.Add(1)
 		go func(w *gradWorker, shard []int, frac float32) {
 			defer wg.Done()
-			xs, targets := d.batch(shard, cfg.Window, cfg.TargetScale)
+			xs, targets := d.batch(shard, cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
 			w.tape.Reset()
 			reps := w.model.Forward(w.tape, xs)
 			preds := tensor.MatMulBT(w.tape, reps, w.table.M)
@@ -234,7 +234,7 @@ func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 // cost scales linearly with K.
 func (t *Trainer) stepNaive(d *Dataset, batch []int, opt nn.Optimizer, rng *rand.Rand) float64 {
 	cfg := t.Model.Cfg
-	xs, targets := d.batch(batch, cfg.Window, cfg.TargetScale)
+	xs, targets := d.batch(batch, cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
 	j := rng.Intn(d.K)
 	tp := tensor.NewTape()
 	reps := t.Model.Forward(tp, xs)
@@ -265,7 +265,7 @@ func (t *Trainer) Loss(d *Dataset, ids []int) float64 {
 		if to > len(ids) {
 			to = len(ids)
 		}
-		xs, targets := d.batch(ids[from:to], cfg.Window, cfg.TargetScale)
+		xs, targets := d.batch(ids[from:to], cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
 		reps := t.Model.Forward(nil, xs)
 		preds := tensor.MatMulBT(nil, reps, t.Table.M)
 		loss := nn.MSE(nil, preds, targets)

@@ -1,0 +1,36 @@
+package trace
+
+// Stream is a pull-based reader over a dynamic instruction trace. It is the
+// streaming counterpart of []Record: consumers that only need each record
+// once (featurization, timing simulation) can run in memory bounded by their
+// own working set instead of the trace length.
+//
+// Next stores the next record in rec and reports whether one was produced.
+// A (false, nil) return means the stream ended cleanly; a non-nil error ends
+// the stream and is sticky. The record is fully overwritten on every call,
+// so rec can be reused across calls.
+type Stream interface {
+	Next(rec *Record) (bool, error)
+}
+
+// SliceStream adapts a materialized trace to a Stream, for code that accepts
+// only the streaming interface.
+type SliceStream struct {
+	recs []Record
+	i    int
+}
+
+// NewSliceStream returns a Stream that replays recs in order.
+func NewSliceStream(recs []Record) *SliceStream {
+	return &SliceStream{recs: recs}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next(rec *Record) (bool, error) {
+	if s.i >= len(s.recs) {
+		return false, nil
+	}
+	*rec = s.recs[s.i]
+	s.i++
+	return true, nil
+}

@@ -1,0 +1,30 @@
+package trace
+
+import "testing"
+
+func TestSliceStream(t *testing.T) {
+	recs := []Record{{PC: 0}, {PC: 4}, {PC: 8}}
+	s := NewSliceStream(recs)
+	var rec Record
+	for i := range recs {
+		ok, err := s.Next(&rec)
+		if err != nil || !ok {
+			t.Fatalf("Next %d = (%v, %v), want (true, nil)", i, ok, err)
+		}
+		if rec != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, recs[i])
+		}
+	}
+	for range 2 { // exhausted streams stay exhausted
+		if ok, err := s.Next(&rec); ok || err != nil {
+			t.Fatalf("exhausted Next = (%v, %v), want (false, nil)", ok, err)
+		}
+	}
+}
+
+func TestSliceStreamEmpty(t *testing.T) {
+	var rec Record
+	if ok, err := NewSliceStream(nil).Next(&rec); ok || err != nil {
+		t.Fatalf("empty Next = (%v, %v), want (false, nil)", ok, err)
+	}
+}
