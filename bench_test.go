@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/benchsuite"
 	"repro/internal/emu"
 	"repro/internal/experiments"
 	"repro/internal/features"
@@ -205,22 +206,15 @@ func BenchmarkDotProductPrediction(b *testing.B) {
 // multiplicands, which made timings depend on input sparsity), so inputs are
 // filled with nonzero values and the result depends only on shape; per-kernel
 // and portable-vs-SIMD breakdowns live in internal/tensor/matmul_test.go.
-func BenchmarkMatMul(b *testing.B) {
-	x := tensor.New(256, 256)
-	w := tensor.New(256, 256)
-	for i := range x.Data {
-		x.Data[i] = float32(i%7) + 0.25
-	}
-	for i := range w.Data {
-		w.Data[i] = float32(i%5) + 0.5
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tensor.MatMul(nil, x, w)
-	}
-	flops := 2.0 * 256 * 256 * 256
-	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
-}
+// The body lives in internal/benchsuite, shared with cmd/perfvec-bench.
+func BenchmarkMatMul(b *testing.B) { benchsuite.MatMul(b) }
+
+// BenchmarkTrainStep measures one reuse-form training step (batch assembly,
+// forward, backward, optimizer) of the default model — the hot loop the
+// arena-backed tape and fused gate kernels keep tensor-allocation-free.
+// cmd/perfvec-bench records it in BENCH_N.json and CI gates its allocs/op
+// against bench_budget.json.
+func BenchmarkTrainStep(b *testing.B) { benchsuite.TrainStep(b) }
 
 // BenchmarkMatMulModelShape measures the same backend on the trainer's
 // predictor shape (batch x repdim against a uarch table).

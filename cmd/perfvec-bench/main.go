@@ -1,0 +1,140 @@
+// Command perfvec-bench runs the repo's tracked micro-benchmarks
+// (BenchmarkMatMul, BenchmarkBatch, BenchmarkTrainStep) through
+// testing.Benchmark and writes the results as JSON, so the performance
+// trajectory of the training hot path is recorded across PRs (BENCH_3.json
+// is this PR's snapshot). With -budget it also enforces a checked-in
+// allocation budget: CI fails when a change makes the training step allocate
+// more than the recorded bound.
+//
+// Usage:
+//
+//	perfvec-bench [-o BENCH_3.json] [-budget bench_budget.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchsuite"
+)
+
+// result is one benchmark's record: the three numbers `go test -benchmem`
+// prints, plus iteration count for context.
+type result struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the schema of BENCH_N.json.
+type report struct {
+	GeneratedAt string            `json:"generated_at"`
+	GoVersion   string            `json:"go_version"`
+	GoMaxProcs  int               `json:"go_max_procs"`
+	Results     map[string]result `json:"results"`
+	// Baseline carries reference numbers for comparison across PRs; this
+	// binary embeds the pre-arena training step (PR 2 code) measured before
+	// the arena/fused-kernel rewrite landed.
+	Baseline map[string]result `json:"baseline,omitempty"`
+}
+
+// preArenaTrainStep is BenchmarkTrainStep measured on the PR 2 tree
+// (per-call tensor allocation, unfused cells), GOMAXPROCS=1: the reference
+// the arena rewrite is judged against.
+var preArenaTrainStep = result{
+	Iterations:  30,
+	NsPerOp:     33900073,
+	BytesPerOp:  23481225,
+	AllocsPerOp: 1840,
+}
+
+// budget is the schema of bench_budget.json: per-benchmark ceilings.
+type budget map[string]struct {
+	MaxAllocsPerOp int64 `json:"max_allocs_per_op"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_3.json", "output JSON path (\"-\" for stdout)")
+	budgetPath := flag.String("budget", "", "allocation budget JSON to enforce (exit 1 on regression)")
+	flag.Parse()
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"MatMul", benchsuite.MatMul},
+		{"Batch", benchsuite.Batch},
+		{"TrainStep", benchsuite.TrainStep},
+	}
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Results:     make(map[string]result, len(benches)),
+		Baseline:    map[string]result{"TrainStep": preArenaTrainStep},
+	}
+	for _, b := range benches {
+		r := testing.Benchmark(b.fn)
+		rep.Results[b.name] = result{
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "%-12s %10d ns/op %12d B/op %8d allocs/op\n",
+			b.name, int64(rep.Results[b.name].NsPerOp), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfvec-bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "perfvec-bench:", err)
+		os.Exit(1)
+	}
+
+	if *budgetPath == "" {
+		return
+	}
+	raw, err := os.ReadFile(*budgetPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfvec-bench:", err)
+		os.Exit(1)
+	}
+	var bud budget
+	if err := json.Unmarshal(raw, &bud); err != nil {
+		fmt.Fprintf(os.Stderr, "perfvec-bench: parsing %s: %v\n", *budgetPath, err)
+		os.Exit(1)
+	}
+	failed := false
+	for name, lim := range bud {
+		r, ok := rep.Results[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "perfvec-bench: budget names unknown benchmark %q\n", name)
+			failed = true
+			continue
+		}
+		if r.AllocsPerOp > lim.MaxAllocsPerOp {
+			fmt.Fprintf(os.Stderr, "perfvec-bench: %s allocates %d/op, budget %d/op — allocation regression\n",
+				name, r.AllocsPerOp, lim.MaxAllocsPerOp)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "perfvec-bench: %s within budget (%d <= %d allocs/op)\n",
+				name, r.AllocsPerOp, lim.MaxAllocsPerOp)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -24,6 +24,21 @@
 // minibatches across gradient workers with deterministic reduction, so both
 // the kernel layer and the training loop scale with cores.
 //
+// The training hot path is allocation-free at steady state: every op output,
+// gradient buffer, and scratch tensor comes from a per-tape free-list arena
+// (tensor.Arena) that Tape.Reset recycles each minibatch — pooled tensors
+// must never outlive their tape's Reset. Recurrent cells run on fused gate
+// kernels (LSTMGates, GRUGates, GateCombine) that collapse each timestep's
+// post-GEMM work into one or two tape nodes, and Linear layers apply bias
+// and activation as in-place epilogues on the GEMM output; all of these are
+// bitwise-identical to the unfused compositions (asserted by tests), so
+// fusion never perturbs a loss curve or a serialized model. The trainer's
+// validation loss and its shard-gradient reduction both parallelize across
+// the worker pool with bitwise-invariant results (element ranges outer,
+// fixed worker order inner). cmd/perfvec-bench records
+// MatMul/Batch/TrainStep in BENCH_N.json, and CI fails any change whose
+// training step exceeds the allocation budget in bench_budget.json.
+//
 // The data path is streaming end to end: emu.Stepper executes programs one
 // pulled instruction at a time (trace.Stream), features.StreamExtractor
 // featurizes records as they arrive, and a ring-buffered

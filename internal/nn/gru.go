@@ -27,19 +27,18 @@ func newGRULayer(rng *rand.Rand, in, hidden int) *gruLayer {
 	}
 }
 
+// step advances one timestep using the fused gate kernels: the update/reset
+// block (σ gates + reset-scaled state) and the candidate/interpolation block
+// (tanh + h' = n - z*n + z*h) each collapse into one tape node, bitwise
+// identical to the unfused Sigmoid/SliceCols/Mul/Tanh/Add composition.
 func (l *gruLayer) step(tp *tensor.Tape, x, h *tensor.Tensor) *tensor.Tensor {
-	H := l.hidden
-	zr := tensor.Sigmoid(tp, tensor.AddBias(tp, tensor.MatMulBTCat(tp, x, h, l.Wzr), l.Bzr))
-	z := tensor.SliceCols(tp, zr, 0, H)
-	r := tensor.SliceCols(tp, zr, H, 2*H)
-	n := tensor.Tanh(tp, tensor.AddBias(tp, tensor.MatMulBTCat(tp, x, tensor.Mul(tp, r, h), l.Wn), l.Bn))
-	// h' = (1-z)*n + z*h  =  n - z*n + z*h
-	return tensor.Add(tp, tensor.Sub(tp, n, tensor.Mul(tp, z, n)), tensor.Mul(tp, z, h))
+	z, rh := tensor.GRUGates(tp, tensor.MatMulBTCat(tp, x, h, l.Wzr), l.Bzr, h)
+	return tensor.GateCombine(tp, z, tensor.MatMulBTCat(tp, x, rh, l.Wn), l.Bn, h)
 }
 
 func (l *gruLayer) runSeq(tp *tensor.Tape, xs []*tensor.Tensor) []*tensor.Tensor {
 	batch := xs[0].Rows()
-	h := tensor.New(batch, l.hidden)
+	h := tensor.Zeros(tp, batch, l.hidden)
 	hs := make([]*tensor.Tensor, len(xs))
 	for t, x := range xs {
 		h = l.step(tp, x, h)

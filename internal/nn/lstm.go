@@ -28,25 +28,20 @@ func newLSTMLayer(rng *rand.Rand, in, hidden int) *lstmLayer {
 	return l
 }
 
-// step advances one timestep: returns (h', c').
+// step advances one timestep: returns (h', c'). Everything after the cell's
+// GEMM — bias add, the four gate nonlinearities, and the state update — runs
+// as one fused tape node (tensor.LSTMGates), bitwise identical to the
+// unfused AddBias/SliceCols/Sigmoid/Tanh/Mul/Add composition.
 func (l *lstmLayer) step(tp *tensor.Tape, x, h, c *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
-	H := l.hidden
-	z := tensor.AddBias(tp, tensor.MatMulBTCat(tp, x, h, l.W), l.B)
-	i := tensor.Sigmoid(tp, tensor.SliceCols(tp, z, 0, H))
-	f := tensor.Sigmoid(tp, tensor.SliceCols(tp, z, H, 2*H))
-	g := tensor.Tanh(tp, tensor.SliceCols(tp, z, 2*H, 3*H))
-	o := tensor.Sigmoid(tp, tensor.SliceCols(tp, z, 3*H, 4*H))
-	cNew := tensor.Add(tp, tensor.Mul(tp, f, c), tensor.Mul(tp, i, g))
-	hNew := tensor.Mul(tp, o, tensor.Tanh(tp, cNew))
-	return hNew, cNew
+	return tensor.LSTMGates(tp, tensor.MatMulBTCat(tp, x, h, l.W), l.B, c)
 }
 
 // runSeq feeds the whole sequence through the layer and returns the hidden
 // state at every timestep.
 func (l *lstmLayer) runSeq(tp *tensor.Tape, xs []*tensor.Tensor) []*tensor.Tensor {
 	batch := xs[0].Rows()
-	h := tensor.New(batch, l.hidden)
-	c := tensor.New(batch, l.hidden)
+	h := tensor.Zeros(tp, batch, l.hidden)
+	c := tensor.Zeros(tp, batch, l.hidden)
 	hs := make([]*tensor.Tensor, len(xs))
 	for t, x := range xs {
 		h, c = l.step(tp, x, h, c)

@@ -45,11 +45,12 @@ func NewLinear(rng *rand.Rand, in, out int, withBias bool) *Linear {
 	return l
 }
 
-// Forward applies the layer to x[batch, in].
+// Forward applies the layer to x[batch, in]. The bias broadcast runs as an
+// in-place epilogue on the GEMM output (no extra tensor or gradient buffer).
 func (l *Linear) Forward(tp *tensor.Tape, x *tensor.Tensor) *tensor.Tensor {
 	y := tensor.MatMulBT(tp, x, l.W)
 	if l.bias {
-		y = tensor.AddBias(tp, y, l.B)
+		y = tensor.AddBiasInPlace(tp, y, l.B)
 	}
 	return y
 }
@@ -72,14 +73,16 @@ const (
 	ActSigmoid
 )
 
+// applyAct applies the activation in place: every call site feeds it a layer
+// output nothing else reads, so the in-place epilogues are always safe here.
 func applyAct(tp *tensor.Tape, a Activation, x *tensor.Tensor) *tensor.Tensor {
 	switch a {
 	case ActReLU:
-		return tensor.ReLU(tp, x)
+		return tensor.ReLUInPlace(tp, x)
 	case ActTanh:
-		return tensor.Tanh(tp, x)
+		return tensor.TanhInPlace(tp, x)
 	case ActSigmoid:
-		return tensor.Sigmoid(tp, x)
+		return tensor.SigmoidInPlace(tp, x)
 	}
 	panic("nn: unknown activation")
 }

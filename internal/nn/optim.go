@@ -78,13 +78,20 @@ func (a *Adam) Step(params []*tensor.Tensor) {
 			a.v[p] = make([]float32, p.Len())
 		}
 		v := a.v[p]
-		for i, g := range p.Grad {
-			m[i] = a.beta1*m[i] + (1-a.beta1)*g
-			v[i] = a.beta2*v[i] + (1-a.beta2)*g*g
-			mh := m[i] / bc1
-			vh := v[i] / bc2
-			p.Data[i] -= a.lr * mh / (float32(math.Sqrt(float64(vh))) + a.eps)
-		}
+		grad, data := p.Grad, p.Data
+		// Per-element updates are independent, so the loop parallelizes
+		// across the worker pool with bitwise-identical results at any
+		// chunking (the transcendental sqrt makes large tensors worth it).
+		tensor.ParallelWork(len(grad), len(grad)*8, func(s, e int) {
+			for i := s; i < e; i++ {
+				g := grad[i]
+				m[i] = a.beta1*m[i] + (1-a.beta1)*g
+				v[i] = a.beta2*v[i] + (1-a.beta2)*g*g
+				mh := m[i] / bc1
+				vh := v[i] / bc2
+				data[i] -= a.lr * mh / (float32(math.Sqrt(float64(vh))) + a.eps)
+			}
+		})
 		p.ZeroGrad()
 	}
 }

@@ -61,7 +61,7 @@ func (b *encoderBlock) forward(tp *tensor.Tape, x *tensor.Tensor) *tensor.Tensor
 	}
 	attOut := tensor.MatMulBT(tp, headsOut, b.Wo)
 	x = tensor.LayerNorm(tp, tensor.Add(tp, x, attOut), b.G1, b.B1, 1e-5)
-	ff := b.FF2.Forward(tp, tensor.ReLU(tp, b.FF1.Forward(tp, x)))
+	ff := b.FF2.Forward(tp, tensor.ReLUInPlace(tp, b.FF1.Forward(tp, x)))
 	return tensor.LayerNorm(tp, tensor.Add(tp, x, ff), b.G2, b.B2, 1e-5)
 }
 

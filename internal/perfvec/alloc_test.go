@@ -1,0 +1,138 @@
+package perfvec
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestStepReuseSteadyStateAllocFree is the allocation regression test for
+// the arena-backed training hot path: after the warm-up minibatch, the
+// serial training step must perform ZERO tensor allocations — every op
+// output, gradient buffer, and scratch tensor comes back out of the tape's
+// arena — and the residual heap traffic (backward closures, slice headers)
+// must stay far below the ~1840 allocs/step the pre-arena step performed.
+func TestStepReuseSteadyStateAllocFree(t *testing.T) {
+	for _, model := range []ModelKind{ModelLSTM, ModelGRU} {
+		t.Run(string(model), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Model = model
+			cfg.Epochs = 1
+			tr, d, batch, opt := benchTrainSetupCfg(2048, cfg)
+			for i := 0; i < 2; i++ {
+				tr.stepReuse(d, batch, opt)
+			}
+			_, warm := tr.tape.Arena().Stats()
+			for i := 0; i < 4; i++ {
+				tr.stepReuse(d, batch, opt)
+			}
+			if _, after := tr.tape.Arena().Stats(); after != warm {
+				t.Errorf("steady-state step allocated %d tensors (arena misses %d -> %d); the hot path must be tensor-allocation-free", after-warm, warm, after)
+			}
+
+			// Whole-step heap allocations: closures and slice headers remain,
+			// but an order of magnitude below the pre-arena baseline. The
+			// bound is deliberately loose to stay robust across Go versions;
+			// bench_budget.json pins the precise number for CI.
+			avg := testing.AllocsPerRun(4, func() {
+				tr.stepReuse(d, batch, opt)
+			})
+			if avg > 700 {
+				t.Errorf("steady-state step performs %.0f heap allocations; want well under the pre-arena ~1840 (budget 700)", avg)
+			}
+		})
+	}
+}
+
+// TestStepReuseWorkersSteadyStateAllocFree is the data-parallel variant:
+// each gradient worker owns an arena tape, and after warm-up no worker may
+// miss its arena again.
+func TestStepReuseWorkersSteadyStateAllocFree(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	cfg.GradWorkers = 3
+	tr, d, batch, opt := benchTrainSetupCfg(2048, cfg)
+	misses := func() int {
+		total := 0
+		for _, w := range tr.workers {
+			_, m := w.tape.Arena().Stats()
+			total += m
+		}
+		return total
+	}
+	for i := 0; i < 2; i++ {
+		tr.stepReuse(d, batch, opt)
+	}
+	warm := misses()
+	for i := 0; i < 4; i++ {
+		tr.stepReuse(d, batch, opt)
+	}
+	if after := misses(); after != warm {
+		t.Errorf("worker arenas allocated %d tensors after warm-up; sharded steps must be tensor-allocation-free too", after-warm)
+	}
+}
+
+// TestLossShardingBitwise checks that sharding Trainer.Loss across the
+// worker pool never changes a bit: the per-batch losses and their reduction
+// order are fixed, so the value must be identical at any GOMAXPROCS.
+func TestLossShardingBitwise(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	tr, d, _, _ := benchTrainSetupCfg(2000, cfg)
+	ids := d.train[:1000] // four eval chunks
+	ref := func() float64 {
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+		return tr.Loss(d, ids)
+	}()
+	for _, procs := range []int{2, 4, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		got := tr.Loss(d, ids)
+		runtime.GOMAXPROCS(prev)
+		if got != ref {
+			t.Errorf("GOMAXPROCS=%d: Loss %v != serial %v (must be bitwise identical)", procs, got, ref)
+		}
+	}
+}
+
+// TestTrainingBitwiseAcrossPoolParallelism trains the same model at the same
+// GradWorkers count under different GOMAXPROCS values. Batch assembly, the
+// fused kernels' chunked loops, the sharded Loss, and the parallel
+// element-range gradient reduction all promise bitwise invariance to pool
+// parallelism; training losses and final parameters must therefore match
+// exactly. Run with -race in CI, this doubles as the race sweep over the
+// loss/reduction paths.
+func TestTrainingBitwiseAcrossPoolParallelism(t *testing.T) {
+	for _, gw := range []int{1, 2, 8} {
+		run := func(procs int) ([]float64, [][]float32) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			cfg := DefaultConfig()
+			cfg.Hidden, cfg.RepDim, cfg.Window = 12, 12, 4
+			cfg.Epochs = 2
+			cfg.BatchSize = 64
+			cfg.GradWorkers = gw
+			tr, d, _, _ := benchTrainSetupCfg(700, cfg)
+			res := tr.Train(d)
+			losses := append(res.TrainLoss, res.ValLoss...)
+			return losses, snapshot(tr.params())
+		}
+		serialLoss, serialParams := run(1)
+		parallelLoss, parallelParams := run(4)
+		for i := range serialLoss {
+			if serialLoss[i] != parallelLoss[i] {
+				t.Fatalf("GradWorkers=%d: loss %d diverged across GOMAXPROCS: %v vs %v",
+					gw, i, serialLoss[i], parallelLoss[i])
+			}
+		}
+		for p := range serialParams {
+			for i := range serialParams[p] {
+				if serialParams[p][i] != parallelParams[p][i] {
+					t.Fatalf("GradWorkers=%d: param %d[%d] diverged: %v vs %v",
+						gw, p, i, serialParams[p][i], parallelParams[p][i])
+				}
+			}
+		}
+	}
+}

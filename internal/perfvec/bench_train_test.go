@@ -1,0 +1,41 @@
+package perfvec
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// benchTrainSetupCfg builds the synthetic training fixture for the
+// allocation regression and parallelism tests (alloc_test.go): a single
+// program with random features/targets (FeatDim from cfg, K=8
+// microarchitectures) and a cfg.BatchSize-sample minibatch.
+// BenchmarkTrainStep lives in internal/benchsuite (shared with
+// cmd/perfvec-bench) and uses the same construction through the exported
+// API.
+func benchTrainSetupCfg(samples int, cfg Config) (*Trainer, *Dataset, []int, nn.Optimizer) {
+	rng := rand.New(rand.NewSource(42))
+	const k = 8
+	pd := &ProgramData{
+		Name: "synthetic", N: samples, FeatDim: cfg.FeatDim, K: k,
+		Features: make([]float32, samples*cfg.FeatDim),
+		Targets:  make([]float32, samples*k),
+		TotalNs:  make([]float64, k),
+	}
+	for i := range pd.Features {
+		pd.Features[i] = rng.Float32()
+	}
+	for i := range pd.Targets {
+		pd.Targets[i] = rng.Float32() * 10
+	}
+	d, err := NewDataset([]*ProgramData{pd}, 0.1, 1)
+	if err != nil {
+		panic(err)
+	}
+	tr := NewTrainer(NewFoundation(cfg), k)
+	batch := make([]int, cfg.BatchSize)
+	for i := range batch {
+		batch[i] = i
+	}
+	return tr, d, batch, nn.NewAdam(cfg.LR)
+}

@@ -60,14 +60,21 @@ type Config struct {
 
 	// GradWorkers is the number of data-parallel gradient workers per
 	// training step (§IV-C trains data-parallel across GPUs; here each
-	// worker is a goroutine with its own tape and gradient buffers over
-	// shared weights). The minibatch is sharded across workers, each
+	// worker is a goroutine with its own arena tape and gradient buffers
+	// over shared weights — replicas are built structure-only, skipping the
+	// discarded random init). The minibatch is sharded across workers, each
 	// computes the gradient of its shard's loss, and the shard gradients
-	// are reduced in worker order before the optimizer step. 0 means
-	// GOMAXPROCS; 1 runs the unsharded serial step. Results are bitwise
-	// reproducible at a fixed worker count but differ slightly across
-	// counts (shard-reduction rounding), so DefaultConfig pins this to 1;
-	// the training CLIs opt into scaling with cores explicitly.
+	// are reduced before the optimizer step: element ranges split across
+	// the worker pool, workers iterated in fixed order per element, so the
+	// reduction parallelizes while every element still accumulates in
+	// worker order. 0 means GOMAXPROCS; 1 runs the unsharded serial step.
+	// Results are bitwise reproducible at a fixed worker count — and
+	// invariant to GOMAXPROCS — but differ slightly across counts
+	// (shard-reduction rounding), so DefaultConfig pins this to 1; the
+	// training CLIs opt into scaling with cores explicitly. Validation-loss
+	// evaluation (Trainer.Loss) is independent of this knob: it shards its
+	// eval batches across the pool with bitwise-identical results at any
+	// parallelism.
 	GradWorkers int
 
 	// BatchWorkers is the number of shards window assembly is split into

@@ -173,23 +173,25 @@ func (d *Dataset) Subsample(frac float64) *Dataset {
 	return &cp
 }
 
-// batch materializes the window tensors and target matrix for sample ids.
+// Batch materializes the window tensors and target matrix for sample ids.
 // xs[t] is the [B x FeatDim] feature tensor of window position t (oldest
 // first); windows are zero-padded at program start. targets is [B x K],
-// scaled by targetScale.
+// scaled by targetScale. The tensors are allocated through tp's arena when
+// it has one (they are step-lifetime: the trainer recycles them on the next
+// Tape.Reset); a nil tp allocates fresh tensors the caller owns.
 //
 // Window assembly is sharded across `workers` contiguous id ranges
 // dispatched through the tensor worker pool (0 = GOMAXPROCS, 1 = serial).
 // Shard boundaries depend only on (len(ids), workers) and every output row
 // is an independent copy written by exactly one shard, so the assembled
 // tensors are bitwise identical to the serial path at any worker count.
-func (d *Dataset) batch(ids []int, window int, targetScale float32, workers int) (xs []*tensor.Tensor, targets *tensor.Tensor) {
+func (d *Dataset) Batch(tp *tensor.Tape, ids []int, window int, targetScale float32, workers int) (xs []*tensor.Tensor, targets *tensor.Tensor) {
 	bsz := len(ids)
 	xs = make([]*tensor.Tensor, window)
 	for t := range xs {
-		xs[t] = tensor.New(bsz, d.FeatDim)
+		xs[t] = tensor.Zeros(tp, bsz, d.FeatDim)
 	}
-	targets = tensor.New(bsz, d.K)
+	targets = tensor.Zeros(tp, bsz, d.K)
 	fill := func(b0, b1 int) {
 		for b := b0; b < b1; b++ {
 			id := ids[b]

@@ -155,9 +155,9 @@ func TestBatchWorkerSweep(t *testing.T) {
 		ids[i] = rng.Intn(d.TrainSize())
 	}
 	const window = 5
-	refXs, refTargets := d.batch(ids, window, 0.05, 1)
+	refXs, refTargets := d.Batch(nil, ids, window, 0.05, 1)
 	for _, workers := range []int{2, 8} {
-		xs, targets := d.batch(ids, window, 0.05, workers)
+		xs, targets := d.Batch(nil, ids, window, 0.05, workers)
 		for tt := range xs {
 			for i, v := range refXs[tt].Data {
 				if xs[tt].Data[i] != v {
@@ -177,7 +177,7 @@ func TestBatchWorkerSweep(t *testing.T) {
 // shape gradient workers produce — under the race detector.
 func TestBatchConcurrent(t *testing.T) {
 	d := collectDataset(t, 1000)
-	ref, refTargets := d.batch([]int{1, 5, 9, 13, 17, 21, 25, 29}, 4, 0.05, 1)
+	ref, refTargets := d.Batch(nil, []int{1, 5, 9, 13, 17, 21, 25, 29}, 4, 0.05, 1)
 	var wg sync.WaitGroup
 	errCh := make(chan error, 8)
 	for g := 0; g < 8; g++ {
@@ -185,7 +185,7 @@ func TestBatchConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for iter := 0; iter < 5; iter++ {
-				xs, targets := d.batch([]int{1, 5, 9, 13, 17, 21, 25, 29}, 4, 0.05, 2)
+				xs, targets := d.Batch(nil, []int{1, 5, 9, 13, 17, 21, 25, 29}, 4, 0.05, 2)
 				for tt := range xs {
 					for i, v := range ref[tt].Data {
 						if xs[tt].Data[i] != v {
@@ -227,7 +227,7 @@ func BenchmarkBatch(b *testing.B) {
 	}{{"serial", 1}, {"sharded", 0}} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				d.batch(ids, window, 0.05, tc.workers)
+				d.Batch(nil, ids, window, 0.05, tc.workers)
 			}
 			b.ReportMetric(float64(b.N)*float64(len(ids))/b.Elapsed().Seconds(), "windows/s")
 		})

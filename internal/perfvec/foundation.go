@@ -35,6 +35,24 @@ func NewFoundation(cfg Config) *Foundation {
 	}
 }
 
+// NewFoundationStruct builds a structure-only foundation model: the same
+// layer graph and parameter shapes as NewFoundation, but every parameter is
+// zero instead of randomly initialized. Data-parallel gradient workers use
+// it for their replicas — the replica's Data slices are immediately aliased
+// to the master's, so random init would be wasted work (for the default
+// config it was the dominant cost of building a worker).
+func NewFoundationStruct(cfg Config) *Foundation {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	enc := cfg.newEncoder(nil)
+	return &Foundation{
+		Cfg:     cfg,
+		Encoder: enc,
+		Head:    nn.NewLinear(nil, enc.OutDim(), cfg.RepDim, true),
+	}
+}
+
 // Params returns all trainable tensors of the foundation model.
 func (f *Foundation) Params() []*tensor.Tensor {
 	return append(f.Encoder.Params(), f.Head.Params()...)

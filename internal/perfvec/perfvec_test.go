@@ -127,7 +127,7 @@ func TestBatchWindowPadding(t *testing.T) {
 	}
 	// Sample id 0 = instruction 0: all window slots except the last must be
 	// zero-padded.
-	xs, targets := d.batch([]int{0}, 4, 1, 1)
+	xs, targets := d.Batch(nil, []int{0}, 4, 1, 1)
 	if len(xs) != 4 {
 		t.Fatalf("window length %d, want 4", len(xs))
 	}

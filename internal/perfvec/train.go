@@ -30,13 +30,16 @@ type Trainer struct {
 	// Quiet suppresses progress logging to w.
 	Log io.Writer
 
-	workers []*gradWorker // lazily built data-parallel replicas
+	workers []*gradWorker    // lazily built data-parallel replicas
+	tape    *tensor.Tape     // arena tape for the serial step paths
+	params_ []*tensor.Tensor // cached master parameter list
 }
 
 // gradWorker is one data-parallel training replica: a shadow of the model
 // and table whose parameter tensors share Data with the master (weights are
 // only read during forward/backward) but have their own Grad buffers, plus a
-// private tape reused across steps.
+// private arena tape reused across steps — after the first minibatch each
+// worker's step runs without allocating a single tensor (see tensor.Arena).
 type gradWorker struct {
 	model  *Foundation
 	table  *Table
@@ -60,17 +63,16 @@ func (t *Trainer) gradWorkers() []*gradWorker {
 	}
 	master := t.params()
 	for w := 0; w < n; w++ {
-		// NewFoundation's random init is discarded when Data is aliased
-		// below — a one-time O(workers x params) startup cost, accepted to
-		// avoid structure-only constructors across the nn package.
-		model := NewFoundation(t.Model.Cfg)
+		// Structure-only replicas: the layer graph and shapes without the
+		// random init, since Data is aliased to the master's right below.
+		model := NewFoundationStruct(t.Model.Cfg)
 		table := &Table{M: tensor.New(t.Table.M.Shape...)}
 		params := append(model.Params(), table.M)
 		for i, p := range params {
 			p.Data = master[i].Data // share weights, not gradients
 		}
 		t.workers = append(t.workers, &gradWorker{
-			model: model, table: table, params: params, tape: tensor.NewTape(),
+			model: model, table: table, params: params, tape: tensor.NewTapeArena(),
 		})
 	}
 	return t.workers
@@ -85,7 +87,19 @@ func NewTrainer(model *Foundation, k int) *Trainer {
 }
 
 func (t *Trainer) params() []*tensor.Tensor {
-	return append(t.Model.Params(), t.Table.M)
+	if t.params_ == nil {
+		t.params_ = append(t.Model.Params(), t.Table.M)
+	}
+	return t.params_
+}
+
+// stepTape returns the trainer's persistent arena tape for the serial step
+// paths, building it on first use.
+func (t *Trainer) stepTape() *tensor.Tape {
+	if t.tape == nil {
+		t.tape = tensor.NewTapeArena()
+	}
+	return t.tape
 }
 
 // Train runs the configured number of epochs and keeps the parameters of the
@@ -99,7 +113,7 @@ func (t *Trainer) Train(d *Dataset) *TrainResult {
 
 	res := &TrainResult{BestEpoch: -1}
 	bestVal := float64(1e30)
-	var bestParams [][]float32
+	var bestParams [][]float32 // snapshot buffers, reused across epochs
 
 	allIDs := append([]int(nil), d.train...)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
@@ -140,7 +154,7 @@ func (t *Trainer) Train(d *Dataset) *TrainResult {
 		if valLoss < bestVal {
 			bestVal = valLoss
 			res.BestEpoch = epoch
-			bestParams = snapshot(params)
+			bestParams = snapshotInto(bestParams, params)
 		}
 	}
 	if bestParams != nil {
@@ -149,14 +163,22 @@ func (t *Trainer) Train(d *Dataset) *TrainResult {
 	return res
 }
 
+// Step runs one reuse-form training minibatch (forward, backward, optimizer)
+// and returns its loss. Exported for the benchmark harness: BenchmarkTrainStep
+// and cmd/perfvec-bench time exactly this call.
+func (t *Trainer) Step(d *Dataset, batch []int, opt nn.Optimizer) float64 {
+	return t.stepReuse(d, batch, opt)
+}
+
 // stepReuse is the efficient training step of §IV-B: one encoder forward
 // pass produces R_i, which is reused to predict the incremental latency on
 // all K microarchitectures simultaneously via a single matrix product. With
 // more than one gradient worker the minibatch is sharded: each worker
 // backpropagates its shard's loss scaled by the shard's fraction of the
 // batch, so the reduced gradient equals the full-batch MSE gradient, and the
-// reduction runs in fixed worker order for run-to-run determinism at a given
-// worker count.
+// reduction accumulates in fixed worker order for run-to-run determinism at
+// a given worker count. All step tensors come from per-tape arenas, so the
+// steady-state step performs no tensor allocation at any worker count.
 func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 	cfg := t.Model.Cfg
 	workers := t.gradWorkers()
@@ -165,8 +187,9 @@ func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 		nW = len(batch)
 	}
 	if nW < 2 {
-		xs, targets := d.batch(batch, cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
-		tp := tensor.NewTape()
+		tp := t.stepTape()
+		tp.Reset() // recycle the previous step's tensors
+		xs, targets := d.Batch(tp, batch, cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
 		reps := t.Model.Forward(tp, xs)               // [B x D]
 		preds := tensor.MatMulBT(tp, reps, t.Table.M) // [B x K]
 		loss := nn.MSE(tp, preds, targets)
@@ -191,8 +214,8 @@ func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 		wg.Add(1)
 		go func(w *gradWorker, shard []int, frac float32) {
 			defer wg.Done()
-			xs, targets := d.batch(shard, cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
 			w.tape.Reset()
+			xs, targets := d.Batch(w.tape, shard, cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
 			reps := w.model.Forward(w.tape, xs)
 			preds := tensor.MatMulBT(w.tape, reps, w.table.M)
 			loss := tensor.Scale(w.tape, nn.MSE(w.tape, preds, targets), frac)
@@ -202,26 +225,41 @@ func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 	}
 	wg.Wait()
 
-	// Reduce shard gradients into the master parameters in worker order.
+	// Reduce shard gradients into the master parameters: element ranges
+	// split across the worker pool (outer), workers iterated in fixed order
+	// per range (inner), so every element accumulates w0, w1, ... exactly
+	// like the serial worker-order reduction — bitwise identical, but the
+	// ranges run concurrently. Each range also zeroes the worker gradients
+	// it has consumed.
 	master := t.params()
 	var total float64
 	for wi := 0; wi < nW; wi++ {
-		w := workers[wi]
-		total += w.loss
-		for pi, p := range w.params {
-			if p.Grad == nil {
-				continue
+		total += workers[wi].loss
+	}
+	for pi, p := range master {
+		touched := false
+		for wi := 0; wi < nW; wi++ {
+			if workers[wi].params[pi].Grad != nil {
+				touched = true
+				break
 			}
-			g := master[pi].Grad
-			if g == nil {
-				master[pi].Grad = append([]float32(nil), p.Grad...)
-			} else {
-				for i, gv := range p.Grad {
-					g[i] += gv
-				}
-			}
-			p.ZeroGrad()
 		}
+		if !touched {
+			continue
+		}
+		g := p.EnsureGrad()
+		tensor.ParallelWork(len(g), len(g)*(nW+1), func(s, e int) {
+			for wi := 0; wi < nW; wi++ {
+				wgrad := workers[wi].params[pi].Grad
+				if wgrad == nil {
+					continue
+				}
+				for i := s; i < e; i++ {
+					g[i] += wgrad[i]
+				}
+				clear(wgrad[s:e])
+			}
+		})
 	}
 	if cfg.ClipNorm > 0 {
 		nn.ClipGradients(master, cfg.ClipNorm)
@@ -234,9 +272,10 @@ func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 // cost scales linearly with K.
 func (t *Trainer) stepNaive(d *Dataset, batch []int, opt nn.Optimizer, rng *rand.Rand) float64 {
 	cfg := t.Model.Cfg
-	xs, targets := d.batch(batch, cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
+	tp := t.stepTape()
+	tp.Reset()
+	xs, targets := d.Batch(tp, batch, cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
 	j := rng.Intn(d.K)
-	tp := tensor.NewTape()
 	reps := t.Model.Forward(tp, xs)
 	mj := tensor.SliceRows(tp, t.Table.M, j, j+1) // [1 x D]
 	preds := tensor.MatMulBT(tp, reps, mj)        // [B x 1]
@@ -251,36 +290,59 @@ func (t *Trainer) stepNaive(d *Dataset, batch []int, opt nn.Optimizer, rng *rand
 }
 
 // Loss evaluates the (reuse-form) MSE over the given sample ids without
-// updating parameters.
+// updating parameters. Evaluation batches are sharded across the tensor
+// worker pool — the model is read-only during inference, every shard
+// computes exactly the batches the serial loop would, and the per-batch
+// losses are reduced in ascending batch order, so the result is bitwise
+// identical to the serial evaluation at any worker count. The trade-off is
+// peak memory: up to GOMAXPROCS chunks hold their (nil-tape, non-arena)
+// activations live at once instead of one — fine at eval-batch 256; pooling
+// the inference path is a noted ROADMAP follow-up for paper-scale windows.
 func (t *Trainer) Loss(d *Dataset, ids []int) float64 {
 	if len(ids) == 0 {
 		return 0
 	}
 	cfg := t.Model.Cfg
 	const evalBatch = 256
-	var sum float64
-	var count int
-	for from := 0; from < len(ids); from += evalBatch {
-		to := from + evalBatch
-		if to > len(ids) {
-			to = len(ids)
+	nChunks := (len(ids) + evalBatch - 1) / evalBatch
+	losses := make([]float64, nChunks)
+	tensor.Parallel(nChunks, func(c0, c1 int) {
+		for c := c0; c < c1; c++ {
+			from := c * evalBatch
+			to := min(from+evalBatch, len(ids))
+			xs, targets := d.Batch(nil, ids[from:to], cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
+			reps := t.Model.Forward(nil, xs)
+			preds := tensor.MatMulBT(nil, reps, t.Table.M)
+			losses[c] = float64(nn.MSE(nil, preds, targets).Data[0]) * float64(to-from)
 		}
-		xs, targets := d.batch(ids[from:to], cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
-		reps := t.Model.Forward(nil, xs)
-		preds := tensor.MatMulBT(nil, reps, t.Table.M)
-		loss := nn.MSE(nil, preds, targets)
-		sum += float64(loss.Data[0]) * float64(to-from)
-		count += to - from
+	})
+	var sum float64
+	for _, l := range losses {
+		sum += l
 	}
-	return sum / float64(count)
+	return sum / float64(len(ids))
 }
 
+// snapshot returns a fresh deep copy of the parameters' Data slices.
 func snapshot(params []*tensor.Tensor) [][]float32 {
-	out := make([][]float32, len(params))
-	for i, p := range params {
-		out[i] = append([]float32(nil), p.Data...)
+	return snapshotInto(nil, params)
+}
+
+// snapshotInto copies the parameters' Data into dst, reusing dst's buffers
+// when present so the per-epoch best-model snapshot stops reallocating the
+// whole parameter set on every improvement; it returns dst (built on first
+// use).
+func snapshotInto(dst [][]float32, params []*tensor.Tensor) [][]float32 {
+	if dst == nil {
+		dst = make([][]float32, len(params))
 	}
-	return out
+	for i, p := range params {
+		if len(dst[i]) != len(p.Data) {
+			dst[i] = make([]float32, len(p.Data))
+		}
+		copy(dst[i], p.Data)
+	}
+	return dst
 }
 
 func restore(params []*tensor.Tensor, snap [][]float32) {

@@ -1,0 +1,397 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fused recurrent-cell kernels.
+//
+// A GRU/LSTM timestep built from the generic ops in ops.go records 10-15
+// tape nodes: bias broadcasts, column slices, per-gate nonlinearities, and
+// the elementwise state arithmetic, each with its own output tensor and
+// backward closure. The fused ops below collapse everything after the cell's
+// GEMM into one or two tape nodes that make a single pass over the
+// pre-activation block — an LSTM step becomes MatMulBTCat + LSTMGates, a GRU
+// step MatMulBTCat + GRUGates + MatMulBTCat + GateCombine.
+//
+// The fusion is numerically invisible: every float32 operation the unfused
+// composition performed is replayed with the same operands, the same
+// expression shapes (and hence the same intermediate roundings), and the same
+// accumulation order in both the forward and backward passes, so training
+// loss curves and final model bytes are bit-for-bit identical to the unfused
+// graph. The tests in gates_test.go assert this equivalence directly against
+// compositions of the primitive ops. Gate activations needed by the backward
+// closures are saved in arena scratch tensors, so fusion adds no step-
+// lifetime allocations either.
+//
+// sigmoid32 and tanh32 match the Sigmoid and Tanh ops bitwise (float64
+// transcendental, single rounding to float32).
+
+func sigmoid32(x float32) float32 { return float32(1 / (1 + math.Exp(-float64(x)))) }
+func tanh32(x float32) float32    { return float32(math.Tanh(float64(x))) }
+
+// LSTMGates fuses an LSTM cell's gate nonlinearities and state update: given
+// the joint gate pre-activation pre[m,4H] (gate order input, forget, cell,
+// output — the layout of nn's combined weight matrix), the gate bias[4H],
+// and the previous cell state c[m,H], it computes
+//
+//	i = σ(pre_i + b_i)   f = σ(pre_f + b_f)
+//	g = tanh(pre_g + b_g) o = σ(pre_o + b_o)
+//	c' = f⊙c + i⊙g        h' = o⊙tanh(c')
+//
+// in one pass and returns (h', c') with a single fused backward closure.
+func LSTMGates(tp *Tape, pre, bias, c *Tensor) (*Tensor, *Tensor) {
+	m, H := c.Rows(), c.Cols()
+	if pre.Rows() != m || pre.Cols() != 4*H || bias.Len() != 4*H {
+		panic(fmt.Sprintf("tensor: LSTMGates shape mismatch %v / %v / %v", pre.Shape, bias.Shape, c.Shape))
+	}
+	hNew := tp.alloc(m, H)
+	cNew := tp.alloc(m, H)
+	acts := tp.alloc(m, 4*H).Data // σ/tanh gate activations, kept for backward
+	tanhC := tp.alloc(m, H).Data  // tanh(c'), kept for backward
+	bd := bias.Data
+	ParallelWork(m, m*4*H*ewTransc, func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			zr := pre.Data[r*4*H : (r+1)*4*H]
+			ar := acts[r*4*H : (r+1)*4*H]
+			cr := c.Data[r*H : (r+1)*H]
+			cn := cNew.Data[r*H : (r+1)*H]
+			hn := hNew.Data[r*H : (r+1)*H]
+			tr := tanhC[r*H : (r+1)*H]
+			for j := 0; j < H; j++ {
+				i := sigmoid32(zr[j] + bd[j])
+				f := sigmoid32(zr[H+j] + bd[H+j])
+				g := tanh32(zr[2*H+j] + bd[2*H+j])
+				o := sigmoid32(zr[3*H+j] + bd[3*H+j])
+				ar[j], ar[H+j], ar[2*H+j], ar[3*H+j] = i, f, g, o
+				cv := f*cr[j] + i*g
+				cn[j] = cv
+				t := tanh32(cv)
+				tr[j] = t
+				hn[j] = o * t
+			}
+		}
+	})
+	tp.record(func() {
+		gh, gc := hNew.Grad, cNew.Grad
+		if gh == nil && gc == nil {
+			return
+		}
+		gp := pre.ensureGrad()
+		gcp := c.ensureGrad()
+		// The op's own pre-activation gradients go into arena scratch (the
+		// tensor the unfused graph materialized as the AddBias output's
+		// grad): the bias reduction below must see exactly this op's
+		// contribution, not whatever pre.Grad already accumulated.
+		dpre := tp.alloc(m, 4*H).Data
+		ParallelWork(m, m*H*16, func(r0, r1 int) {
+			for r := r0; r < r1; r++ {
+				ar := acts[r*4*H : (r+1)*4*H]
+				cr := c.Data[r*H : (r+1)*H]
+				tr := tanhC[r*H : (r+1)*H]
+				dpr := dpre[r*4*H : (r+1)*4*H]
+				gpr := gp[r*4*H : (r+1)*4*H]
+				gcr := gcp[r*H : (r+1)*H]
+				for j := 0; j < H; j++ {
+					i, f, g, o := ar[j], ar[H+j], ar[2*H+j], ar[3*H+j]
+					t := tr[j]
+					var ghv, dc float32
+					if gh != nil {
+						ghv = gh[r*H+j]
+					}
+					if gc != nil {
+						dc = gc[r*H+j]
+					}
+					do := ghv * t
+					dtc := ghv * o
+					dc = dc + dtc*(1-t*t)
+					di := dc * g
+					dg := dc * i
+					df := dc * cr[j]
+					gcr[j] += dc * f
+					dpr[j] = di * i * (1 - i)
+					dpr[H+j] = df * f * (1 - f)
+					dpr[2*H+j] = dg * (1 - g*g)
+					dpr[3*H+j] = do * o * (1 - o)
+					gpr[j] += dpr[j]
+					gpr[H+j] += dpr[H+j]
+					gpr[2*H+j] += dpr[2*H+j]
+					gpr[3*H+j] += dpr[3*H+j]
+				}
+			}
+		})
+		// The bias gradient reduces across rows, so it stays serial (row
+		// order ascending, matching the unfused AddBias backward).
+		gb := bias.ensureGrad()
+		for r := 0; r < m; r++ {
+			row := dpre[r*4*H : (r+1)*4*H]
+			for j, gv := range row {
+				gb[j] += gv
+			}
+		}
+	})
+	return hNew, cNew
+}
+
+// GRUGates fuses the GRU update/reset gate block: given the joint gate
+// pre-activation pre[m,2H] (update gate columns first), the gate bias[2H],
+// and the previous hidden state h[m,H], it computes z = σ(pre_z + b_z),
+// r = σ(pre_r + b_r), and the reset-scaled state r⊙h in one pass, returning
+// (z, r⊙h). The reset activations are kept for the fused backward.
+func GRUGates(tp *Tape, pre, bias, h *Tensor) (*Tensor, *Tensor) {
+	m, H := h.Rows(), h.Cols()
+	if pre.Rows() != m || pre.Cols() != 2*H || bias.Len() != 2*H {
+		panic(fmt.Sprintf("tensor: GRUGates shape mismatch %v / %v / %v", pre.Shape, bias.Shape, h.Shape))
+	}
+	z := tp.alloc(m, H)
+	rh := tp.alloc(m, H)
+	rAct := tp.alloc(m, H).Data
+	bd := bias.Data
+	ParallelWork(m, m*2*H*ewTransc, func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			pr := pre.Data[r*2*H : (r+1)*2*H]
+			hr := h.Data[r*H : (r+1)*H]
+			zr := z.Data[r*H : (r+1)*H]
+			rr := rAct[r*H : (r+1)*H]
+			rhr := rh.Data[r*H : (r+1)*H]
+			for j := 0; j < H; j++ {
+				zv := sigmoid32(pr[j] + bd[j])
+				rv := sigmoid32(pr[H+j] + bd[H+j])
+				zr[j] = zv
+				rr[j] = rv
+				rhr[j] = rv * hr[j]
+			}
+		}
+	})
+	tp.record(func() {
+		gz, grh := z.Grad, rh.Grad
+		if gz == nil && grh == nil {
+			return
+		}
+		gp := pre.ensureGrad()
+		gh := h.ensureGrad()
+		dpre := tp.alloc(m, 2*H).Data // this op's pre-activation grads (see LSTMGates)
+		ParallelWork(m, m*2*H*4, func(r0, r1 int) {
+			for r := r0; r < r1; r++ {
+				hr := h.Data[r*H : (r+1)*H]
+				zr := z.Data[r*H : (r+1)*H]
+				rr := rAct[r*H : (r+1)*H]
+				dpr := dpre[r*2*H : (r+1)*2*H]
+				gpr := gp[r*2*H : (r+1)*2*H]
+				ghr := gh[r*H : (r+1)*H]
+				for j := 0; j < H; j++ {
+					var dz, drh float32
+					if gz != nil {
+						dz = gz[r*H+j]
+					}
+					if grh != nil {
+						drh = grh[r*H+j]
+					}
+					zv, rv := zr[j], rr[j]
+					dr := drh * hr[j]
+					ghr[j] += drh * rv
+					dpr[j] = dz * zv * (1 - zv)
+					dpr[H+j] = dr * rv * (1 - rv)
+					gpr[j] += dpr[j]
+					gpr[H+j] += dpr[H+j]
+				}
+			}
+		})
+		gb := bias.ensureGrad()
+		for r := 0; r < m; r++ {
+			row := dpre[r*2*H : (r+1)*2*H]
+			for j, gv := range row {
+				gb[j] += gv
+			}
+		}
+	})
+	return z, rh
+}
+
+// GateCombine fuses the GRU candidate activation and state interpolation:
+// n = tanh(nPre + bias) and h' = (n - z⊙n) + z⊙h — the "h' = n - z·n + z·h"
+// form the unfused cell used — in one pass with a single backward closure.
+// The candidate activations are kept for backward.
+func GateCombine(tp *Tape, z, nPre, bias, h *Tensor) *Tensor {
+	m, H := h.Rows(), h.Cols()
+	if z.Rows() != m || z.Cols() != H || nPre.Rows() != m || nPre.Cols() != H || bias.Len() != H {
+		panic(fmt.Sprintf("tensor: GateCombine shape mismatch %v / %v / %v / %v", z.Shape, nPre.Shape, bias.Shape, h.Shape))
+	}
+	out := tp.alloc(m, H)
+	nAct := tp.alloc(m, H).Data
+	bd := bias.Data
+	ParallelWork(m, m*H*ewTransc, func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			pr := nPre.Data[r*H : (r+1)*H]
+			zr := z.Data[r*H : (r+1)*H]
+			hr := h.Data[r*H : (r+1)*H]
+			nr := nAct[r*H : (r+1)*H]
+			or := out.Data[r*H : (r+1)*H]
+			for j := 0; j < H; j++ {
+				nv := tanh32(pr[j] + bd[j])
+				nr[j] = nv
+				zv := zr[j]
+				or[j] = (nv - zv*nv) + zv*hr[j]
+			}
+		}
+	})
+	tp.record(func() {
+		g := out.Grad
+		if g == nil {
+			return
+		}
+		gz := z.ensureGrad()
+		gn := nPre.ensureGrad()
+		gh := h.ensureGrad()
+		dpre := tp.alloc(m, H).Data // this op's candidate pre-activation grads
+		ParallelWork(m, m*H*6, func(r0, r1 int) {
+			for r := r0; r < r1; r++ {
+				zr := z.Data[r*H : (r+1)*H]
+				hr := h.Data[r*H : (r+1)*H]
+				nr := nAct[r*H : (r+1)*H]
+				gr := g[r*H : (r+1)*H]
+				dpr := dpre[r*H : (r+1)*H]
+				gzr := gz[r*H : (r+1)*H]
+				gnr := gn[r*H : (r+1)*H]
+				ghr := gh[r*H : (r+1)*H]
+				for j := 0; j < H; j++ {
+					gv := gr[j]
+					zv, nv := zr[j], nr[j]
+					// Replays the unfused closure sequence exactly:
+					// Mul(z,h): dz += g·h, dh += g·z; Sub: dn = g, dzn = -g;
+					// Mul(z,n): dz += dzn·n, dn += dzn·z; Tanh epilogue.
+					gzr[j] += gv * hr[j]
+					ghr[j] += gv * zv
+					dzn := -gv
+					gzr[j] += dzn * nv
+					dn := gv + dzn*zv
+					dpr[j] = dn * (1 - nv*nv)
+					gnr[j] += dpr[j]
+				}
+			}
+		})
+		gb := bias.ensureGrad()
+		for r := 0; r < m; r++ {
+			row := dpre[r*H : (r+1)*H]
+			for j, gv := range row {
+				gb[j] += gv
+			}
+		}
+	})
+	return out
+}
+
+// In-place epilogues. A Linear layer's bias broadcast and an MLP's hidden
+// activation both consume an op output nothing else reads (the GEMM result),
+// so they can run directly on that tensor's buffers: the forward mutates
+// Data in place and the backward transforms (or harvests) the shared Grad
+// buffer in place, eliminating one output tensor and one gradient buffer per
+// application while leaving every float32 value — forward and backward —
+// identical to the out-of-place composition. They must never be applied to
+// parameters or to tensors that feed another op (an earlier op's backward
+// that reads its *output* Data would observe the mutation).
+
+// AddBiasInPlace adds bias[n] into each row of a[m,n] in place and returns a.
+// The backward harvests the bias gradient (a serial cross-row reduction,
+// like AddBias) and leaves a.Grad untouched: d(in) = d(out) exactly.
+func AddBiasInPlace(tp *Tape, a, bias *Tensor) *Tensor {
+	m, n := a.Rows(), a.Cols()
+	if bias.Len() != n {
+		panic(fmt.Sprintf("tensor: AddBiasInPlace bias length %d != cols %d", bias.Len(), n))
+	}
+	ParallelWork(m, m*n, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			ar := a.Data[i*n : (i+1)*n]
+			for j := range ar {
+				ar[j] += bias.Data[j]
+			}
+		}
+	})
+	tp.record(func() {
+		g := a.Grad
+		if g == nil {
+			return
+		}
+		gb := bias.ensureGrad()
+		for i := 0; i < m; i++ {
+			gr := g[i*n : (i+1)*n]
+			for j, gv := range gr {
+				gb[j] += gv
+			}
+		}
+	})
+	return a
+}
+
+// SigmoidInPlace applies σ elementwise to a in place and returns a. The
+// backward rewrites a.Grad in place (g ← g·y·(1-y)), so closures recorded
+// before this op observe the pre-activation gradient.
+func SigmoidInPlace(tp *Tape, a *Tensor) *Tensor {
+	ParallelWork(len(a.Data), len(a.Data)*ewTransc, func(s, e int) {
+		for i := s; i < e; i++ {
+			a.Data[i] = sigmoid32(a.Data[i])
+		}
+	})
+	tp.record(func() {
+		g := a.Grad
+		if g == nil {
+			return
+		}
+		ParallelWork(len(g), len(g), func(s, e int) {
+			for i := s; i < e; i++ {
+				y := a.Data[i]
+				g[i] = g[i] * y * (1 - y)
+			}
+		})
+	})
+	return a
+}
+
+// TanhInPlace applies tanh elementwise to a in place and returns a.
+func TanhInPlace(tp *Tape, a *Tensor) *Tensor {
+	ParallelWork(len(a.Data), len(a.Data)*ewTransc, func(s, e int) {
+		for i := s; i < e; i++ {
+			a.Data[i] = tanh32(a.Data[i])
+		}
+	})
+	tp.record(func() {
+		g := a.Grad
+		if g == nil {
+			return
+		}
+		ParallelWork(len(g), len(g), func(s, e int) {
+			for i := s; i < e; i++ {
+				y := a.Data[i]
+				g[i] = g[i] * (1 - y*y)
+			}
+		})
+	})
+	return a
+}
+
+// ReLUInPlace applies max(·,0) elementwise to a in place and returns a. The
+// output sign carries the mask (y > 0 ⟺ pre > 0), so no mask is stored.
+func ReLUInPlace(tp *Tape, a *Tensor) *Tensor {
+	ParallelWork(len(a.Data), len(a.Data), func(s, e int) {
+		for i := s; i < e; i++ {
+			if !(a.Data[i] > 0) {
+				a.Data[i] = 0
+			}
+		}
+	})
+	tp.record(func() {
+		g := a.Grad
+		if g == nil {
+			return
+		}
+		ParallelWork(len(g), len(g), func(s, e int) {
+			for i := s; i < e; i++ {
+				if !(a.Data[i] > 0) {
+					g[i] = 0
+				}
+			}
+		})
+	})
+	return a
+}

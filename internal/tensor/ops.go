@@ -13,7 +13,7 @@ func MatMul(tp *Tape, a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	out := New(m, n)
+	out := tp.alloc(m, n)
 	mmNN(out.Data, a.Data, b.Data, m, k, n)
 	tp.record(func() {
 		g := out.Grad
@@ -35,7 +35,7 @@ func MatMulBT(tp *Tape, a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulBT shape mismatch %v x %v^T", a.Shape, b.Shape))
 	}
-	out := New(m, n)
+	out := tp.alloc(m, n)
 	mmNT(out.Data, a.Data, b.Data, m, k, n)
 	tp.record(func() {
 		g := out.Grad
@@ -61,7 +61,7 @@ func MatMulBTCat(tp *Tape, x, h, w *Tensor) *Tensor {
 	if h.Rows() != m || wc != xc+hc {
 		panic(fmt.Sprintf("tensor: MatMulBTCat shape mismatch [%v|%v] x %v^T", x.Shape, h.Shape, w.Shape))
 	}
-	out := New(m, n)
+	out := tp.alloc(m, n)
 	gemmNT(out.Data, x.Data, w.Data, m, xc, n, xc, wc, n)
 	gemmNT(out.Data, h.Data, w.Data[xc:], m, hc, n, hc, wc, n)
 	tp.record(func() {
@@ -91,7 +91,7 @@ func MatMulBTCols(tp *Tape, a, b *Tensor, from, to int) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulBTCols [%d,%d) out of range for %v x %v^T", from, to, a.Shape, b.Shape))
 	}
 	w := to - from
-	out := New(m, n)
+	out := tp.alloc(m, n)
 	gemmNT(out.Data, a.Data[from:], b.Data[from:], m, w, n, ac, bc, n)
 	tp.record(func() {
 		g := out.Grad
@@ -121,7 +121,7 @@ func Add(tp *Tape, a, b *Tensor) *Tensor {
 	if !SameShape(a, b) {
 		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", a.Shape, b.Shape))
 	}
-	out := New(a.Shape...)
+	out := tp.alloc(a.Shape...)
 	ParallelWork(len(out.Data), len(out.Data), func(s, e int) {
 		for i := s; i < e; i++ {
 			out.Data[i] = a.Data[i] + b.Data[i]
@@ -149,7 +149,7 @@ func AddBias(tp *Tape, a, bias *Tensor) *Tensor {
 	if bias.Len() != n {
 		panic(fmt.Sprintf("tensor: AddBias bias length %d != cols %d", bias.Len(), n))
 	}
-	out := New(m, n)
+	out := tp.alloc(m, n)
 	ParallelWork(m, m*n, func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
 			ar, or := a.Row(i), out.Data[i*n:(i+1)*n]
@@ -182,7 +182,7 @@ func Sub(tp *Tape, a, b *Tensor) *Tensor {
 	if !SameShape(a, b) {
 		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", a.Shape, b.Shape))
 	}
-	out := New(a.Shape...)
+	out := tp.alloc(a.Shape...)
 	ParallelWork(len(out.Data), len(out.Data), func(s, e int) {
 		for i := s; i < e; i++ {
 			out.Data[i] = a.Data[i] - b.Data[i]
@@ -209,7 +209,7 @@ func Mul(tp *Tape, a, b *Tensor) *Tensor {
 	if !SameShape(a, b) {
 		panic(fmt.Sprintf("tensor: Mul shape mismatch %v vs %v", a.Shape, b.Shape))
 	}
-	out := New(a.Shape...)
+	out := tp.alloc(a.Shape...)
 	ParallelWork(len(out.Data), len(out.Data), func(s, e int) {
 		for i := s; i < e; i++ {
 			out.Data[i] = a.Data[i] * b.Data[i]
@@ -233,7 +233,7 @@ func Mul(tp *Tape, a, b *Tensor) *Tensor {
 
 // Scale returns s * a.
 func Scale(tp *Tape, a *Tensor, s float32) *Tensor {
-	out := New(a.Shape...)
+	out := tp.alloc(a.Shape...)
 	ParallelWork(len(out.Data), len(out.Data), func(start, end int) {
 		for i := start; i < end; i++ {
 			out.Data[i] = a.Data[i] * s
@@ -256,7 +256,7 @@ func Scale(tp *Tape, a *Tensor, s float32) *Tensor {
 
 // Sigmoid returns 1/(1+exp(-a)) elementwise.
 func Sigmoid(tp *Tape, a *Tensor) *Tensor {
-	out := New(a.Shape...)
+	out := tp.alloc(a.Shape...)
 	ParallelWork(len(out.Data), len(out.Data)*ewTransc, func(s, e int) {
 		for i := s; i < e; i++ {
 			out.Data[i] = float32(1 / (1 + math.Exp(-float64(a.Data[i]))))
@@ -280,7 +280,7 @@ func Sigmoid(tp *Tape, a *Tensor) *Tensor {
 
 // Tanh returns tanh(a) elementwise.
 func Tanh(tp *Tape, a *Tensor) *Tensor {
-	out := New(a.Shape...)
+	out := tp.alloc(a.Shape...)
 	ParallelWork(len(out.Data), len(out.Data)*ewTransc, func(s, e int) {
 		for i := s; i < e; i++ {
 			out.Data[i] = float32(math.Tanh(float64(a.Data[i])))
@@ -304,7 +304,7 @@ func Tanh(tp *Tape, a *Tensor) *Tensor {
 
 // ReLU returns max(a, 0) elementwise.
 func ReLU(tp *Tape, a *Tensor) *Tensor {
-	out := New(a.Shape...)
+	out := tp.alloc(a.Shape...)
 	ParallelWork(len(out.Data), len(out.Data), func(s, e int) {
 		for i := s; i < e; i++ {
 			if av := a.Data[i]; av > 0 {
@@ -332,7 +332,7 @@ func ReLU(tp *Tape, a *Tensor) *Tensor {
 // SoftmaxRows applies a numerically-stable softmax independently to each row.
 func SoftmaxRows(tp *Tape, a *Tensor) *Tensor {
 	m, n := a.Rows(), a.Cols()
-	out := New(m, n)
+	out := tp.alloc(m, n)
 	ParallelWork(m, m*n*ewTransc, func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
 			ar, or := a.Row(i), out.Data[i*n:(i+1)*n]
@@ -384,7 +384,7 @@ func ConcatCols(tp *Tape, a, b *Tensor) *Tensor {
 	if b.Rows() != m {
 		panic(fmt.Sprintf("tensor: ConcatCols row mismatch %v vs %v", a.Shape, b.Shape))
 	}
-	out := New(m, na+nb)
+	out := tp.alloc(m, na+nb)
 	for i := 0; i < m; i++ {
 		copy(out.Data[i*(na+nb):], a.Row(i))
 		copy(out.Data[i*(na+nb)+na:], b.Row(i))
@@ -418,7 +418,7 @@ func SliceCols(tp *Tape, a *Tensor, from, to int) *Tensor {
 		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range for %v", from, to, a.Shape))
 	}
 	w := to - from
-	out := New(m, w)
+	out := tp.alloc(m, w)
 	for i := 0; i < m; i++ {
 		copy(out.Data[i*w:(i+1)*w], a.Data[i*n+from:i*n+to])
 	}
@@ -447,7 +447,7 @@ func SliceRows(tp *Tape, a *Tensor, from, to int) *Tensor {
 		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for %v", from, to, a.Shape))
 	}
 	h := to - from
-	out := New(h, n)
+	out := tp.alloc(h, n)
 	copy(out.Data, a.Data[from*n:to*n])
 	tp.record(func() {
 		g := out.Grad
@@ -465,7 +465,7 @@ func SliceRows(tp *Tape, a *Tensor, from, to int) *Tensor {
 // Transpose returns a[m,n]^T as an [n,m] tensor.
 func Transpose(tp *Tape, a *Tensor) *Tensor {
 	m, n := a.Rows(), a.Cols()
-	out := New(n, m)
+	out := tp.alloc(n, m)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			out.Data[j*m+i] = a.Data[i*n+j]
@@ -488,7 +488,7 @@ func Transpose(tp *Tape, a *Tensor) *Tensor {
 
 // Sum reduces all elements to a scalar tensor.
 func Sum(tp *Tape, a *Tensor) *Tensor {
-	out := New(1)
+	out := tp.alloc(1)
 	var s float64
 	for _, v := range a.Data {
 		s += float64(v)
@@ -522,9 +522,11 @@ func LayerNorm(tp *Tape, x, gamma, beta *Tensor, eps float32) *Tensor {
 	if gamma.Len() != n || beta.Len() != n {
 		panic("tensor: LayerNorm gain/bias length mismatch")
 	}
-	out := New(m, n)
-	xhat := make([]float32, m*n)
-	invStd := make([]float32, m)
+	out := tp.alloc(m, n)
+	// Scratch lives on the tape arena too: the backward closure needs the
+	// normalized activations and per-row scales, so they are step-lifetime.
+	xhat := tp.alloc(m, n).Data
+	invStd := tp.alloc(m).Data
 	ParallelWork(m, m*n*4, func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
 			xr := x.Row(i)
@@ -555,12 +557,12 @@ func LayerNorm(tp *Tape, x, gamma, beta *Tensor, eps float32) *Tensor {
 			return
 		}
 		gx, gg, gb := x.ensureGrad(), gamma.ensureGrad(), beta.ensureGrad()
+		dh := make([]float32, n) // hoisted: one scratch row per backward, not per row
 		for i := 0; i < m; i++ {
 			gr := g[i*n : (i+1)*n]
 			hr := xhat[i*n : (i+1)*n]
 			// dxhat = g * gamma; accumulate gamma/beta grads.
 			var sumDh, sumDhH float32
-			dh := make([]float32, n)
 			for j, gv := range gr {
 				gg[j] += gv * hr[j]
 				gb[j] += gv

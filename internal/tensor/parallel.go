@@ -24,6 +24,11 @@ var (
 	poolTasks chan task
 )
 
+// wgPool recycles the WaitGroup each Parallel call hands to its tasks; the
+// group escapes into the task struct, so without pooling every parallelized
+// op (every GEMM pass of every training step) would heap-allocate one.
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
 // ensurePool starts the persistent worker pool, sized to GOMAXPROCS at first
 // use. The task channel is unbuffered, so a dispatch succeeds only when a
 // worker is actually idle; Parallel runs any chunk it cannot hand off on the
@@ -65,13 +70,13 @@ func Parallel(n int, fn func(start, end int)) {
 	}
 	ensurePool()
 	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
+	wg := wgPool.Get().(*sync.WaitGroup)
 	for start := chunk; start < n; start += chunk {
 		end := start + chunk
 		if end > n {
 			end = n
 		}
-		t := task{fn: fn, start: start, end: end, wg: &wg}
+		t := task{fn: fn, start: start, end: end, wg: wg}
 		wg.Add(1)
 		select {
 		case poolTasks <- t:
@@ -83,6 +88,7 @@ func Parallel(n int, fn func(start, end int)) {
 	}
 	fn(0, chunk) // the caller always works on the first chunk itself
 	wg.Wait()
+	wgPool.Put(wg)
 }
 
 // ParallelWork runs fn over [0, n) like Parallel when the estimated total

@@ -11,7 +11,7 @@ func StackRows(tp *Tape, xs []*Tensor, row int) *Tensor {
 		panic("tensor: StackRows needs at least one tensor")
 	}
 	n := xs[0].Cols()
-	out := New(len(xs), n)
+	out := tp.alloc(len(xs), n)
 	for t, x := range xs {
 		if x.Cols() != n {
 			panic(fmt.Sprintf("tensor: StackRows column mismatch %d vs %d", x.Cols(), n))
@@ -48,7 +48,7 @@ func ConcatRows(tp *Tape, xs ...*Tensor) *Tensor {
 		}
 		rows += x.Rows()
 	}
-	out := New(rows, n)
+	out := tp.alloc(rows, n)
 	off := 0
 	for _, x := range xs {
 		copy(out.Data[off:], x.Data)

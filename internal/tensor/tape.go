@@ -14,11 +14,43 @@ package tensor
 // kernels in matmul.go and the elementwise loops in ops.go split their own
 // work across the worker pool in parallel.go.
 type Tape struct {
-	ops []func()
+	ops   []func()
+	arena *Arena
 }
 
-// NewTape returns an empty tape.
+// NewTape returns an empty tape. Op outputs are freshly allocated; use
+// NewTapeArena for the pooled variant the training hot path runs on.
 func NewTape() *Tape { return &Tape{} }
+
+// NewTapeArena returns a tape backed by its own Arena: every op output,
+// gradient buffer, and scratch tensor recorded through the tape is pooled,
+// and Reset recycles them all. Tensors produced on such a tape are only valid
+// until the next Reset (see Arena).
+func NewTapeArena() *Tape { return &Tape{arena: NewArena()} }
+
+// Arena returns the tape's arena, or nil for a plain tape.
+func (tp *Tape) Arena() *Arena {
+	if tp == nil {
+		return nil
+	}
+	return tp.arena
+}
+
+// alloc returns a zeroed output tensor for an op running on this tape: pooled
+// through the arena when the tape has one, freshly allocated otherwise (and
+// always fresh in inference mode, tp == nil).
+func (tp *Tape) alloc(shape ...int) *Tensor {
+	if tp == nil || tp.arena == nil {
+		return New(shape...)
+	}
+	return tp.arena.Get(shape...)
+}
+
+// Zeros returns a zeroed step-lifetime tensor allocated through tp's arena
+// (or freshly when tp has none). Sequence models use it for initial hidden
+// and cell states, and Dataset batching for input windows: buffers that are
+// rebuilt every step and must not survive the tape's Reset.
+func Zeros(tp *Tape, shape ...int) *Tensor { return tp.alloc(shape...) }
 
 // record appends a backward closure; no-op on a nil tape.
 func (tp *Tape) record(fn func()) {
@@ -35,8 +67,15 @@ func (tp *Tape) Len() int {
 	return len(tp.ops)
 }
 
-// Reset clears the tape for reuse, retaining capacity.
-func (tp *Tape) Reset() { tp.ops = tp.ops[:0] }
+// Reset clears the tape for reuse, retaining the closure slice's capacity and
+// recycling all arena tensors handed out since the previous Reset.
+func (tp *Tape) Reset() {
+	clear(tp.ops)
+	tp.ops = tp.ops[:0]
+	if tp.arena != nil {
+		tp.arena.Reset()
+	}
+}
 
 // Backward seeds d(loss)/d(loss) = 1 and runs all recorded closures in
 // reverse, accumulating gradients into every tensor that participated.

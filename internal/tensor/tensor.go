@@ -4,6 +4,12 @@
 // Tensors are dense, row-major, and mostly two-dimensional ([rows, cols]).
 // Differentiable operations take a *Tape; passing a nil Tape runs the same
 // computation in inference mode without recording backward closures.
+//
+// Ops allocate their outputs through the tape: a plain tape (NewTape) and
+// inference mode allocate fresh tensors, while an arena tape (NewTapeArena)
+// draws them from a per-tape free-list pool that Tape.Reset recycles — the
+// training loop's steady state allocates no tensors at all. Tensors from an
+// arena tape are only valid until that tape's next Reset (see Arena).
 package tensor
 
 import (
@@ -20,6 +26,12 @@ type Tensor struct {
 	Shape []int
 	Data  []float32
 	Grad  []float32
+
+	// gradBuf is the pooled gradient buffer of an arena tensor: Arena.Reset
+	// detaches Grad here so the next step's ensureGrad re-attaches it
+	// (zeroed) instead of allocating, while keeping the "Grad == nil means
+	// no gradient flowed" convention intact across recycles.
+	gradBuf []float32
 }
 
 // New returns a zero tensor with the given shape.
@@ -47,9 +59,16 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
 }
 
-// Randn fills a new tensor with N(0, std) samples from rng.
+// Randn fills a new tensor with N(0, std) samples from rng. A nil rng skips
+// the sampling and returns a zero tensor of the right shape — the
+// structure-only form used to build parameter shells (e.g. data-parallel
+// replicas that alias the master's weights) without paying for a random
+// initialization that is immediately discarded.
 func Randn(rng *rand.Rand, std float64, shape ...int) *Tensor {
 	t := New(shape...)
+	if rng == nil {
+		return t
+	}
 	for i := range t.Data {
 		t.Data[i] = float32(rng.NormFloat64() * std)
 	}
@@ -58,8 +77,12 @@ func Randn(rng *rand.Rand, std float64, shape ...int) *Tensor {
 
 // XavierUniform returns a [fanOut, fanIn] weight matrix initialized with the
 // Glorot/Xavier uniform scheme, the default for the models in this repo.
+// A nil rng returns the zero structure-only shell (see Randn).
 func XavierUniform(rng *rand.Rand, fanOut, fanIn int) *Tensor {
 	t := New(fanOut, fanIn)
+	if rng == nil {
+		return t
+	}
 	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
 	for i := range t.Data {
 		t.Data[i] = (rng.Float32()*2 - 1) * limit
@@ -119,13 +142,23 @@ func (t *Tensor) ZeroGrad() {
 	}
 }
 
-// ensureGrad allocates the gradient buffer on first use.
+// ensureGrad attaches the gradient buffer on first use, reusing the pooled
+// buffer of a recycled arena tensor when one is available.
 func (t *Tensor) ensureGrad() []float32 {
 	if t.Grad == nil {
-		t.Grad = make([]float32, len(t.Data))
+		if t.gradBuf != nil && len(t.gradBuf) == len(t.Data) {
+			clear(t.gradBuf)
+			t.Grad = t.gradBuf
+		} else {
+			t.Grad = make([]float32, len(t.Data))
+		}
 	}
 	return t.Grad
 }
+
+// EnsureGrad returns the tensor's gradient buffer, attaching a zeroed one if
+// none has been allocated yet. Exported for the trainer's gradient reduction.
+func (t *Tensor) EnsureGrad() []float32 { return t.ensureGrad() }
 
 // SameShape reports whether two tensors have identical shapes.
 func SameShape(a, b *Tensor) bool {
