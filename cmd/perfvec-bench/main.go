@@ -1,14 +1,14 @@
 // Command perfvec-bench runs the repo's tracked micro-benchmarks
 // (BenchmarkMatMul, BenchmarkBatch, BenchmarkTrainStep) through
 // testing.Benchmark and writes the results as JSON, so the performance
-// trajectory of the training hot path is recorded across PRs (BENCH_3.json
+// trajectory of the training hot path is recorded across PRs (BENCH_4.json
 // is this PR's snapshot). With -budget it also enforces a checked-in
 // allocation budget: CI fails when a change makes the training step allocate
 // more than the recorded bound.
 //
 // Usage:
 //
-//	perfvec-bench [-o BENCH_3.json] [-budget bench_budget.json]
+//	perfvec-bench [-o BENCH_4.json] [-budget bench_budget.json]
 package main
 
 import (
@@ -39,19 +39,30 @@ type report struct {
 	GoMaxProcs  int               `json:"go_max_procs"`
 	Results     map[string]result `json:"results"`
 	// Baseline carries reference numbers for comparison across PRs; this
-	// binary embeds the pre-arena training step (PR 2 code) measured before
-	// the arena/fused-kernel rewrite landed.
+	// binary embeds the pre-arena training step (PR 2 code, before the
+	// arena/fused-kernel rewrite) and the closure-tape step (PR 3 code,
+	// before the typed op-record tape), both at GOMAXPROCS=1.
 	Baseline map[string]result `json:"baseline,omitempty"`
 }
 
 // preArenaTrainStep is BenchmarkTrainStep measured on the PR 2 tree
-// (per-call tensor allocation, unfused cells), GOMAXPROCS=1: the reference
-// the arena rewrite is judged against.
+// (per-call tensor allocation, unfused cells).
 var preArenaTrainStep = result{
 	Iterations:  30,
 	NsPerOp:     33900073,
 	BytesPerOp:  23481225,
 	AllocsPerOp: 1840,
+}
+
+// closureTapeTrainStep is BenchmarkTrainStep measured on the PR 3 tree
+// (arena-pooled tensors, but a backward closure and loop closures allocated
+// per op): the reference the typed op-record tape is judged against. The
+// recorded allocs/op amortizes the warm-up step; steady state was ~300.
+var closureTapeTrainStep = result{
+	Iterations:  39,
+	NsPerOp:     25982496,
+	BytesPerOp:  404171,
+	AllocsPerOp: 312,
 }
 
 // budget is the schema of bench_budget.json: per-benchmark ceilings.
@@ -60,7 +71,7 @@ type budget map[string]struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_3.json", "output JSON path (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_4.json", "output JSON path (\"-\" for stdout)")
 	budgetPath := flag.String("budget", "", "allocation budget JSON to enforce (exit 1 on regression)")
 	flag.Parse()
 
@@ -77,7 +88,10 @@ func main() {
 		GoVersion:   runtime.Version(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Results:     make(map[string]result, len(benches)),
-		Baseline:    map[string]result{"TrainStep": preArenaTrainStep},
+		Baseline: map[string]result{
+			"TrainStep_preArena":    preArenaTrainStep,
+			"TrainStep_closureTape": closureTapeTrainStep,
+		},
 	}
 	for _, b := range benches {
 		r := testing.Benchmark(b.fn)

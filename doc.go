@@ -24,20 +24,41 @@
 // minibatches across gradient workers with deterministic reduction, so both
 // the kernel layer and the training loop scale with cores.
 //
-// The training hot path is allocation-free at steady state: every op output,
-// gradient buffer, and scratch tensor comes from a per-tape free-list arena
-// (tensor.Arena) that Tape.Reset recycles each minibatch — pooled tensors
-// must never outlive their tape's Reset. Recurrent cells run on fused gate
-// kernels (LSTMGates, GRUGates, GateCombine) that collapse each timestep's
-// post-GEMM work into one or two tape nodes, and Linear layers apply bias
-// and activation as in-place epilogues on the GEMM output; all of these are
-// bitwise-identical to the unfused compositions (asserted by tests), so
-// fusion never perturbs a loss curve or a serialized model. The trainer's
-// validation loss and its shard-gradient reduction both parallelize across
-// the worker pool with bitwise-invariant results (element ranges outer,
-// fixed worker order inner). cmd/perfvec-bench records
-// MatMul/Batch/TrainStep in BENCH_N.json, and CI fails any change whose
-// training step exceeds the allocation budget in bench_budget.json.
+// Autodiff runs on a typed op-record tape: each differentiable op appends a
+// fixed-size opRecord (op-kind enum, operand/output/saved-activation tensor
+// refs, small scalar args) to the Tape, and Backward dispatches the records
+// in reverse through a static per-kind VJP table — there are no backward
+// closures anywhere. Records, like pooled tensors, must not outlive their
+// tape's Reset: Reset drops the records (retaining capacity) in the same
+// breath as it recycles the arena. The VJP bodies replay the former closure
+// arithmetic verbatim, so gradients are bitwise identical to the closure
+// tape's and replaying Backward off the same records is bit-deterministic.
+//
+// The training hot path performs ZERO heap allocations at steady state
+// (enforced by testing.AllocsPerRun == 0 plus arena-miss and record-growth
+// counters): op outputs, gradient buffers, and scratch tensors come from a
+// per-tape free-list arena (tensor.Arena) that Tape.Reset recycles each
+// minibatch; per-timestep tensor slices come from the arena's slab pool
+// (Tape.Tensors); op records reuse the tape's retained slice; and every
+// parallel loop — op forwards, VJPs, the GEMM wrappers, Adam's update —
+// dispatches as a typed kernel with a by-value argument block
+// (tensor.ParallelKernel) instead of an escaping closure. Evaluation pools
+// too: Trainer.Loss and Foundation.StreamRep run on arena-backed,
+// non-recording inference tapes (tensor.NewInferenceTape). Recurrent cells
+// run on fused gate kernels (LSTMGates, GRUGates, GateCombine) that collapse
+// each timestep's post-GEMM work into one or two tape records, the
+// transformer's attention-score scaling and row softmax fuse into one
+// AttentionSoftmax record, and Linear layers apply bias and activation as
+// in-place epilogues on the GEMM output; all of these are bitwise-identical
+// to the unfused compositions (asserted by tests), so fusion never perturbs
+// a loss curve or a serialized model. The trainer's validation loss and its
+// shard-gradient reduction both parallelize across the worker pool with
+// bitwise-invariant results (element ranges outer, fixed worker order
+// inner), minibatch shards go to persistent per-worker goroutines, and the
+// worker pool resizes when GOMAXPROCS changes after first use.
+// cmd/perfvec-bench records MatMul/Batch/TrainStep in BENCH_N.json, and CI
+// fails any change whose training step exceeds the allocation budget in
+// bench_budget.json (10 allocs/op; the steady-state step measures 0).
 //
 // The data path is streaming end to end: emu.Stepper executes programs one
 // pulled instruction at a time (trace.Stream), features.StreamExtractor

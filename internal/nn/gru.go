@@ -39,7 +39,7 @@ func (l *gruLayer) step(tp *tensor.Tape, x, h *tensor.Tensor) *tensor.Tensor {
 func (l *gruLayer) runSeq(tp *tensor.Tape, xs []*tensor.Tensor) []*tensor.Tensor {
 	batch := xs[0].Rows()
 	h := tensor.Zeros(tp, batch, l.hidden)
-	hs := make([]*tensor.Tensor, len(xs))
+	hs := tp.Tensors(len(xs)) // tape-pooled, recycled on Reset
 	for t, x := range xs {
 		h = l.step(tp, x, h)
 		hs[t] = h

@@ -37,12 +37,14 @@ func (l *lstmLayer) step(tp *tensor.Tape, x, h, c *tensor.Tensor) (*tensor.Tenso
 }
 
 // runSeq feeds the whole sequence through the layer and returns the hidden
-// state at every timestep.
+// state at every timestep. The per-timestep slice is tape-pooled
+// (Tape.Tensors): like every step tensor it is recycled on Reset, so the
+// steady-state training step allocates no slice headers either.
 func (l *lstmLayer) runSeq(tp *tensor.Tape, xs []*tensor.Tensor) []*tensor.Tensor {
 	batch := xs[0].Rows()
 	h := tensor.Zeros(tp, batch, l.hidden)
 	c := tensor.Zeros(tp, batch, l.hidden)
-	hs := make([]*tensor.Tensor, len(xs))
+	hs := tp.Tensors(len(xs))
 	for t, x := range xs {
 		h, c = l.step(tp, x, h, c)
 		hs[t] = h
@@ -100,7 +102,7 @@ func (m *LSTM) ForwardSeq(tp *tensor.Tape, xs []*tensor.Tensor) *tensor.Tensor {
 	if m.bwd == nil {
 		return out
 	}
-	rev := make([]*tensor.Tensor, len(xs))
+	rev := tp.Tensors(len(xs))
 	for i, x := range xs {
 		rev[len(xs)-1-i] = x
 	}

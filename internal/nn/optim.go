@@ -78,21 +78,32 @@ func (a *Adam) Step(params []*tensor.Tensor) {
 			a.v[p] = make([]float32, p.Len())
 		}
 		v := a.v[p]
-		grad, data := p.Grad, p.Data
 		// Per-element updates are independent, so the loop parallelizes
 		// across the worker pool with bitwise-identical results at any
 		// chunking (the transcendental sqrt makes large tensors worth it).
-		tensor.ParallelWork(len(grad), len(grad)*8, func(s, e int) {
-			for i := s; i < e; i++ {
-				g := grad[i]
-				m[i] = a.beta1*m[i] + (1-a.beta1)*g
-				v[i] = a.beta2*v[i] + (1-a.beta2)*g*g
-				mh := m[i] / bc1
-				vh := v[i] / bc2
-				data[i] -= a.lr * mh / (float32(math.Sqrt(float64(vh))) + a.eps)
-			}
+		// Dispatched as a typed kernel: Adam runs once per parameter per
+		// step, and the former loop closures were among the last steady-state
+		// heap allocations of the training hot path.
+		tensor.ParallelKernel(len(p.Grad), len(p.Grad)*8, kAdamStep, tensor.KernelArgs{
+			S: [8][]float32{p.Grad, p.Data, m, v},
+			F: [6]float32{a.beta1, a.beta2, bc1, bc2, a.lr, a.eps},
 		})
 		p.ZeroGrad()
+	}
+}
+
+// kAdamStep: S0=grad, S1=data, S2=m, S3=v; F0=beta1, F1=beta2, F2=bc1,
+// F3=bc2, F4=lr, F5=eps.
+func kAdamStep(s, e int, ka tensor.KernelArgs) {
+	grad, data, m, v := ka.S[0], ka.S[1], ka.S[2], ka.S[3]
+	beta1, beta2, bc1, bc2, lr, eps := ka.F[0], ka.F[1], ka.F[2], ka.F[3], ka.F[4], ka.F[5]
+	for i := s; i < e; i++ {
+		g := grad[i]
+		m[i] = beta1*m[i] + (1-beta1)*g
+		v[i] = beta2*v[i] + (1-beta2)*g*g
+		mh := m[i] / bc1
+		vh := v[i] / bc2
+		data[i] -= lr * mh / (float32(math.Sqrt(float64(vh))) + eps)
 	}
 }
 

@@ -49,9 +49,11 @@ func (b *encoderBlock) forward(tp *tensor.Tape, x *tensor.Tensor) *tensor.Tensor
 	for h := 0; h < b.heads; h++ {
 		// Q*K^T runs directly on the head's column range of the full
 		// projections; only V still needs a materialized slice (its rows are
-		// gathered by the att*V product).
+		// gathered by the att*V product). The score scaling and row softmax
+		// run as one fused record (AttentionSoftmax), bitwise identical to
+		// the SoftmaxRows(Scale(...)) composition it replaced.
 		vs := tensor.SliceCols(tp, v, h*dk, (h+1)*dk)
-		att := tensor.SoftmaxRows(tp, tensor.Scale(tp, tensor.MatMulBTCols(tp, q, k, h*dk, (h+1)*dk), scale))
+		att := tensor.AttentionSoftmax(tp, tensor.MatMulBTCols(tp, q, k, h*dk, (h+1)*dk), scale)
 		o := tensor.MatMul(tp, att, vs)
 		if headsOut == nil {
 			headsOut = o
@@ -116,12 +118,14 @@ func (t *Transformer) ForwardSeq(tp *tensor.Tape, xs []*tensor.Tensor) *tensor.T
 	if len(xs) > len(t.pos) {
 		panic("nn: transformer sequence longer than configured seqLen")
 	}
-	emb := make([]*tensor.Tensor, len(xs))
+	// Both per-timestep slices are tape-pooled: emb is captured by the
+	// StackRows records below, so it must (and does) share the step lifetime.
+	emb := tp.Tensors(len(xs))
 	for i, x := range xs {
 		emb[i] = tensor.AddBias(tp, t.Embed.Forward(tp, x), t.pos[i])
 	}
 	batch := xs[0].Rows()
-	perSample := make([]*tensor.Tensor, batch)
+	perSample := tp.Tensors(batch)
 	T := len(xs)
 	for s := 0; s < batch; s++ {
 		seq := tensor.StackRows(tp, emb, s)

@@ -176,39 +176,25 @@ func (d *Dataset) Subsample(frac float64) *Dataset {
 // Batch materializes the window tensors and target matrix for sample ids.
 // xs[t] is the [B x FeatDim] feature tensor of window position t (oldest
 // first); windows are zero-padded at program start. targets is [B x K],
-// scaled by targetScale. The tensors are allocated through tp's arena when
-// it has one (they are step-lifetime: the trainer recycles them on the next
-// Tape.Reset); a nil tp allocates fresh tensors the caller owns.
+// scaled by targetScale. The tensors — and the xs slice itself — are
+// allocated through tp's arena when it has one (they are step-lifetime: the
+// trainer recycles them on the next Tape.Reset); a nil tp allocates fresh
+// tensors the caller owns.
 //
 // Window assembly is sharded across `workers` contiguous id ranges
 // dispatched through the tensor worker pool (0 = GOMAXPROCS, 1 = serial).
 // Shard boundaries depend only on (len(ids), workers) and every output row
 // is an independent copy written by exactly one shard, so the assembled
 // tensors are bitwise identical to the serial path at any worker count.
-func (d *Dataset) Batch(tp *tensor.Tape, ids []int, window int, targetScale float32, workers int) (xs []*tensor.Tensor, targets *tensor.Tensor) {
+func (d *Dataset) Batch(tp *tensor.Tape, ids []int, window int, targetScale float32, workers int) ([]*tensor.Tensor, *tensor.Tensor) {
+	// Locals, not named results: a closure capturing named result variables
+	// forces them into heap boxes on every call, even on the serial path.
 	bsz := len(ids)
-	xs = make([]*tensor.Tensor, window)
+	xs := tp.Tensors(window)
 	for t := range xs {
 		xs[t] = tensor.Zeros(tp, bsz, d.FeatDim)
 	}
-	targets = tensor.Zeros(tp, bsz, d.K)
-	fill := func(b0, b1 int) {
-		for b := b0; b < b1; b++ {
-			id := ids[b]
-			p := d.Programs[d.progOf[id]]
-			i := int(d.instOf[id])
-			for t := 0; t < window; t++ {
-				src := i - (window - 1) + t
-				if src < 0 {
-					continue // zero padding before program start
-				}
-				copy(xs[t].Row(b), p.Features[src*d.FeatDim:(src+1)*d.FeatDim])
-			}
-			for j := 0; j < d.K; j++ {
-				targets.Set(b, j, p.Targets[i*d.K+j]*targetScale)
-			}
-		}
-	}
+	targets := tensor.Zeros(tp, bsz, d.K)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -216,7 +202,9 @@ func (d *Dataset) Batch(tp *tensor.Tape, ids []int, window int, targetScale floa
 		workers = bsz
 	}
 	if workers <= 1 {
-		fill(0, bsz)
+		// Direct call, no closure: the serial batch path is part of the
+		// allocation-free training step.
+		d.fillWindows(xs, targets, ids, window, targetScale, 0, bsz)
 		return xs, targets
 	}
 	shard := (bsz + workers - 1) / workers
@@ -225,11 +213,32 @@ func (d *Dataset) Batch(tp *tensor.Tape, ids []int, window int, targetScale floa
 			from := w * shard
 			to := min(from+shard, bsz)
 			if from < to {
-				fill(from, to)
+				d.fillWindows(xs, targets, ids, window, targetScale, from, to)
 			}
 		}
 	})
 	return xs, targets
+}
+
+// fillWindows assembles output rows [b0, b1) of a Batch call: one window of
+// feature rows per sample (zero-padded before program start) plus the scaled
+// target row.
+func (d *Dataset) fillWindows(xs []*tensor.Tensor, targets *tensor.Tensor, ids []int, window int, targetScale float32, b0, b1 int) {
+	for b := b0; b < b1; b++ {
+		id := ids[b]
+		p := d.Programs[d.progOf[id]]
+		i := int(d.instOf[id])
+		for t := 0; t < window; t++ {
+			src := i - (window - 1) + t
+			if src < 0 {
+				continue // zero padding before program start
+			}
+			copy(xs[t].Row(b), p.Features[src*d.FeatDim:(src+1)*d.FeatDim])
+		}
+		for j := 0; j < d.K; j++ {
+			targets.Set(b, j, p.Targets[i*d.K+j]*targetScale)
+		}
+	}
 }
 
 // WindowsFor materializes input windows for instructions [from, to) of a

@@ -195,12 +195,20 @@ type RowStream interface {
 // matrix (both copy the same rows into the same [batch x featDim] layout,
 // zero-padding positions before the stream start), but its working set is
 // O(window + batch) rows regardless of trace length.
+//
+// The batch tensors are owned by the stream and reused by every NextBatch
+// call (rows whose window precedes the stream start are re-zeroed
+// explicitly, so reuse is invisible in the values): callers must consume a
+// batch before requesting the next one, which is what the chunk-at-a-time
+// inference loops do.
 type WindowStream struct {
 	src     RowStream
 	asm     *features.WindowAssembler
 	window  int
 	featDim int
 	row     []float32
+	bufs    []*tensor.Tensor // reused [maxB x featDim] batch buffers
+	views   []*tensor.Tensor // reused truncated views for the final partial batch
 }
 
 // NewWindowStream returns a window stream over src.
@@ -217,7 +225,8 @@ func NewWindowStream(src RowStream, window, featDim int) *WindowStream {
 // NextBatch assembles the windows of up to maxB further instructions,
 // returning window tensors xs[t] of shape [n x featDim] (oldest position
 // first) and the number of instructions n consumed. n == 0 with a nil error
-// means the stream is exhausted.
+// means the stream is exhausted. The returned tensors are valid until the
+// next NextBatch call (see WindowStream).
 func (w *WindowStream) NextBatch(maxB int) (xs []*tensor.Tensor, n int, err error) {
 	for n < maxB {
 		ok, err := w.src.Next(w.row)
@@ -227,16 +236,21 @@ func (w *WindowStream) NextBatch(maxB int) (xs []*tensor.Tensor, n int, err erro
 		if !ok {
 			break
 		}
-		if xs == nil { // allocate only once the stream proves non-empty
-			xs = make([]*tensor.Tensor, w.window)
-			for t := range xs {
-				xs[t] = tensor.New(maxB, w.featDim)
+		if w.bufs == nil || w.bufs[0].Rows() < maxB {
+			// Allocate only once the stream proves non-empty, then reuse
+			// across batches.
+			w.bufs = make([]*tensor.Tensor, w.window)
+			for t := range w.bufs {
+				w.bufs[t] = tensor.New(maxB, w.featDim)
 			}
 		}
+		xs = w.bufs
 		w.asm.Push(w.row)
 		for t := 0; t < w.window; t++ {
 			if s := w.asm.Slot(t); s != nil {
 				copy(xs[t].Row(n), s)
+			} else {
+				clear(xs[t].Row(n)) // zero padding; buffers are reused
 			}
 		}
 		n++
@@ -244,10 +258,17 @@ func (w *WindowStream) NextBatch(maxB int) (xs []*tensor.Tensor, n int, err erro
 	if n == 0 {
 		return nil, 0, nil
 	}
-	if n < maxB {
-		for t := range xs {
-			xs[t] = tensor.FromSlice(xs[t].Data[:n*w.featDim], n, w.featDim)
+	// Truncate against the buffers' actual row count, not maxB: the reused
+	// buffers may be larger than this call's maxB, and returning untrimmed
+	// tensors would expose stale rows from an earlier batch.
+	if n < xs[0].Rows() {
+		if w.views == nil {
+			w.views = make([]*tensor.Tensor, w.window)
 		}
+		for t := range xs {
+			w.views[t] = tensor.FromSlice(xs[t].Data[:n*w.featDim], n, w.featDim)
+		}
+		xs = w.views
 	}
 	return xs, n, nil
 }
@@ -258,10 +279,14 @@ func (w *WindowStream) NextBatch(maxB int) (xs []*tensor.Tensor, n int, err erro
 // are produced. Peak memory is O(window + streamChunk) feature rows — the
 // trace's length never enters the footprint — and because the batches match
 // InstructionReps' chunking, the result is bitwise identical to
-// ProgramRep over the materialized ProgramData. It returns the program
-// representation and the number of instructions consumed.
+// ProgramRep over the materialized ProgramData. Each batch's activations
+// come from one inference tape's arena (Reset between chunks) and the window
+// buffers are reused by the stream, so the per-chunk encode loop allocates
+// nothing after the first batch. It returns the program representation and
+// the number of instructions consumed.
 func (f *Foundation) StreamRep(rows RowStream) ([]float32, int, error) {
 	ws := NewWindowStream(rows, f.Cfg.Window, f.Cfg.FeatDim)
+	tp := tensor.NewInferenceTape()
 	acc := make([]float64, f.Cfg.RepDim)
 	total := 0
 	for {
@@ -272,7 +297,8 @@ func (f *Foundation) StreamRep(rows RowStream) ([]float32, int, error) {
 		if n == 0 {
 			break
 		}
-		reps := f.Forward(nil, xs)
+		tp.Reset()
+		reps := f.Forward(tp, xs)
 		for i := 0; i < n; i++ {
 			for j, v := range reps.Row(i) {
 				acc[j] += float64(v)

@@ -125,6 +125,46 @@ func TestWindowStreamMatchesWindowsFor(t *testing.T) {
 	}
 }
 
+// TestWindowStreamShrinkingMaxB checks the buffer-reuse contract when maxB
+// shrinks across calls: the stream's reused batch buffers are larger than
+// the request, so the returned tensors must still be truncated to exactly n
+// rows (a regression here would leak stale rows from the previous batch) and
+// the window contents must keep matching the materialized builder.
+func TestWindowStreamShrinkingMaxB(t *testing.T) {
+	b, err := bench.ByName("548.exchange2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CollectFeatures(b, 1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 4
+	ws := NewWindowStream(&rowsStream{feats: p.Features, n: p.N, d: p.FeatDim}, window, p.FeatDim)
+	pos := 0
+	for _, maxB := range []int{128, 32, 32, 64} { // shrink after the first batch
+		xs, n, err := ws.NextBatch(maxB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		if got := xs[0].Rows(); got != n {
+			t.Fatalf("maxB=%d: batch tensors have %d rows, want n=%d", maxB, got, n)
+		}
+		want := WindowsFor(p, pos, pos+n, window)
+		for tt := range xs {
+			for i, v := range want[tt].Data {
+				if xs[tt].Data[i] != v {
+					t.Fatalf("maxB=%d: slot %d element %d differs", maxB, tt, i)
+				}
+			}
+		}
+		pos += n
+	}
+}
+
 // TestStreamRepMatchesProgramRep demonstrates the acceptance criterion: a
 // trace at least 10x longer than the window is featurized and encoded
 // through the O(window)-memory streaming path — no trace, feature matrix, or

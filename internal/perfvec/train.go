@@ -33,6 +33,26 @@ type Trainer struct {
 	workers []*gradWorker    // lazily built data-parallel replicas
 	tape    *tensor.Tape     // arena tape for the serial step paths
 	params_ []*tensor.Tensor // cached master parameter list
+	stepWG  sync.WaitGroup   // reused across sharded steps (no per-step alloc)
+
+	// evalTapes is a free list of inference tapes (arena-backed,
+	// non-recording) reused by Loss's eval shards across calls, so
+	// steady-state evaluation stops allocating activations. The free list
+	// is mutex-guarded, so concurrent Loss calls stay safe (each borrowed
+	// tape is used by exactly one shard goroutine at a time).
+	evalMu    sync.Mutex
+	evalTapes []*tensor.Tape
+}
+
+// shardJob is one minibatch shard handed to a gradWorker's persistent
+// goroutine: the worker backpropagates the shard's loss scaled by frac and
+// signals wg. Plain struct over a channel — dispatching a step spawns no
+// goroutines and allocates nothing.
+type shardJob struct {
+	d     *Dataset
+	shard []int
+	frac  float32
+	wg    *sync.WaitGroup
 }
 
 // gradWorker is one data-parallel training replica: a shadow of the model
@@ -40,12 +60,32 @@ type Trainer struct {
 // only read during forward/backward) but have their own Grad buffers, plus a
 // private arena tape reused across steps — after the first minibatch each
 // worker's step runs without allocating a single tensor (see tensor.Arena).
+// Each worker owns a goroutine that lives for the Trainer's lifetime,
+// parked on its jobs channel between steps; the per-step goroutine spawns
+// (and their closure allocations) of the previous design are gone. The
+// goroutine (and the replica it pins) is released by Trainer.Close.
 type gradWorker struct {
 	model  *Foundation
 	table  *Table
 	params []*tensor.Tensor
 	tape   *tensor.Tape
 	loss   float64
+	jobs   chan shardJob
+}
+
+// run is the worker goroutine: one shard forward/backward per job.
+func (w *gradWorker) run() {
+	cfg := w.model.Cfg
+	for job := range w.jobs {
+		w.tape.Reset()
+		xs, targets := job.d.Batch(w.tape, job.shard, cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
+		reps := w.model.Forward(w.tape, xs)
+		preds := tensor.MatMulBT(w.tape, reps, w.table.M)
+		loss := tensor.Scale(w.tape, nn.MSE(w.tape, preds, targets), job.frac)
+		w.tape.Backward(loss)
+		w.loss = float64(loss.Data[0])
+		job.wg.Done()
+	}
 }
 
 // gradWorkers builds (once) the data-parallel replicas for stepReuse.
@@ -71,9 +111,12 @@ func (t *Trainer) gradWorkers() []*gradWorker {
 		for i, p := range params {
 			p.Data = master[i].Data // share weights, not gradients
 		}
-		t.workers = append(t.workers, &gradWorker{
+		gw := &gradWorker{
 			model: model, table: table, params: params, tape: tensor.NewTapeArena(),
-		})
+			jobs: make(chan shardJob, 1),
+		}
+		go gw.run()
+		t.workers = append(t.workers, gw)
 	}
 	return t.workers
 }
@@ -84,6 +127,20 @@ func NewTrainer(model *Foundation, k int) *Trainer {
 		Model: model,
 		Table: NewTable(k, model.Cfg.RepDim, model.Cfg.Seed+7),
 	}
+}
+
+// Close releases the trainer's data-parallel worker goroutines and their
+// shadow replicas (model copy, gradient buffers, arena pools). A Trainer is
+// reusable after Close — the workers are rebuilt on the next sharded step —
+// but programs that build many trainers (sweeps, repeated benchmarks,
+// long-lived services) should Close each one so the parked goroutines and
+// their warm arenas don't accumulate. Close must not be called concurrently
+// with a training step.
+func (t *Trainer) Close() {
+	for _, w := range t.workers {
+		close(w.jobs)
+	}
+	t.workers = nil
 }
 
 func (t *Trainer) params() []*tensor.Tensor {
@@ -202,7 +259,6 @@ func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 	}
 
 	chunk := (len(batch) + nW - 1) / nW
-	var wg sync.WaitGroup
 	for wi := 0; wi < nW; wi++ {
 		from := wi * chunk
 		to := min(from+chunk, len(batch))
@@ -211,19 +267,14 @@ func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 		if from >= to {
 			continue
 		}
-		wg.Add(1)
-		go func(w *gradWorker, shard []int, frac float32) {
-			defer wg.Done()
-			w.tape.Reset()
-			xs, targets := d.Batch(w.tape, shard, cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
-			reps := w.model.Forward(w.tape, xs)
-			preds := tensor.MatMulBT(w.tape, reps, w.table.M)
-			loss := tensor.Scale(w.tape, nn.MSE(w.tape, preds, targets), frac)
-			w.tape.Backward(loss)
-			w.loss = float64(loss.Data[0])
-		}(w, batch[from:to], float32(to-from)/float32(len(batch)))
+		t.stepWG.Add(1)
+		w.jobs <- shardJob{
+			d: d, shard: batch[from:to],
+			frac: float32(to-from) / float32(len(batch)),
+			wg:   &t.stepWG,
+		}
 	}
-	wg.Wait()
+	t.stepWG.Wait()
 
 	// Reduce shard gradients into the master parameters: element ranges
 	// split across the worker pool (outer), workers iterated in fixed order
@@ -236,9 +287,13 @@ func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 	for wi := 0; wi < nW; wi++ {
 		total += workers[wi].loss
 	}
+	// nRed is never reassigned, so the reduction closure captures it by
+	// value; capturing nW (reassigned above) would heap-box it on every
+	// step, including the serial path that never reaches this loop.
+	nRed := nW
 	for pi, p := range master {
 		touched := false
-		for wi := 0; wi < nW; wi++ {
+		for wi := 0; wi < nRed; wi++ {
 			if workers[wi].params[pi].Grad != nil {
 				touched = true
 				break
@@ -248,8 +303,8 @@ func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 			continue
 		}
 		g := p.EnsureGrad()
-		tensor.ParallelWork(len(g), len(g)*(nW+1), func(s, e int) {
-			for wi := 0; wi < nW; wi++ {
+		tensor.ParallelWork(len(g), len(g)*(nRed+1), func(s, e int) {
+			for wi := 0; wi < nRed; wi++ {
 				wgrad := workers[wi].params[pi].Grad
 				if wgrad == nil {
 					continue
@@ -289,15 +344,37 @@ func (t *Trainer) stepNaive(d *Dataset, batch []int, opt nn.Optimizer, rng *rand
 	return float64(loss.Data[0])
 }
 
+// evalTape pops a pooled inference tape (arena-backed, non-recording) for an
+// eval shard, building one on first use; putEvalTape returns it. Tapes
+// persist on the Trainer across Loss calls, so after the first evaluation
+// every shard's activations, window tensors, and slice slabs come out of a
+// pool and steady-state evaluation allocates nothing.
+func (t *Trainer) evalTape() *tensor.Tape {
+	t.evalMu.Lock()
+	defer t.evalMu.Unlock()
+	if n := len(t.evalTapes); n > 0 {
+		tp := t.evalTapes[n-1]
+		t.evalTapes = t.evalTapes[:n-1]
+		return tp
+	}
+	return tensor.NewInferenceTape()
+}
+
+func (t *Trainer) putEvalTape(tp *tensor.Tape) {
+	t.evalMu.Lock()
+	t.evalTapes = append(t.evalTapes, tp)
+	t.evalMu.Unlock()
+}
+
 // Loss evaluates the (reuse-form) MSE over the given sample ids without
 // updating parameters. Evaluation batches are sharded across the tensor
 // worker pool — the model is read-only during inference, every shard
 // computes exactly the batches the serial loop would, and the per-batch
 // losses are reduced in ascending batch order, so the result is bitwise
-// identical to the serial evaluation at any worker count. The trade-off is
-// peak memory: up to GOMAXPROCS chunks hold their (nil-tape, non-arena)
-// activations live at once instead of one — fine at eval-batch 256; pooling
-// the inference path is a noted ROADMAP follow-up for paper-scale windows.
+// identical to the serial evaluation at any worker count. Each shard runs on
+// a pooled inference tape (see evalTape), Reset between chunks: peak memory
+// is bounded at up to GOMAXPROCS chunks of pooled activations, and the
+// steady-state evaluation pass — like the training step — allocates nothing.
 func (t *Trainer) Loss(d *Dataset, ids []int) float64 {
 	if len(ids) == 0 {
 		return 0
@@ -305,15 +382,20 @@ func (t *Trainer) Loss(d *Dataset, ids []int) float64 {
 	cfg := t.Model.Cfg
 	const evalBatch = 256
 	nChunks := (len(ids) + evalBatch - 1) / evalBatch
+	// Local, not a reused Trainer field: Loss stays safe to call from
+	// concurrent goroutines, at the cost of one small slice per call.
 	losses := make([]float64, nChunks)
 	tensor.Parallel(nChunks, func(c0, c1 int) {
+		tp := t.evalTape()
+		defer t.putEvalTape(tp)
 		for c := c0; c < c1; c++ {
+			tp.Reset()
 			from := c * evalBatch
 			to := min(from+evalBatch, len(ids))
-			xs, targets := d.Batch(nil, ids[from:to], cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
-			reps := t.Model.Forward(nil, xs)
-			preds := tensor.MatMulBT(nil, reps, t.Table.M)
-			losses[c] = float64(nn.MSE(nil, preds, targets).Data[0]) * float64(to-from)
+			xs, targets := d.Batch(tp, ids[from:to], cfg.Window, cfg.TargetScale, cfg.BatchWorkers)
+			reps := t.Model.Forward(tp, xs)
+			preds := tensor.MatMulBT(tp, reps, t.Table.M)
+			losses[c] = float64(nn.MSE(tp, preds, targets).Data[0]) * float64(to-from)
 		}
 	})
 	var sum float64

@@ -1,7 +1,5 @@
 package tensor
 
-import "fmt"
-
 // Arena is a free-list pool of step-lifetime tensors, keyed by element count.
 //
 // Training builds the same computation graph every minibatch, so the tensors
@@ -17,21 +15,32 @@ import "fmt"
 // Reset. Anything that must survive the step — parameters, running statistics,
 // results handed to callers — must be allocated with New/copied out before
 // Reset runs. Ops never hand arena tensors to code outside the step: the
-// trainer reads the scalar loss value (not the tensor) before resetting, and
-// inference paths use a nil tape, which bypasses the arena entirely.
+// trainer reads the scalar loss value (not the tensor) before resetting.
+// Inference runs either on a nil tape (fresh allocations, no arena) or on an
+// arena-backed inference tape (NewInferenceTape) with the same invariant:
+// each chunk's results are consumed — reduced or copied out — before the
+// tape's next Reset recycles them (see Trainer.Loss and StreamRep).
 //
 // An Arena is not safe for concurrent use; like the Tape that owns it, it is
 // confined to one gradient worker's goroutine.
 type Arena struct {
 	free map[int][]*Tensor // recycled tensors by element count
 	live []*Tensor         // handed out since the last Reset
-	// hits counts pool reuses, misses fresh allocations; steady-state
-	// training must stop accumulating misses after the first step.
+	// Tensor-slice slabs (Tape.Tensors) pool the per-timestep []*Tensor
+	// lists of the sequence models, keyed by length and recycled on Reset
+	// exactly like tensors.
+	slabFree map[int][][]*Tensor
+	slabLive [][]*Tensor
+	// hits counts pool reuses, misses fresh allocations (tensors and slabs
+	// alike); steady-state training must stop accumulating misses after the
+	// first step.
 	hits, misses int
 }
 
 // NewArena returns an empty arena.
-func NewArena() *Arena { return &Arena{free: make(map[int][]*Tensor)} }
+func NewArena() *Arena {
+	return &Arena{free: make(map[int][]*Tensor), slabFree: make(map[int][][]*Tensor)}
+}
 
 // Get returns a zeroed tensor of the given shape, reusing a pooled tensor of
 // the same element count when one is free. The tensor's gradient starts nil;
@@ -40,7 +49,8 @@ func (a *Arena) Get(shape ...int) *Tensor {
 	n := 1
 	for _, s := range shape {
 		if s <= 0 {
-			panic(fmt.Sprintf("tensor: invalid dimension %d in shape %v", s, shape))
+			// badShape copies the slice so the variadic stays on the stack.
+			panic(badShape(s, append([]int(nil), shape...)))
 		}
 		n *= s
 	}
@@ -59,10 +69,29 @@ func (a *Arena) Get(shape ...int) *Tensor {
 	return t
 }
 
+// Tensors returns a zeroed []*Tensor of length n, reusing a pooled slab of
+// the same length when one is free. Like tensors, slabs are step-lifetime:
+// valid only until the next Reset.
+func (a *Arena) Tensors(n int) []*Tensor {
+	if list := a.slabFree[n]; len(list) > 0 {
+		s := list[len(list)-1]
+		a.slabFree[n] = list[:len(list)-1]
+		clear(s)
+		a.hits++
+		a.slabLive = append(a.slabLive, s)
+		return s
+	}
+	a.misses++
+	s := make([]*Tensor, n)
+	a.slabLive = append(a.slabLive, s)
+	return s
+}
+
 // Reset recycles every live tensor back into the free lists. Gradient buffers
 // are detached into the tensor's pooled grad slot so the next step's backward
 // pass reuses them without reallocating (and without a stale non-nil Grad
-// masquerading as "gradient flowed here").
+// masquerading as "gradient flowed here"). Tensor-slice slabs are recycled
+// the same way.
 func (a *Arena) Reset() {
 	for _, t := range a.live {
 		if t.Grad != nil {
@@ -72,6 +101,10 @@ func (a *Arena) Reset() {
 		a.free[len(t.Data)] = append(a.free[len(t.Data)], t)
 	}
 	a.live = a.live[:0]
+	for _, s := range a.slabLive {
+		a.slabFree[len(s)] = append(a.slabFree[len(s)], s)
+	}
+	a.slabLive = a.slabLive[:0]
 }
 
 // Stats reports pool reuses and fresh allocations since the arena was built.

@@ -1,0 +1,68 @@
+// Bitwise-equivalence and gradient tests for the fused attention softmax,
+// mirroring gates_test.go: the fusion must reproduce every float32 of the
+// SoftmaxRows(Scale(...)) composition it replaced — forward and backward —
+// so transformer loss curves and serialized models are unchanged by it.
+package tensor_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestAttentionSoftmaxBitwiseVsUnfused drives both forms through an
+// attention-shaped graph (scores -> softmax -> value product -> loss) over
+// identical inputs and requires the loss and every gradient to match bit for
+// bit, including when the softmax input also feeds another op (the fused VJP
+// must accumulate, not overwrite).
+func TestAttentionSoftmaxBitwiseVsUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const T, D = 6, 5
+	scores := randTensor(rng, T, T)
+	v := randTensor(rng, T, D)
+	target := randTensor(rng, T, D)
+	const scale = 0.4472136 // 1/sqrt(5), an attention-typical factor
+
+	run := func(fused bool) (float32, []float32, []float32) {
+		sc, vc := scores.Clone(), v.Clone()
+		tp := tensor.NewTapeArena()
+		var att *tensor.Tensor
+		if fused {
+			att = tensor.AttentionSoftmax(tp, sc, scale)
+		} else {
+			att = tensor.SoftmaxRows(tp, tensor.Scale(tp, sc, scale))
+		}
+		o := tensor.MatMul(tp, att, vc)
+		loss := scalarLoss(tp, o, target)
+		tp.Backward(loss)
+		return loss.Data[0],
+			append([]float32(nil), sc.Grad...),
+			append([]float32(nil), vc.Grad...)
+	}
+
+	lossF, gsF, gvF := run(true)
+	lossU, gsU, gvU := run(false)
+	if lossF != lossU {
+		t.Fatalf("fused loss %v != unfused loss %v", lossF, lossU)
+	}
+	sameBits(t, "scores.Grad", gsF, gsU)
+	sameBits(t, "v.Grad", gvF, gvU)
+}
+
+// TestGradAttentionSoftmax validates the fused VJP against central finite
+// differences directly, at several scales including 1 (the plain-softmax
+// degenerate case) and a sub-unit attention scale.
+func TestGradAttentionSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, scale := range []float32{1, 0.25, 0.70710678} {
+		a := randTensor(rng, 3, 5)
+		w := randTensor(rng, 3, 5)
+		err := tensor.MaxGradError(a, func(tp *tensor.Tape) *tensor.Tensor {
+			return tensor.Sum(tp, tensor.Mul(tp, tensor.AttentionSoftmax(tp, a, scale), w))
+		}, 1e-2)
+		if err > 2e-2 {
+			t.Errorf("scale %v: AttentionSoftmax gradient error %v", scale, err)
+		}
+	}
+}

@@ -10,8 +10,8 @@ import (
 // A GRU/LSTM timestep built from the generic ops in ops.go records 10-15
 // tape nodes: bias broadcasts, column slices, per-gate nonlinearities, and
 // the elementwise state arithmetic, each with its own output tensor and
-// backward closure. The fused ops below collapse everything after the cell's
-// GEMM into one or two tape nodes that make a single pass over the
+// op record. The fused ops below collapse everything after the cell's
+// GEMM into one or two tape records that make a single pass over the
 // pre-activation block — an LSTM step becomes MatMulBTCat + LSTMGates, a GRU
 // step MatMulBTCat + GRUGates + MatMulBTCat + GateCombine.
 //
@@ -21,9 +21,9 @@ import (
 // accumulation order in both the forward and backward passes, so training
 // loss curves and final model bytes are bit-for-bit identical to the unfused
 // graph. The tests in gates_test.go assert this equivalence directly against
-// compositions of the primitive ops. Gate activations needed by the backward
-// closures are saved in arena scratch tensors, so fusion adds no step-
-// lifetime allocations either.
+// compositions of the primitive ops. Gate activations needed by the fused
+// VJPs are saved in arena scratch tensors referenced from the op record, so
+// fusion adds no step-lifetime allocations either.
 //
 // sigmoid32 and tanh32 match the Sigmoid and Tanh ops bitwise (float64
 // transcendental, single rounding to float32).
@@ -40,7 +40,7 @@ func tanh32(x float32) float32    { return float32(math.Tanh(float64(x))) }
 //	g = tanh(pre_g + b_g) o = σ(pre_o + b_o)
 //	c' = f⊙c + i⊙g        h' = o⊙tanh(c')
 //
-// in one pass and returns (h', c') with a single fused backward closure.
+// in one pass and returns (h', c') with a single fused op record.
 func LSTMGates(tp *Tape, pre, bias, c *Tensor) (*Tensor, *Tensor) {
 	m, H := c.Rows(), c.Cols()
 	if pre.Rows() != m || pre.Cols() != 4*H || bias.Len() != 4*H {
@@ -48,90 +48,112 @@ func LSTMGates(tp *Tape, pre, bias, c *Tensor) (*Tensor, *Tensor) {
 	}
 	hNew := tp.alloc(m, H)
 	cNew := tp.alloc(m, H)
-	acts := tp.alloc(m, 4*H).Data // σ/tanh gate activations, kept for backward
-	tanhC := tp.alloc(m, H).Data  // tanh(c'), kept for backward
-	bd := bias.Data
-	ParallelWork(m, m*4*H*ewTransc, func(r0, r1 int) {
-		for r := r0; r < r1; r++ {
-			zr := pre.Data[r*4*H : (r+1)*4*H]
-			ar := acts[r*4*H : (r+1)*4*H]
-			cr := c.Data[r*H : (r+1)*H]
-			cn := cNew.Data[r*H : (r+1)*H]
-			hn := hNew.Data[r*H : (r+1)*H]
-			tr := tanhC[r*H : (r+1)*H]
-			for j := 0; j < H; j++ {
-				i := sigmoid32(zr[j] + bd[j])
-				f := sigmoid32(zr[H+j] + bd[H+j])
-				g := tanh32(zr[2*H+j] + bd[2*H+j])
-				o := sigmoid32(zr[3*H+j] + bd[3*H+j])
-				ar[j], ar[H+j], ar[2*H+j], ar[3*H+j] = i, f, g, o
-				cv := f*cr[j] + i*g
-				cn[j] = cv
-				t := tanh32(cv)
-				tr[j] = t
-				hn[j] = o * t
-			}
-		}
+	acts := tp.alloc(m, 4*H) // σ/tanh gate activations, kept for backward
+	tanhC := tp.alloc(m, H)  // tanh(c'), kept for backward
+	ParallelKernel(m, m*4*H*ewTransc, kLSTMGates, KernelArgs{
+		S: [8][]float32{pre.Data, bias.Data, c.Data, hNew.Data, cNew.Data, acts.Data, tanhC.Data},
+		I: [6]int{H},
 	})
-	tp.record(func() {
-		gh, gc := hNew.Grad, cNew.Grad
-		if gh == nil && gc == nil {
-			return
-		}
-		gp := pre.ensureGrad()
-		gcp := c.ensureGrad()
-		// The op's own pre-activation gradients go into arena scratch (the
-		// tensor the unfused graph materialized as the AddBias output's
-		// grad): the bias reduction below must see exactly this op's
-		// contribution, not whatever pre.Grad already accumulated.
-		dpre := tp.alloc(m, 4*H).Data
-		ParallelWork(m, m*H*16, func(r0, r1 int) {
-			for r := r0; r < r1; r++ {
-				ar := acts[r*4*H : (r+1)*4*H]
-				cr := c.Data[r*H : (r+1)*H]
-				tr := tanhC[r*H : (r+1)*H]
-				dpr := dpre[r*4*H : (r+1)*4*H]
-				gpr := gp[r*4*H : (r+1)*4*H]
-				gcr := gcp[r*H : (r+1)*H]
-				for j := 0; j < H; j++ {
-					i, f, g, o := ar[j], ar[H+j], ar[2*H+j], ar[3*H+j]
-					t := tr[j]
-					var ghv, dc float32
-					if gh != nil {
-						ghv = gh[r*H+j]
-					}
-					if gc != nil {
-						dc = gc[r*H+j]
-					}
-					do := ghv * t
-					dtc := ghv * o
-					dc = dc + dtc*(1-t*t)
-					di := dc * g
-					dg := dc * i
-					df := dc * cr[j]
-					gcr[j] += dc * f
-					dpr[j] = di * i * (1 - i)
-					dpr[H+j] = df * f * (1 - f)
-					dpr[2*H+j] = dg * (1 - g*g)
-					dpr[3*H+j] = do * o * (1 - o)
-					gpr[j] += dpr[j]
-					gpr[H+j] += dpr[H+j]
-					gpr[2*H+j] += dpr[2*H+j]
-					gpr[3*H+j] += dpr[3*H+j]
-				}
-			}
-		})
-		// The bias gradient reduces across rows, so it stays serial (row
-		// order ascending, matching the unfused AddBias backward).
-		gb := bias.ensureGrad()
-		for r := 0; r < m; r++ {
-			row := dpre[r*4*H : (r+1)*4*H]
-			for j, gv := range row {
-				gb[j] += gv
-			}
-		}
-	})
+	tp.record(opRecord{kind: opLSTMGates, a: pre, b: bias, c: c, out: hNew, out2: cNew, s1: acts, s2: tanhC})
 	return hNew, cNew
+}
+
+// kLSTMGates: S0=pre, S1=bias, S2=c, S3=h', S4=c', S5=acts, S6=tanh(c');
+// I0=H. Partitioned over batch rows.
+func kLSTMGates(r0, r1 int, ka KernelArgs) {
+	pre, bd, c, hNew, cNew, acts, tanhC := ka.S[0], ka.S[1], ka.S[2], ka.S[3], ka.S[4], ka.S[5], ka.S[6]
+	H := ka.I[0]
+	for r := r0; r < r1; r++ {
+		zr := pre[r*4*H : (r+1)*4*H]
+		ar := acts[r*4*H : (r+1)*4*H]
+		cr := c[r*H : (r+1)*H]
+		cn := cNew[r*H : (r+1)*H]
+		hn := hNew[r*H : (r+1)*H]
+		tr := tanhC[r*H : (r+1)*H]
+		for j := 0; j < H; j++ {
+			i := sigmoid32(zr[j] + bd[j])
+			f := sigmoid32(zr[H+j] + bd[H+j])
+			g := tanh32(zr[2*H+j] + bd[2*H+j])
+			o := sigmoid32(zr[3*H+j] + bd[3*H+j])
+			ar[j], ar[H+j], ar[2*H+j], ar[3*H+j] = i, f, g, o
+			cv := f*cr[j] + i*g
+			cn[j] = cv
+			t := tanh32(cv)
+			tr[j] = t
+			hn[j] = o * t
+		}
+	}
+}
+
+// vjpLSTMGates: a=pre, b=bias, c=prev cell state, out=h', out2=c',
+// s1=gate activations, s2=tanh(c').
+func vjpLSTMGates(tp *Tape, r *opRecord) {
+	gh, gc := r.out.Grad, r.out2.Grad
+	if gh == nil && gc == nil {
+		return
+	}
+	pre, bias, c := r.a, r.b, r.c
+	m, H := c.Rows(), c.Cols()
+	// The op's own pre-activation gradients go into arena scratch (the
+	// tensor the unfused graph materialized as the AddBias output's
+	// grad): the bias reduction below must see exactly this op's
+	// contribution, not whatever pre.Grad already accumulated.
+	dpre := tp.alloc(m, 4*H).Data
+	ParallelKernel(m, m*H*16, kLSTMGatesVJP, KernelArgs{
+		S: [8][]float32{r.s1.Data, c.Data, r.s2.Data, dpre, pre.ensureGrad(), c.ensureGrad(), gh, gc},
+		I: [6]int{H},
+	})
+	// The bias gradient reduces across rows, so it stays serial (row
+	// order ascending, matching the unfused AddBias backward).
+	gb := bias.ensureGrad()
+	for r := 0; r < m; r++ {
+		row := dpre[r*4*H : (r+1)*4*H]
+		for j, gv := range row {
+			gb[j] += gv
+		}
+	}
+}
+
+// kLSTMGatesVJP: S0=acts, S1=c, S2=tanh(c'), S3=dpre, S4=dPre accumulator
+// (pre.Grad), S5=dC accumulator (c.Grad), S6=gh (h'.Grad, may be nil),
+// S7=gc (c'.Grad, may be nil); I0=H. Partitioned over batch rows.
+func kLSTMGatesVJP(r0, r1 int, ka KernelArgs) {
+	acts, c, tanhC, dpre, gp, gcp, gh, gc := ka.S[0], ka.S[1], ka.S[2], ka.S[3], ka.S[4], ka.S[5], ka.S[6], ka.S[7]
+	H := ka.I[0]
+	for r := r0; r < r1; r++ {
+		ar := acts[r*4*H : (r+1)*4*H]
+		cr := c[r*H : (r+1)*H]
+		tr := tanhC[r*H : (r+1)*H]
+		dpr := dpre[r*4*H : (r+1)*4*H]
+		gpr := gp[r*4*H : (r+1)*4*H]
+		gcr := gcp[r*H : (r+1)*H]
+		for j := 0; j < H; j++ {
+			i, f, g, o := ar[j], ar[H+j], ar[2*H+j], ar[3*H+j]
+			t := tr[j]
+			var ghv, dc float32
+			if gh != nil {
+				ghv = gh[r*H+j]
+			}
+			if gc != nil {
+				dc = gc[r*H+j]
+			}
+			do := ghv * t
+			dtc := ghv * o
+			dc = dc + dtc*(1-t*t)
+			di := dc * g
+			dg := dc * i
+			df := dc * cr[j]
+			gcr[j] += dc * f
+			dpr[j] = di * i * (1 - i)
+			dpr[H+j] = df * f * (1 - f)
+			dpr[2*H+j] = dg * (1 - g*g)
+			dpr[3*H+j] = do * o * (1 - o)
+			gpr[j] += dpr[j]
+			gpr[H+j] += dpr[H+j]
+			gpr[2*H+j] += dpr[2*H+j]
+			gpr[3*H+j] += dpr[3*H+j]
+		}
+	}
 }
 
 // GRUGates fuses the GRU update/reset gate block: given the joint gate
@@ -146,72 +168,92 @@ func GRUGates(tp *Tape, pre, bias, h *Tensor) (*Tensor, *Tensor) {
 	}
 	z := tp.alloc(m, H)
 	rh := tp.alloc(m, H)
-	rAct := tp.alloc(m, H).Data
-	bd := bias.Data
-	ParallelWork(m, m*2*H*ewTransc, func(r0, r1 int) {
-		for r := r0; r < r1; r++ {
-			pr := pre.Data[r*2*H : (r+1)*2*H]
-			hr := h.Data[r*H : (r+1)*H]
-			zr := z.Data[r*H : (r+1)*H]
-			rr := rAct[r*H : (r+1)*H]
-			rhr := rh.Data[r*H : (r+1)*H]
-			for j := 0; j < H; j++ {
-				zv := sigmoid32(pr[j] + bd[j])
-				rv := sigmoid32(pr[H+j] + bd[H+j])
-				zr[j] = zv
-				rr[j] = rv
-				rhr[j] = rv * hr[j]
-			}
-		}
+	rAct := tp.alloc(m, H)
+	ParallelKernel(m, m*2*H*ewTransc, kGRUGates, KernelArgs{
+		S: [8][]float32{pre.Data, bias.Data, h.Data, z.Data, rAct.Data, rh.Data},
+		I: [6]int{H},
 	})
-	tp.record(func() {
-		gz, grh := z.Grad, rh.Grad
-		if gz == nil && grh == nil {
-			return
-		}
-		gp := pre.ensureGrad()
-		gh := h.ensureGrad()
-		dpre := tp.alloc(m, 2*H).Data // this op's pre-activation grads (see LSTMGates)
-		ParallelWork(m, m*2*H*4, func(r0, r1 int) {
-			for r := r0; r < r1; r++ {
-				hr := h.Data[r*H : (r+1)*H]
-				zr := z.Data[r*H : (r+1)*H]
-				rr := rAct[r*H : (r+1)*H]
-				dpr := dpre[r*2*H : (r+1)*2*H]
-				gpr := gp[r*2*H : (r+1)*2*H]
-				ghr := gh[r*H : (r+1)*H]
-				for j := 0; j < H; j++ {
-					var dz, drh float32
-					if gz != nil {
-						dz = gz[r*H+j]
-					}
-					if grh != nil {
-						drh = grh[r*H+j]
-					}
-					zv, rv := zr[j], rr[j]
-					dr := drh * hr[j]
-					ghr[j] += drh * rv
-					dpr[j] = dz * zv * (1 - zv)
-					dpr[H+j] = dr * rv * (1 - rv)
-					gpr[j] += dpr[j]
-					gpr[H+j] += dpr[H+j]
-				}
-			}
-		})
-		gb := bias.ensureGrad()
-		for r := 0; r < m; r++ {
-			row := dpre[r*2*H : (r+1)*2*H]
-			for j, gv := range row {
-				gb[j] += gv
-			}
-		}
-	})
+	tp.record(opRecord{kind: opGRUGates, a: pre, b: bias, c: h, out: z, out2: rh, s1: rAct})
 	return z, rh
+}
+
+// kGRUGates: S0=pre, S1=bias, S2=h, S3=z, S4=rAct, S5=r⊙h; I0=H.
+func kGRUGates(r0, r1 int, ka KernelArgs) {
+	pre, bd, h, z, rAct, rh := ka.S[0], ka.S[1], ka.S[2], ka.S[3], ka.S[4], ka.S[5]
+	H := ka.I[0]
+	for r := r0; r < r1; r++ {
+		pr := pre[r*2*H : (r+1)*2*H]
+		hr := h[r*H : (r+1)*H]
+		zr := z[r*H : (r+1)*H]
+		rr := rAct[r*H : (r+1)*H]
+		rhr := rh[r*H : (r+1)*H]
+		for j := 0; j < H; j++ {
+			zv := sigmoid32(pr[j] + bd[j])
+			rv := sigmoid32(pr[H+j] + bd[H+j])
+			zr[j] = zv
+			rr[j] = rv
+			rhr[j] = rv * hr[j]
+		}
+	}
+}
+
+// vjpGRUGates: a=pre, b=bias, c=h, out=z, out2=r⊙h, s1=reset activations.
+func vjpGRUGates(tp *Tape, r *opRecord) {
+	gz, grh := r.out.Grad, r.out2.Grad
+	if gz == nil && grh == nil {
+		return
+	}
+	pre, bias, h := r.a, r.b, r.c
+	m, H := h.Rows(), h.Cols()
+	dpre := tp.alloc(m, 2*H).Data // this op's pre-activation grads (see vjpLSTMGates)
+	ParallelKernel(m, m*2*H*4, kGRUGatesVJP, KernelArgs{
+		S: [8][]float32{h.Data, r.out.Data, r.s1.Data, dpre, pre.ensureGrad(), h.ensureGrad(), gz, grh},
+		I: [6]int{H},
+	})
+	gb := bias.ensureGrad()
+	for r := 0; r < m; r++ {
+		row := dpre[r*2*H : (r+1)*2*H]
+		for j, gv := range row {
+			gb[j] += gv
+		}
+	}
+}
+
+// kGRUGatesVJP: S0=h, S1=z, S2=rAct, S3=dpre, S4=dPre accumulator
+// (pre.Grad), S5=dH accumulator (h.Grad), S6=gz (z.Grad, may be nil),
+// S7=grh ((r⊙h).Grad, may be nil); I0=H.
+func kGRUGatesVJP(r0, r1 int, ka KernelArgs) {
+	h, z, rAct, dpre, gp, gh, gz, grh := ka.S[0], ka.S[1], ka.S[2], ka.S[3], ka.S[4], ka.S[5], ka.S[6], ka.S[7]
+	H := ka.I[0]
+	for r := r0; r < r1; r++ {
+		hr := h[r*H : (r+1)*H]
+		zr := z[r*H : (r+1)*H]
+		rr := rAct[r*H : (r+1)*H]
+		dpr := dpre[r*2*H : (r+1)*2*H]
+		gpr := gp[r*2*H : (r+1)*2*H]
+		ghr := gh[r*H : (r+1)*H]
+		for j := 0; j < H; j++ {
+			var dz, drh float32
+			if gz != nil {
+				dz = gz[r*H+j]
+			}
+			if grh != nil {
+				drh = grh[r*H+j]
+			}
+			zv, rv := zr[j], rr[j]
+			dr := drh * hr[j]
+			ghr[j] += drh * rv
+			dpr[j] = dz * zv * (1 - zv)
+			dpr[H+j] = dr * rv * (1 - rv)
+			gpr[j] += dpr[j]
+			gpr[H+j] += dpr[H+j]
+		}
+	}
 }
 
 // GateCombine fuses the GRU candidate activation and state interpolation:
 // n = tanh(nPre + bias) and h' = (n - z⊙n) + z⊙h — the "h' = n - z·n + z·h"
-// form the unfused cell used — in one pass with a single backward closure.
+// form the unfused cell used — in one pass with a single fused record.
 // The candidate activations are kept for backward.
 func GateCombine(tp *Tape, z, nPre, bias, h *Tensor) *Tensor {
 	m, H := h.Rows(), h.Cols()
@@ -219,67 +261,85 @@ func GateCombine(tp *Tape, z, nPre, bias, h *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: GateCombine shape mismatch %v / %v / %v / %v", z.Shape, nPre.Shape, bias.Shape, h.Shape))
 	}
 	out := tp.alloc(m, H)
-	nAct := tp.alloc(m, H).Data
-	bd := bias.Data
-	ParallelWork(m, m*H*ewTransc, func(r0, r1 int) {
-		for r := r0; r < r1; r++ {
-			pr := nPre.Data[r*H : (r+1)*H]
-			zr := z.Data[r*H : (r+1)*H]
-			hr := h.Data[r*H : (r+1)*H]
-			nr := nAct[r*H : (r+1)*H]
-			or := out.Data[r*H : (r+1)*H]
-			for j := 0; j < H; j++ {
-				nv := tanh32(pr[j] + bd[j])
-				nr[j] = nv
-				zv := zr[j]
-				or[j] = (nv - zv*nv) + zv*hr[j]
-			}
-		}
+	nAct := tp.alloc(m, H)
+	ParallelKernel(m, m*H*ewTransc, kGateCombine, KernelArgs{
+		S: [8][]float32{nPre.Data, bias.Data, z.Data, h.Data, nAct.Data, out.Data},
+		I: [6]int{H},
 	})
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		gz := z.ensureGrad()
-		gn := nPre.ensureGrad()
-		gh := h.ensureGrad()
-		dpre := tp.alloc(m, H).Data // this op's candidate pre-activation grads
-		ParallelWork(m, m*H*6, func(r0, r1 int) {
-			for r := r0; r < r1; r++ {
-				zr := z.Data[r*H : (r+1)*H]
-				hr := h.Data[r*H : (r+1)*H]
-				nr := nAct[r*H : (r+1)*H]
-				gr := g[r*H : (r+1)*H]
-				dpr := dpre[r*H : (r+1)*H]
-				gzr := gz[r*H : (r+1)*H]
-				gnr := gn[r*H : (r+1)*H]
-				ghr := gh[r*H : (r+1)*H]
-				for j := 0; j < H; j++ {
-					gv := gr[j]
-					zv, nv := zr[j], nr[j]
-					// Replays the unfused closure sequence exactly:
-					// Mul(z,h): dz += g·h, dh += g·z; Sub: dn = g, dzn = -g;
-					// Mul(z,n): dz += dzn·n, dn += dzn·z; Tanh epilogue.
-					gzr[j] += gv * hr[j]
-					ghr[j] += gv * zv
-					dzn := -gv
-					gzr[j] += dzn * nv
-					dn := gv + dzn*zv
-					dpr[j] = dn * (1 - nv*nv)
-					gnr[j] += dpr[j]
-				}
-			}
-		})
-		gb := bias.ensureGrad()
-		for r := 0; r < m; r++ {
-			row := dpre[r*H : (r+1)*H]
-			for j, gv := range row {
-				gb[j] += gv
-			}
-		}
-	})
+	tp.record(opRecord{kind: opGateCombine, a: z, b: nPre, c: bias, d: h, out: out, s1: nAct})
 	return out
+}
+
+// kGateCombine: S0=nPre, S1=bias, S2=z, S3=h, S4=nAct, S5=out; I0=H.
+func kGateCombine(r0, r1 int, ka KernelArgs) {
+	nPre, bd, z, h, nAct, out := ka.S[0], ka.S[1], ka.S[2], ka.S[3], ka.S[4], ka.S[5]
+	H := ka.I[0]
+	for r := r0; r < r1; r++ {
+		pr := nPre[r*H : (r+1)*H]
+		zr := z[r*H : (r+1)*H]
+		hr := h[r*H : (r+1)*H]
+		nr := nAct[r*H : (r+1)*H]
+		or := out[r*H : (r+1)*H]
+		for j := 0; j < H; j++ {
+			nv := tanh32(pr[j] + bd[j])
+			nr[j] = nv
+			zv := zr[j]
+			or[j] = (nv - zv*nv) + zv*hr[j]
+		}
+	}
+}
+
+// vjpGateCombine: a=z, b=nPre, c=bias, d=h, out, s1=candidate activations.
+func vjpGateCombine(tp *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	z, nPre, bias, h := r.a, r.b, r.c, r.d
+	m, H := h.Rows(), h.Cols()
+	dpre := tp.alloc(m, H).Data // this op's candidate pre-activation grads
+	ParallelKernel(m, m*H*6, kGateCombineVJP, KernelArgs{
+		S: [8][]float32{z.Data, h.Data, r.s1.Data, g, dpre, z.ensureGrad(), nPre.ensureGrad(), h.ensureGrad()},
+		I: [6]int{H},
+	})
+	gb := bias.ensureGrad()
+	for r := 0; r < m; r++ {
+		row := dpre[r*H : (r+1)*H]
+		for j, gv := range row {
+			gb[j] += gv
+		}
+	}
+}
+
+// kGateCombineVJP: S0=z, S1=h, S2=nAct, S3=g (out.Grad), S4=dpre, S5=gz,
+// S6=gn (nPre.Grad), S7=gh; I0=H.
+func kGateCombineVJP(r0, r1 int, ka KernelArgs) {
+	z, h, nAct, g, dpre, gz, gn, gh := ka.S[0], ka.S[1], ka.S[2], ka.S[3], ka.S[4], ka.S[5], ka.S[6], ka.S[7]
+	H := ka.I[0]
+	for r := r0; r < r1; r++ {
+		zr := z[r*H : (r+1)*H]
+		hr := h[r*H : (r+1)*H]
+		nr := nAct[r*H : (r+1)*H]
+		gr := g[r*H : (r+1)*H]
+		dpr := dpre[r*H : (r+1)*H]
+		gzr := gz[r*H : (r+1)*H]
+		gnr := gn[r*H : (r+1)*H]
+		ghr := gh[r*H : (r+1)*H]
+		for j := 0; j < H; j++ {
+			gv := gr[j]
+			zv, nv := zr[j], nr[j]
+			// Replays the unfused closure sequence exactly:
+			// Mul(z,h): dz += g·h, dh += g·z; Sub: dn = g, dzn = -g;
+			// Mul(z,n): dz += dzn·n, dn += dzn·z; Tanh epilogue.
+			gzr[j] += gv * hr[j]
+			ghr[j] += gv * zv
+			dzn := -gv
+			gzr[j] += dzn * nv
+			dn := gv + dzn*zv
+			dpr[j] = dn * (1 - nv*nv)
+			gnr[j] += dpr[j]
+		}
+	}
 }
 
 // In-place epilogues. A Linear layer's bias broadcast and an MLP's hidden
@@ -300,98 +360,147 @@ func AddBiasInPlace(tp *Tape, a, bias *Tensor) *Tensor {
 	if bias.Len() != n {
 		panic(fmt.Sprintf("tensor: AddBiasInPlace bias length %d != cols %d", bias.Len(), n))
 	}
-	ParallelWork(m, m*n, func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			ar := a.Data[i*n : (i+1)*n]
-			for j := range ar {
-				ar[j] += bias.Data[j]
-			}
-		}
-	})
-	tp.record(func() {
-		g := a.Grad
-		if g == nil {
-			return
-		}
-		gb := bias.ensureGrad()
-		for i := 0; i < m; i++ {
-			gr := g[i*n : (i+1)*n]
-			for j, gv := range gr {
-				gb[j] += gv
-			}
-		}
-	})
+	ParallelKernel(m, m*n, kAddBiasInPlace,
+		KernelArgs{S: [8][]float32{a.Data, bias.Data}, I: [6]int{n}})
+	tp.record(opRecord{kind: opAddBiasInPlace, a: a, b: bias})
 	return a
 }
 
+// kAddBiasInPlace: S0=a, S1=bias; I0=n. Partitioned over rows.
+func kAddBiasInPlace(r0, r1 int, ka KernelArgs) {
+	a, bias := ka.S[0], ka.S[1]
+	n := ka.I[0]
+	for i := r0; i < r1; i++ {
+		ar := a[i*n : (i+1)*n]
+		for j := range ar {
+			ar[j] += bias[j]
+		}
+	}
+}
+
+// vjpAddBiasInPlace: a, b=bias.
+func vjpAddBiasInPlace(_ *Tape, r *opRecord) {
+	g := r.a.Grad
+	if g == nil {
+		return
+	}
+	m, n := r.a.Rows(), r.a.Cols()
+	gb := r.b.ensureGrad()
+	for i := 0; i < m; i++ {
+		gr := g[i*n : (i+1)*n]
+		for j, gv := range gr {
+			gb[j] += gv
+		}
+	}
+}
+
 // SigmoidInPlace applies σ elementwise to a in place and returns a. The
-// backward rewrites a.Grad in place (g ← g·y·(1-y)), so closures recorded
-// before this op observe the pre-activation gradient.
+// backward rewrites a.Grad in place (g ← g·y·(1-y)), so records earlier on
+// the tape observe the pre-activation gradient.
 func SigmoidInPlace(tp *Tape, a *Tensor) *Tensor {
-	ParallelWork(len(a.Data), len(a.Data)*ewTransc, func(s, e int) {
-		for i := s; i < e; i++ {
-			a.Data[i] = sigmoid32(a.Data[i])
-		}
-	})
-	tp.record(func() {
-		g := a.Grad
-		if g == nil {
-			return
-		}
-		ParallelWork(len(g), len(g), func(s, e int) {
-			for i := s; i < e; i++ {
-				y := a.Data[i]
-				g[i] = g[i] * y * (1 - y)
-			}
-		})
-	})
+	ParallelKernel(len(a.Data), len(a.Data)*ewTransc, kSigmoidInPlace,
+		KernelArgs{S: [8][]float32{a.Data}})
+	tp.record(opRecord{kind: opSigmoidInPlace, a: a})
 	return a
+}
+
+// kSigmoidInPlace: S0=a.
+func kSigmoidInPlace(s, e int, ka KernelArgs) {
+	a := ka.S[0]
+	for i := s; i < e; i++ {
+		a[i] = sigmoid32(a[i])
+	}
+}
+
+// vjpSigmoidInPlace: a.
+func vjpSigmoidInPlace(_ *Tape, r *opRecord) {
+	g := r.a.Grad
+	if g == nil {
+		return
+	}
+	ParallelKernel(len(g), len(g), kSigmoidInPlaceVJP,
+		KernelArgs{S: [8][]float32{g, r.a.Data}})
+}
+
+// kSigmoidInPlaceVJP: S0=g (rewritten in place), S1=y (post-activation a).
+func kSigmoidInPlaceVJP(s, e int, ka KernelArgs) {
+	g, a := ka.S[0], ka.S[1]
+	for i := s; i < e; i++ {
+		y := a[i]
+		g[i] = g[i] * y * (1 - y)
+	}
 }
 
 // TanhInPlace applies tanh elementwise to a in place and returns a.
 func TanhInPlace(tp *Tape, a *Tensor) *Tensor {
-	ParallelWork(len(a.Data), len(a.Data)*ewTransc, func(s, e int) {
-		for i := s; i < e; i++ {
-			a.Data[i] = tanh32(a.Data[i])
-		}
-	})
-	tp.record(func() {
-		g := a.Grad
-		if g == nil {
-			return
-		}
-		ParallelWork(len(g), len(g), func(s, e int) {
-			for i := s; i < e; i++ {
-				y := a.Data[i]
-				g[i] = g[i] * (1 - y*y)
-			}
-		})
-	})
+	ParallelKernel(len(a.Data), len(a.Data)*ewTransc, kTanhInPlace,
+		KernelArgs{S: [8][]float32{a.Data}})
+	tp.record(opRecord{kind: opTanhInPlace, a: a})
 	return a
+}
+
+// kTanhInPlace: S0=a.
+func kTanhInPlace(s, e int, ka KernelArgs) {
+	a := ka.S[0]
+	for i := s; i < e; i++ {
+		a[i] = tanh32(a[i])
+	}
+}
+
+// vjpTanhInPlace: a.
+func vjpTanhInPlace(_ *Tape, r *opRecord) {
+	g := r.a.Grad
+	if g == nil {
+		return
+	}
+	ParallelKernel(len(g), len(g), kTanhInPlaceVJP,
+		KernelArgs{S: [8][]float32{g, r.a.Data}})
+}
+
+// kTanhInPlaceVJP: S0=g (rewritten in place), S1=y (post-activation a).
+func kTanhInPlaceVJP(s, e int, ka KernelArgs) {
+	g, a := ka.S[0], ka.S[1]
+	for i := s; i < e; i++ {
+		y := a[i]
+		g[i] = g[i] * (1 - y*y)
+	}
 }
 
 // ReLUInPlace applies max(·,0) elementwise to a in place and returns a. The
 // output sign carries the mask (y > 0 ⟺ pre > 0), so no mask is stored.
 func ReLUInPlace(tp *Tape, a *Tensor) *Tensor {
-	ParallelWork(len(a.Data), len(a.Data), func(s, e int) {
-		for i := s; i < e; i++ {
-			if !(a.Data[i] > 0) {
-				a.Data[i] = 0
-			}
-		}
-	})
-	tp.record(func() {
-		g := a.Grad
-		if g == nil {
-			return
-		}
-		ParallelWork(len(g), len(g), func(s, e int) {
-			for i := s; i < e; i++ {
-				if !(a.Data[i] > 0) {
-					g[i] = 0
-				}
-			}
-		})
-	})
+	ParallelKernel(len(a.Data), len(a.Data), kReLUInPlace,
+		KernelArgs{S: [8][]float32{a.Data}})
+	tp.record(opRecord{kind: opReLUInPlace, a: a})
 	return a
+}
+
+// kReLUInPlace: S0=a.
+func kReLUInPlace(s, e int, ka KernelArgs) {
+	a := ka.S[0]
+	for i := s; i < e; i++ {
+		if !(a[i] > 0) {
+			a[i] = 0
+		}
+	}
+}
+
+// vjpReLUInPlace: a.
+func vjpReLUInPlace(_ *Tape, r *opRecord) {
+	g := r.a.Grad
+	if g == nil {
+		return
+	}
+	ParallelKernel(len(g), len(g), kReLUInPlaceVJP,
+		KernelArgs{S: [8][]float32{g, r.a.Data}})
+}
+
+// kReLUInPlaceVJP: S0=g (masked in place), S1=y (post-activation a).
+func kReLUInPlaceVJP(s, e int, ka KernelArgs) {
+	g, a := ka.S[0], ka.S[1]
+	for i := s; i < e; i++ {
+		if !(a[i] > 0) {
+			g[i] = 0
+		}
+	}
 }

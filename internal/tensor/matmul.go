@@ -62,17 +62,29 @@ func mmNT(dst, a, b []float32, m, k, n int) { gemmNT(dst, a, b, m, k, n, k, k, n
 func mmTN(dst, a, b []float32, m, k, n int) { gemmTN(dst, a, b, m, k, n, k, n, n) }
 
 // gemmNN computes dst[i*ldc+j] += sum_l a[i*lda+l] * b[l*ldb+j] for
-// i in [0,m), j in [0,n), l in [0,k).
+// i in [0,m), j in [0,n), l in [0,k). Dispatch is a typed kernel (see
+// ParallelKernel): the GEMMs run in every op's forward and backward pass, so
+// a per-call loop closure would put steady allocation pressure on the
+// training loop.
 func gemmNN(dst, a, b []float32, m, k, n, lda, ldb, ldc int) {
-	ParallelWork(m, m*n*k, func(i0, i1 int) {
-		for kb := 0; kb < k; kb += gemmBlockK {
-			kEnd := min(kb+gemmBlockK, k)
-			for jb := 0; jb < n; jb += gemmBlockN {
-				jEnd := min(jb+gemmBlockN, n)
-				gemmNNPanel(dst, a, b, i0, i1, jb, jEnd, kb, kEnd, lda, ldb, ldc)
-			}
-		}
+	ParallelKernel(m, m*n*k, kGemmNN, KernelArgs{
+		S: [8][]float32{dst, a, b},
+		I: [6]int{k, n, lda, ldb, ldc},
 	})
+}
+
+// kGemmNN: S0=dst, S1=a, S2=b; I0=k, I1=n, I2=lda, I3=ldb, I4=ldc.
+// Partitioned over output rows [i0,i1).
+func kGemmNN(i0, i1 int, ka KernelArgs) {
+	dst, a, b := ka.S[0], ka.S[1], ka.S[2]
+	k, n, lda, ldb, ldc := ka.I[0], ka.I[1], ka.I[2], ka.I[3], ka.I[4]
+	for kb := 0; kb < k; kb += gemmBlockK {
+		kEnd := min(kb+gemmBlockK, k)
+		for jb := 0; jb < n; jb += gemmBlockN {
+			jEnd := min(jb+gemmBlockN, n)
+			gemmNNPanel(dst, a, b, i0, i1, jb, jEnd, kb, kEnd, lda, ldb, ldc)
+		}
+	}
 }
 
 // gemmNNPanel updates output rows [i0,i1), columns [j0,j1) from reduction
@@ -193,7 +205,18 @@ func microNN4x4(d0, d1, d2, d3, a0, a1, a2, a3, b []float32, j, k0, ldb int) {
 // contiguous rows, so no packing or k-blocking is needed: the 4x4 tile reads
 // eight sequential streams and keeps its sixteen dot products in registers.
 func gemmNT(dst, a, b []float32, m, k, n, lda, ldb, ldc int) {
-	ParallelWork(m, m*n*k, func(i0, i1 int) {
+	ParallelKernel(m, m*n*k, kGemmNT, KernelArgs{
+		S: [8][]float32{dst, a, b},
+		I: [6]int{k, n, lda, ldb, ldc},
+	})
+}
+
+// kGemmNT: S0=dst, S1=a, S2=b; I0=k, I1=n, I2=lda, I3=ldb, I4=ldc.
+// Partitioned over output rows [i0,i1).
+func kGemmNT(i0, i1 int, ka KernelArgs) {
+	dst, a, b := ka.S[0], ka.S[1], ka.S[2]
+	k, n, lda, ldb, ldc := ka.I[0], ka.I[1], ka.I[2], ka.I[3], ka.I[4]
+	{
 		if useFMA {
 			gemmNTFMA(dst, a, b, i0, i1, k, n, lda, ldb, ldc)
 			return
@@ -236,7 +259,7 @@ func gemmNT(dst, a, b []float32, m, k, n, lda, ldb, ldc int) {
 				di[j] = c
 			}
 		}
-	})
+	}
 }
 
 // gemmNTFMA is the AVX2 path of gemmNT for output rows [i0,i1): dot-product
@@ -352,27 +375,36 @@ func microNT4x4(d0, d1, d2, d3, a0, a1, a2, a3, b []float32, j, k, ldb int) {
 // gemmBlockM-deep stripe at a time) and then runs the same register-blocked
 // tile as gemmNN over contiguous data.
 func gemmTN(dst, a, b []float32, m, k, n, lda, ldb, ldc int) {
-	ParallelWork(k, m*n*k, func(l0, l1 int) {
-		rows := l1 - l0
-		scratch := packBuf(rows * gemmBlockM)
-		defer packPool.Put(scratch)
-		pack := (*scratch)[:rows*gemmBlockM]
-		for ib := 0; ib < m; ib += gemmBlockM {
-			iEnd := min(ib+gemmBlockM, m)
-			ni := iEnd - ib
-			for ii := 0; ii < ni; ii++ {
-				row := a[(ib+ii)*lda:]
-				for l := l0; l < l1; l++ {
-					pack[(l-l0)*ni+ii] = row[l]
-				}
-			}
-			bPanel := b[ib*ldb:]
-			for jb := 0; jb < n; jb += gemmBlockN {
-				jEnd := min(jb+gemmBlockN, n)
-				gemmTNPanel(dst, pack, bPanel, l0, l1, jb, jEnd, ni, ldb, ldc)
+	ParallelKernel(k, m*n*k, kGemmTN, KernelArgs{
+		S: [8][]float32{dst, a, b},
+		I: [6]int{m, n, lda, ldb, ldc},
+	})
+}
+
+// kGemmTN: S0=dst, S1=a, S2=b; I0=m, I1=n, I2=lda, I3=ldb, I4=ldc.
+// Partitioned over output rows (a-columns) [l0,l1).
+func kGemmTN(l0, l1 int, ka KernelArgs) {
+	dst, a, b := ka.S[0], ka.S[1], ka.S[2]
+	m, n, lda, ldb, ldc := ka.I[0], ka.I[1], ka.I[2], ka.I[3], ka.I[4]
+	rows := l1 - l0
+	scratch := packBuf(rows * gemmBlockM)
+	defer packPool.Put(scratch)
+	pack := (*scratch)[:rows*gemmBlockM]
+	for ib := 0; ib < m; ib += gemmBlockM {
+		iEnd := min(ib+gemmBlockM, m)
+		ni := iEnd - ib
+		for ii := 0; ii < ni; ii++ {
+			row := a[(ib+ii)*lda:]
+			for l := l0; l < l1; l++ {
+				pack[(l-l0)*ni+ii] = row[l]
 			}
 		}
-	})
+		bPanel := b[ib*ldb:]
+		for jb := 0; jb < n; jb += gemmBlockN {
+			jEnd := min(jb+gemmBlockN, n)
+			gemmTNPanel(dst, pack, bPanel, l0, l1, jb, jEnd, ni, ldb, ldc)
+		}
+	}
 }
 
 // gemmTNPanel updates output rows [l0,l1), columns [j0,j1) from one packed

@@ -5,8 +5,28 @@ import (
 	"math"
 )
 
-// MatMul returns a[m,k] * b[k,n]. When tp is non-nil the backward pass
-// accumulates dA += dC*B^T and dB += A^T*dC.
+// Each op records a typed opRecord on the tape (see records.go) and has a
+// matching vjp* function, kept adjacent to its forward pass, that the static
+// VJP table dispatches during Backward. The VJP bodies replay the former
+// backward closures' arithmetic verbatim: same expressions, same
+// accumulation order, same chunking — gradients are bitwise identical to the
+// closure tape's.
+//
+// Elementwise loops dispatch through ParallelKernel as top-level k* kernel
+// functions with by-value argument blocks (see parallel.go): a func literal
+// handed to the pool escapes and costs one heap object per op invocation,
+// and those closure objects were the step's dominant remaining allocation
+// once tensors and records were pooled. Each kernel documents its KernelArgs
+// slot layout. The work estimate is elements times per-element cost: 1 for
+// arithmetic, ewTransc for transcendental functions (exp/tanh). Per-element
+// gradient updates are independent, so chunked execution is race-free and
+// bitwise-deterministic even when an op's two inputs alias the same tensor;
+// ops that reduce across the partition axis in backward (AddBias, LayerNorm,
+// Sum) keep those reductions serial.
+const ewTransc = 16
+
+// MatMul returns a[m,k] * b[k,n]. The backward pass accumulates
+// dA += dC*B^T and dB += A^T*dC.
 func MatMul(tp *Tape, a, b *Tensor) *Tensor {
 	m, k := a.Rows(), a.Cols()
 	k2, n := b.Rows(), b.Cols()
@@ -15,15 +35,21 @@ func MatMul(tp *Tape, a, b *Tensor) *Tensor {
 	}
 	out := tp.alloc(m, n)
 	mmNN(out.Data, a.Data, b.Data, m, k, n)
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		mmNT(a.ensureGrad(), g, b.Data, m, n, k)
-		mmTN(b.ensureGrad(), a.Data, g, m, k, n)
-	})
+	tp.record(opRecord{kind: opMatMul, a: a, b: b, out: out})
 	return out
+}
+
+// vjpMatMul: a, b, out.
+func vjpMatMul(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	a, b := r.a, r.b
+	m, k := a.Rows(), a.Cols()
+	n := b.Cols()
+	mmNT(a.ensureGrad(), g, b.Data, m, n, k)
+	mmTN(b.ensureGrad(), a.Data, g, m, k, n)
 }
 
 // MatMulBT returns a[m,k] * b[n,k]^T, i.e. the rows of a dotted with the rows
@@ -37,16 +63,22 @@ func MatMulBT(tp *Tape, a, b *Tensor) *Tensor {
 	}
 	out := tp.alloc(m, n)
 	mmNT(out.Data, a.Data, b.Data, m, k, n)
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		// dA += dC * B ; dB += dC^T * A
-		mmNN(a.ensureGrad(), g, b.Data, m, n, k)
-		mmTN(b.ensureGrad(), g, a.Data, m, n, k)
-	})
+	tp.record(opRecord{kind: opMatMulBT, a: a, b: b, out: out})
 	return out
+}
+
+// vjpMatMulBT: a, b, out.
+func vjpMatMulBT(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	a, b := r.a, r.b
+	m, k := a.Rows(), a.Cols()
+	n := b.Rows()
+	// dA += dC * B ; dB += dC^T * A
+	mmNN(a.ensureGrad(), g, b.Data, m, n, k)
+	mmTN(b.ensureGrad(), g, a.Data, m, n, k)
 }
 
 // MatMulBTCat returns [x|h] * w^T without materializing the column
@@ -64,20 +96,27 @@ func MatMulBTCat(tp *Tape, x, h, w *Tensor) *Tensor {
 	out := tp.alloc(m, n)
 	gemmNT(out.Data, x.Data, w.Data, m, xc, n, xc, wc, n)
 	gemmNT(out.Data, h.Data, w.Data[xc:], m, hc, n, hc, wc, n)
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		gx, gh, gw := x.ensureGrad(), h.ensureGrad(), w.ensureGrad()
-		// dX += dC * W[:, :xc] ; dH += dC * W[:, xc:]
-		gemmNN(gx, g, w.Data, m, n, xc, n, wc, xc)
-		gemmNN(gh, g, w.Data[xc:], m, n, hc, n, wc, hc)
-		// dW[:, :xc] += dC^T * X ; dW[:, xc:] += dC^T * H
-		gemmTN(gw, g, x.Data, m, n, xc, n, xc, wc)
-		gemmTN(gw[xc:], g, h.Data, m, n, hc, n, hc, wc)
-	})
+	tp.record(opRecord{kind: opMatMulBTCat, a: x, b: h, c: w, out: out})
 	return out
+}
+
+// vjpMatMulBTCat: a=x, b=h, c=w, out.
+func vjpMatMulBTCat(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	x, h, w := r.a, r.b, r.c
+	m, xc := x.Rows(), x.Cols()
+	hc := h.Cols()
+	n, wc := w.Rows(), w.Cols()
+	gx, gh, gw := x.ensureGrad(), h.ensureGrad(), w.ensureGrad()
+	// dX += dC * W[:, :xc] ; dH += dC * W[:, xc:]
+	gemmNN(gx, g, w.Data, m, n, xc, n, wc, xc)
+	gemmNN(gh, g, w.Data[xc:], m, n, hc, n, wc, hc)
+	// dW[:, :xc] += dC^T * X ; dW[:, xc:] += dC^T * H
+	gemmTN(gw, g, x.Data, m, n, xc, n, xc, wc)
+	gemmTN(gw[xc:], g, h.Data, m, n, hc, n, hc, wc)
 }
 
 // MatMulBTCols returns a[:, from:to] * b[:, from:to]^T without materializing
@@ -93,28 +132,24 @@ func MatMulBTCols(tp *Tape, a, b *Tensor, from, to int) *Tensor {
 	w := to - from
 	out := tp.alloc(m, n)
 	gemmNT(out.Data, a.Data[from:], b.Data[from:], m, w, n, ac, bc, n)
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga, gb := a.ensureGrad(), b.ensureGrad()
-		gemmNN(ga[from:], g, b.Data[from:], m, n, w, n, bc, ac)
-		gemmTN(gb[from:], g, a.Data[from:], m, n, w, n, ac, bc)
-	})
+	tp.record(opRecord{kind: opMatMulBTCols, a: a, b: b, out: out, i0: from, i1: to})
 	return out
 }
 
-// Elementwise ops run their loops through ParallelWork, whose work argument
-// is elements times an estimated per-element cost: 1 for arithmetic, ewTransc
-// for transcendental functions (exp/tanh), so e.g. a Sigmoid over 4k elements
-// parallelizes while an Add of the same size stays serial. Backward closures
-// partition the same index ranges; per-element gradient updates are
-// independent, so chunked execution is race-free and bitwise-deterministic
-// even when an op's two inputs alias the same tensor. Ops that reduce across
-// the partition axis in backward (AddBias, LayerNorm, Sum) keep those
-// reductions serial.
-const ewTransc = 16
+// vjpMatMulBTCols: a, b, out; i0=from, i1=to.
+func vjpMatMulBTCols(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	a, b, from := r.a, r.b, r.i0
+	m, ac := a.Rows(), a.Cols()
+	n, bc := b.Rows(), b.Cols()
+	w := r.i1 - from
+	ga, gb := a.ensureGrad(), b.ensureGrad()
+	gemmNN(ga[from:], g, b.Data[from:], m, n, w, n, bc, ac)
+	gemmTN(gb[from:], g, a.Data[from:], m, n, w, n, ac, bc)
+}
 
 // Add returns a + b for tensors of identical shape.
 func Add(tp *Tape, a, b *Tensor) *Tensor {
@@ -122,25 +157,37 @@ func Add(tp *Tape, a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", a.Shape, b.Shape))
 	}
 	out := tp.alloc(a.Shape...)
-	ParallelWork(len(out.Data), len(out.Data), func(s, e int) {
-		for i := s; i < e; i++ {
-			out.Data[i] = a.Data[i] + b.Data[i]
-		}
-	})
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga, gb := a.ensureGrad(), b.ensureGrad()
-		ParallelWork(len(g), len(g), func(s, e int) {
-			for i := s; i < e; i++ {
-				ga[i] += g[i]
-				gb[i] += g[i]
-			}
-		})
-	})
+	ParallelKernel(len(out.Data), len(out.Data), kAdd,
+		KernelArgs{S: [8][]float32{out.Data, a.Data, b.Data}})
+	tp.record(opRecord{kind: opAdd, a: a, b: b, out: out})
 	return out
+}
+
+// kAdd: S0=out, S1=a, S2=b.
+func kAdd(s, e int, ka KernelArgs) {
+	out, a, b := ka.S[0], ka.S[1], ka.S[2]
+	for i := s; i < e; i++ {
+		out[i] = a[i] + b[i]
+	}
+}
+
+// vjpAdd: a, b, out.
+func vjpAdd(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	ParallelKernel(len(g), len(g), kAddVJP,
+		KernelArgs{S: [8][]float32{g, r.a.ensureGrad(), r.b.ensureGrad()}})
+}
+
+// kAddVJP: S0=g, S1=ga, S2=gb.
+func kAddVJP(s, e int, ka KernelArgs) {
+	g, ga, gb := ka.S[0], ka.S[1], ka.S[2]
+	for i := s; i < e; i++ {
+		ga[i] += g[i]
+		gb[i] += g[i]
+	}
 }
 
 // AddBias returns a[m,n] + bias[n] broadcast across rows.
@@ -150,31 +197,42 @@ func AddBias(tp *Tape, a, bias *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: AddBias bias length %d != cols %d", bias.Len(), n))
 	}
 	out := tp.alloc(m, n)
-	ParallelWork(m, m*n, func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			ar, or := a.Row(i), out.Data[i*n:(i+1)*n]
-			for j, av := range ar {
-				or[j] = av + bias.Data[j]
-			}
-		}
-	})
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		// gb reduces across rows, so the backward stays serial.
-		ga, gb := a.ensureGrad(), bias.ensureGrad()
-		for i := 0; i < m; i++ {
-			gr := g[i*n : (i+1)*n]
-			gar := ga[i*n : (i+1)*n]
-			for j, gv := range gr {
-				gar[j] += gv
-				gb[j] += gv
-			}
-		}
-	})
+	ParallelKernel(m, m*n, kAddBias,
+		KernelArgs{S: [8][]float32{out.Data, a.Data, bias.Data}, I: [6]int{n}})
+	tp.record(opRecord{kind: opAddBias, a: a, b: bias, out: out})
 	return out
+}
+
+// kAddBias: S0=out, S1=a, S2=bias; I0=n. Partitioned over rows.
+func kAddBias(r0, r1 int, ka KernelArgs) {
+	out, a, bias := ka.S[0], ka.S[1], ka.S[2]
+	n := ka.I[0]
+	for i := r0; i < r1; i++ {
+		ar, or := a[i*n:(i+1)*n], out[i*n:(i+1)*n]
+		for j, av := range ar {
+			or[j] = av + bias[j]
+		}
+	}
+}
+
+// vjpAddBias: a, b=bias, out.
+func vjpAddBias(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	a := r.a
+	m, n := a.Rows(), a.Cols()
+	// gb reduces across rows, so the backward stays serial.
+	ga, gb := a.ensureGrad(), r.b.ensureGrad()
+	for i := 0; i < m; i++ {
+		gr := g[i*n : (i+1)*n]
+		gar := ga[i*n : (i+1)*n]
+		for j, gv := range gr {
+			gar[j] += gv
+			gb[j] += gv
+		}
+	}
 }
 
 // Sub returns a - b for tensors of identical shape.
@@ -183,25 +241,37 @@ func Sub(tp *Tape, a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", a.Shape, b.Shape))
 	}
 	out := tp.alloc(a.Shape...)
-	ParallelWork(len(out.Data), len(out.Data), func(s, e int) {
-		for i := s; i < e; i++ {
-			out.Data[i] = a.Data[i] - b.Data[i]
-		}
-	})
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga, gb := a.ensureGrad(), b.ensureGrad()
-		ParallelWork(len(g), len(g), func(s, e int) {
-			for i := s; i < e; i++ {
-				ga[i] += g[i]
-				gb[i] -= g[i]
-			}
-		})
-	})
+	ParallelKernel(len(out.Data), len(out.Data), kSub,
+		KernelArgs{S: [8][]float32{out.Data, a.Data, b.Data}})
+	tp.record(opRecord{kind: opSub, a: a, b: b, out: out})
 	return out
+}
+
+// kSub: S0=out, S1=a, S2=b.
+func kSub(s, e int, ka KernelArgs) {
+	out, a, b := ka.S[0], ka.S[1], ka.S[2]
+	for i := s; i < e; i++ {
+		out[i] = a[i] - b[i]
+	}
+}
+
+// vjpSub: a, b, out.
+func vjpSub(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	ParallelKernel(len(g), len(g), kSubVJP,
+		KernelArgs{S: [8][]float32{g, r.a.ensureGrad(), r.b.ensureGrad()}})
+}
+
+// kSubVJP: S0=g, S1=ga, S2=gb.
+func kSubVJP(s, e int, ka KernelArgs) {
+	g, ga, gb := ka.S[0], ka.S[1], ka.S[2]
+	for i := s; i < e; i++ {
+		ga[i] += g[i]
+		gb[i] -= g[i]
+	}
 }
 
 // Mul returns the elementwise (Hadamard) product of a and b.
@@ -210,172 +280,290 @@ func Mul(tp *Tape, a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: Mul shape mismatch %v vs %v", a.Shape, b.Shape))
 	}
 	out := tp.alloc(a.Shape...)
-	ParallelWork(len(out.Data), len(out.Data), func(s, e int) {
-		for i := s; i < e; i++ {
-			out.Data[i] = a.Data[i] * b.Data[i]
-		}
-	})
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga, gb := a.ensureGrad(), b.ensureGrad()
-		ParallelWork(len(g), len(g), func(s, e int) {
-			for i := s; i < e; i++ {
-				ga[i] += g[i] * b.Data[i]
-				gb[i] += g[i] * a.Data[i]
-			}
-		})
-	})
+	ParallelKernel(len(out.Data), len(out.Data), kMul,
+		KernelArgs{S: [8][]float32{out.Data, a.Data, b.Data}})
+	tp.record(opRecord{kind: opMul, a: a, b: b, out: out})
 	return out
+}
+
+// kMul: S0=out, S1=a, S2=b.
+func kMul(s, e int, ka KernelArgs) {
+	out, a, b := ka.S[0], ka.S[1], ka.S[2]
+	for i := s; i < e; i++ {
+		out[i] = a[i] * b[i]
+	}
+}
+
+// vjpMul: a, b, out.
+func vjpMul(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	a, b := r.a, r.b
+	ParallelKernel(len(g), len(g), kMulVJP,
+		KernelArgs{S: [8][]float32{g, a.ensureGrad(), b.ensureGrad(), a.Data, b.Data}})
+}
+
+// kMulVJP: S0=g, S1=ga, S2=gb, S3=a, S4=b.
+func kMulVJP(s, e int, ka KernelArgs) {
+	g, ga, gb, a, b := ka.S[0], ka.S[1], ka.S[2], ka.S[3], ka.S[4]
+	for i := s; i < e; i++ {
+		ga[i] += g[i] * b[i]
+		gb[i] += g[i] * a[i]
+	}
 }
 
 // Scale returns s * a.
 func Scale(tp *Tape, a *Tensor, s float32) *Tensor {
 	out := tp.alloc(a.Shape...)
-	ParallelWork(len(out.Data), len(out.Data), func(start, end int) {
-		for i := start; i < end; i++ {
-			out.Data[i] = a.Data[i] * s
-		}
-	})
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga := a.ensureGrad()
-		ParallelWork(len(g), len(g), func(start, end int) {
-			for i := start; i < end; i++ {
-				ga[i] += g[i] * s
-			}
-		})
-	})
+	ParallelKernel(len(out.Data), len(out.Data), kScale,
+		KernelArgs{S: [8][]float32{out.Data, a.Data}, F: [6]float32{s}})
+	tp.record(opRecord{kind: opScale, a: a, out: out, f0: s})
 	return out
+}
+
+// kScale: S0=out, S1=a; F0=s.
+func kScale(s, e int, ka KernelArgs) {
+	out, a := ka.S[0], ka.S[1]
+	f := ka.F[0]
+	for i := s; i < e; i++ {
+		out[i] = a[i] * f
+	}
+}
+
+// vjpScale: a, out; f0=s.
+func vjpScale(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	ParallelKernel(len(g), len(g), kScaleVJP,
+		KernelArgs{S: [8][]float32{g, r.a.ensureGrad()}, F: [6]float32{r.f0}})
+}
+
+// kScaleVJP: S0=g, S1=ga; F0=s.
+func kScaleVJP(s, e int, ka KernelArgs) {
+	g, ga := ka.S[0], ka.S[1]
+	f := ka.F[0]
+	for i := s; i < e; i++ {
+		ga[i] += g[i] * f
+	}
 }
 
 // Sigmoid returns 1/(1+exp(-a)) elementwise.
 func Sigmoid(tp *Tape, a *Tensor) *Tensor {
 	out := tp.alloc(a.Shape...)
-	ParallelWork(len(out.Data), len(out.Data)*ewTransc, func(s, e int) {
-		for i := s; i < e; i++ {
-			out.Data[i] = float32(1 / (1 + math.Exp(-float64(a.Data[i]))))
-		}
-	})
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga := a.ensureGrad()
-		ParallelWork(len(g), len(g), func(s, e int) {
-			for i := s; i < e; i++ {
-				y := out.Data[i]
-				ga[i] += g[i] * y * (1 - y)
-			}
-		})
-	})
+	ParallelKernel(len(out.Data), len(out.Data)*ewTransc, kSigmoid,
+		KernelArgs{S: [8][]float32{out.Data, a.Data}})
+	tp.record(opRecord{kind: opSigmoid, a: a, out: out})
 	return out
+}
+
+// kSigmoid: S0=out, S1=a.
+func kSigmoid(s, e int, ka KernelArgs) {
+	out, a := ka.S[0], ka.S[1]
+	for i := s; i < e; i++ {
+		out[i] = float32(1 / (1 + math.Exp(-float64(a[i]))))
+	}
+}
+
+// vjpSigmoid: a, out.
+func vjpSigmoid(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	ParallelKernel(len(g), len(g), kSigmoidVJP,
+		KernelArgs{S: [8][]float32{g, r.a.ensureGrad(), r.out.Data}})
+}
+
+// kSigmoidVJP: S0=g, S1=ga, S2=y (the op's output).
+func kSigmoidVJP(s, e int, ka KernelArgs) {
+	g, ga, out := ka.S[0], ka.S[1], ka.S[2]
+	for i := s; i < e; i++ {
+		y := out[i]
+		ga[i] += g[i] * y * (1 - y)
+	}
 }
 
 // Tanh returns tanh(a) elementwise.
 func Tanh(tp *Tape, a *Tensor) *Tensor {
 	out := tp.alloc(a.Shape...)
-	ParallelWork(len(out.Data), len(out.Data)*ewTransc, func(s, e int) {
-		for i := s; i < e; i++ {
-			out.Data[i] = float32(math.Tanh(float64(a.Data[i])))
-		}
-	})
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga := a.ensureGrad()
-		ParallelWork(len(g), len(g), func(s, e int) {
-			for i := s; i < e; i++ {
-				y := out.Data[i]
-				ga[i] += g[i] * (1 - y*y)
-			}
-		})
-	})
+	ParallelKernel(len(out.Data), len(out.Data)*ewTransc, kTanh,
+		KernelArgs{S: [8][]float32{out.Data, a.Data}})
+	tp.record(opRecord{kind: opTanh, a: a, out: out})
 	return out
+}
+
+// kTanh: S0=out, S1=a.
+func kTanh(s, e int, ka KernelArgs) {
+	out, a := ka.S[0], ka.S[1]
+	for i := s; i < e; i++ {
+		out[i] = float32(math.Tanh(float64(a[i])))
+	}
+}
+
+// vjpTanh: a, out.
+func vjpTanh(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	ParallelKernel(len(g), len(g), kTanhVJP,
+		KernelArgs{S: [8][]float32{g, r.a.ensureGrad(), r.out.Data}})
+}
+
+// kTanhVJP: S0=g, S1=ga, S2=y (the op's output).
+func kTanhVJP(s, e int, ka KernelArgs) {
+	g, ga, out := ka.S[0], ka.S[1], ka.S[2]
+	for i := s; i < e; i++ {
+		y := out[i]
+		ga[i] += g[i] * (1 - y*y)
+	}
 }
 
 // ReLU returns max(a, 0) elementwise.
 func ReLU(tp *Tape, a *Tensor) *Tensor {
 	out := tp.alloc(a.Shape...)
-	ParallelWork(len(out.Data), len(out.Data), func(s, e int) {
-		for i := s; i < e; i++ {
-			if av := a.Data[i]; av > 0 {
-				out.Data[i] = av
-			}
-		}
-	})
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga := a.ensureGrad()
-		ParallelWork(len(g), len(g), func(s, e int) {
-			for i := s; i < e; i++ {
-				if a.Data[i] > 0 {
-					ga[i] += g[i]
-				}
-			}
-		})
-	})
+	ParallelKernel(len(out.Data), len(out.Data), kReLU,
+		KernelArgs{S: [8][]float32{out.Data, a.Data}})
+	tp.record(opRecord{kind: opReLU, a: a, out: out})
 	return out
+}
+
+// kReLU: S0=out, S1=a.
+func kReLU(s, e int, ka KernelArgs) {
+	out, a := ka.S[0], ka.S[1]
+	for i := s; i < e; i++ {
+		if av := a[i]; av > 0 {
+			out[i] = av
+		}
+	}
+}
+
+// vjpReLU: a, out.
+func vjpReLU(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	ParallelKernel(len(g), len(g), kReLUVJP,
+		KernelArgs{S: [8][]float32{g, r.a.ensureGrad(), r.a.Data}})
+}
+
+// kReLUVJP: S0=g, S1=ga, S2=a (the op's input).
+func kReLUVJP(s, e int, ka KernelArgs) {
+	g, ga, a := ka.S[0], ka.S[1], ka.S[2]
+	for i := s; i < e; i++ {
+		if a[i] > 0 {
+			ga[i] += g[i]
+		}
+	}
 }
 
 // SoftmaxRows applies a numerically-stable softmax independently to each row.
 func SoftmaxRows(tp *Tape, a *Tensor) *Tensor {
 	m, n := a.Rows(), a.Cols()
 	out := tp.alloc(m, n)
-	ParallelWork(m, m*n*ewTransc, func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			ar, or := a.Row(i), out.Data[i*n:(i+1)*n]
-			maxv := ar[0]
-			for _, v := range ar[1:] {
-				if v > maxv {
-					maxv = v
-				}
-			}
-			var sum float64
-			for j, v := range ar {
-				e := math.Exp(float64(v - maxv))
-				or[j] = float32(e)
-				sum += e
-			}
-			inv := float32(1 / sum)
-			for j := range or {
-				or[j] *= inv
-			}
-		}
-	})
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga := a.ensureGrad()
-		ParallelWork(m, m*n, func(r0, r1 int) {
-			for i := r0; i < r1; i++ {
-				gr := g[i*n : (i+1)*n]
-				or := out.Data[i*n : (i+1)*n]
-				gar := ga[i*n : (i+1)*n]
-				var dot float32
-				for j, gv := range gr {
-					dot += gv * or[j]
-				}
-				for j, gv := range gr {
-					gar[j] += or[j] * (gv - dot)
-				}
-			}
-		})
-	})
+	ParallelKernel(m, m*n*ewTransc, kSoftmaxRows,
+		KernelArgs{S: [8][]float32{out.Data, a.Data}, I: [6]int{n}, F: [6]float32{1}})
+	tp.record(opRecord{kind: opSoftmaxRows, a: a, out: out})
 	return out
+}
+
+// kSoftmaxRows: S0=out, S1=a; I0=n; F0=pre-softmax scale (1 for the plain
+// op). Partitioned over rows. With F0 == 1 the scale multiplications are
+// exact identities (x*1 == x bitwise for every float32, including NaN
+// payloads and signed zeros), so the plain softmax and the fused attention
+// form share this kernel without perturbing the plain op's values.
+func kSoftmaxRows(r0, r1 int, ka KernelArgs) {
+	out, a := ka.S[0], ka.S[1]
+	n := ka.I[0]
+	scale := ka.F[0]
+	for i := r0; i < r1; i++ {
+		ar, or := a[i*n:(i+1)*n], out[i*n:(i+1)*n]
+		maxv := ar[0] * scale
+		for _, v := range ar[1:] {
+			if sv := v * scale; sv > maxv {
+				maxv = sv
+			}
+		}
+		var sum float64
+		for j, v := range ar {
+			e := math.Exp(float64(v*scale - maxv))
+			or[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range or {
+			or[j] *= inv
+		}
+	}
+}
+
+// vjpSoftmaxRows: a, out.
+func vjpSoftmaxRows(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	m, n := r.out.Rows(), r.out.Cols()
+	ParallelKernel(m, m*n, kSoftmaxRowsVJP,
+		KernelArgs{S: [8][]float32{g, r.a.ensureGrad(), r.out.Data}, I: [6]int{n}, F: [6]float32{1}})
+}
+
+// kSoftmaxRowsVJP: S0=g, S1=ga, S2=y (softmax output); I0=n; F0=post-VJP
+// scale (1 for the plain op; see kSoftmaxRows).
+func kSoftmaxRowsVJP(r0, r1 int, ka KernelArgs) {
+	g, ga, out := ka.S[0], ka.S[1], ka.S[2]
+	n := ka.I[0]
+	scale := ka.F[0]
+	for i := r0; i < r1; i++ {
+		gr := g[i*n : (i+1)*n]
+		or := out[i*n : (i+1)*n]
+		gar := ga[i*n : (i+1)*n]
+		var dot float32
+		for j, gv := range gr {
+			dot += gv * or[j]
+		}
+		for j, gv := range gr {
+			gar[j] += (or[j] * (gv - dot)) * scale
+		}
+	}
+}
+
+// AttentionSoftmax returns softmax_rows(scale * a) as one fused record: the
+// attention-score normalization (1/sqrt(d_k) scaling plus row softmax) that
+// the transformer encoder previously recorded as a Scale node feeding a
+// SoftmaxRows node, per head per sample. Like the fused gate kernels, the
+// fusion is numerically invisible: the forward replays Scale's float32
+// products (each a[i]*scale rounds once, exactly like the materialized
+// scaled tensor's elements) before the identical softmax passes, and the
+// backward composes the softmax VJP and the scale VJP with the same
+// intermediate roundings the two separate ops produced — so outputs and all
+// gradients are bitwise identical to SoftmaxRows(Scale(a)) while saving one
+// [T,T] tensor, its gradient buffer, and one record per attention head.
+func AttentionSoftmax(tp *Tape, a *Tensor, scale float32) *Tensor {
+	m, n := a.Rows(), a.Cols()
+	out := tp.alloc(m, n)
+	ParallelKernel(m, m*n*ewTransc, kSoftmaxRows,
+		KernelArgs{S: [8][]float32{out.Data, a.Data}, I: [6]int{n}, F: [6]float32{scale}})
+	tp.record(opRecord{kind: opAttentionSoftmax, a: a, out: out, f0: scale})
+	return out
+}
+
+// vjpAttentionSoftmax: a, out; f0=scale. The softmax VJP's per-element
+// product rounds to float32 before the scale factor multiplies it — the
+// exact sequence the unfused SoftmaxRows-then-Scale backward performed.
+func vjpAttentionSoftmax(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	m, n := r.out.Rows(), r.out.Cols()
+	ParallelKernel(m, m*n, kSoftmaxRowsVJP,
+		KernelArgs{S: [8][]float32{g, r.a.ensureGrad(), r.out.Data}, I: [6]int{n}, F: [6]float32{r.f0}})
 }
 
 // ConcatCols concatenates matrices a[m,na] and b[m,nb] along columns.
@@ -389,25 +577,30 @@ func ConcatCols(tp *Tape, a, b *Tensor) *Tensor {
 		copy(out.Data[i*(na+nb):], a.Row(i))
 		copy(out.Data[i*(na+nb)+na:], b.Row(i))
 	}
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga, gb := a.ensureGrad(), b.ensureGrad()
-		for i := 0; i < m; i++ {
-			gr := g[i*(na+nb) : (i+1)*(na+nb)]
-			gar := ga[i*na : (i+1)*na]
-			gbr := gb[i*nb : (i+1)*nb]
-			for j := 0; j < na; j++ {
-				gar[j] += gr[j]
-			}
-			for j := 0; j < nb; j++ {
-				gbr[j] += gr[na+j]
-			}
-		}
-	})
+	tp.record(opRecord{kind: opConcatCols, a: a, b: b, out: out})
 	return out
+}
+
+// vjpConcatCols: a, b, out.
+func vjpConcatCols(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	a, b := r.a, r.b
+	m, na, nb := a.Rows(), a.Cols(), b.Cols()
+	ga, gb := a.ensureGrad(), b.ensureGrad()
+	for i := 0; i < m; i++ {
+		gr := g[i*(na+nb) : (i+1)*(na+nb)]
+		gar := ga[i*na : (i+1)*na]
+		gbr := gb[i*nb : (i+1)*nb]
+		for j := 0; j < na; j++ {
+			gar[j] += gr[j]
+		}
+		for j := 0; j < nb; j++ {
+			gbr[j] += gr[na+j]
+		}
+	}
 }
 
 // SliceCols returns columns [from, to) of matrix a as a new tensor whose
@@ -422,21 +615,27 @@ func SliceCols(tp *Tape, a *Tensor, from, to int) *Tensor {
 	for i := 0; i < m; i++ {
 		copy(out.Data[i*w:(i+1)*w], a.Data[i*n+from:i*n+to])
 	}
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga := a.ensureGrad()
-		for i := 0; i < m; i++ {
-			gr := g[i*w : (i+1)*w]
-			gar := ga[i*n+from : i*n+to]
-			for j, gv := range gr {
-				gar[j] += gv
-			}
-		}
-	})
+	tp.record(opRecord{kind: opSliceCols, a: a, out: out, i0: from, i1: to})
 	return out
+}
+
+// vjpSliceCols: a, out; i0=from, i1=to.
+func vjpSliceCols(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	a, from, to := r.a, r.i0, r.i1
+	m, n := a.Rows(), a.Cols()
+	w := to - from
+	ga := a.ensureGrad()
+	for i := 0; i < m; i++ {
+		gr := g[i*w : (i+1)*w]
+		gar := ga[i*n+from : i*n+to]
+		for j, gv := range gr {
+			gar[j] += gv
+		}
+	}
 }
 
 // SliceRows returns rows [from, to) of matrix a as a new tensor whose
@@ -449,17 +648,22 @@ func SliceRows(tp *Tape, a *Tensor, from, to int) *Tensor {
 	h := to - from
 	out := tp.alloc(h, n)
 	copy(out.Data, a.Data[from*n:to*n])
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga := a.ensureGrad()
-		for i, gv := range g {
-			ga[from*n+i] += gv
-		}
-	})
+	tp.record(opRecord{kind: opSliceRows, a: a, out: out, i0: from, i1: to})
 	return out
+}
+
+// vjpSliceRows: a, out; i0=from.
+func vjpSliceRows(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	a, from := r.a, r.i0
+	n := a.Cols()
+	ga := a.ensureGrad()
+	for i, gv := range g {
+		ga[from*n+i] += gv
+	}
 }
 
 // Transpose returns a[m,n]^T as an [n,m] tensor.
@@ -471,19 +675,24 @@ func Transpose(tp *Tape, a *Tensor) *Tensor {
 			out.Data[j*m+i] = a.Data[i*n+j]
 		}
 	}
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga := a.ensureGrad()
-		for i := 0; i < m; i++ {
-			for j := 0; j < n; j++ {
-				ga[i*n+j] += g[j*m+i]
-			}
-		}
-	})
+	tp.record(opRecord{kind: opTranspose, a: a, out: out})
 	return out
+}
+
+// vjpTranspose: a, out.
+func vjpTranspose(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	a := r.a
+	m, n := a.Rows(), a.Cols()
+	ga := a.ensureGrad()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			ga[i*n+j] += g[j*m+i]
+		}
+	}
 }
 
 // Sum reduces all elements to a scalar tensor.
@@ -494,18 +703,21 @@ func Sum(tp *Tape, a *Tensor) *Tensor {
 		s += float64(v)
 	}
 	out.Data[0] = float32(s)
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		ga := a.ensureGrad()
-		gv := g[0]
-		for i := range ga {
-			ga[i] += gv
-		}
-	})
+	tp.record(opRecord{kind: opSum, a: a, out: out})
 	return out
+}
+
+// vjpSum: a, out.
+func vjpSum(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	ga := r.a.ensureGrad()
+	gv := g[0]
+	for i := range ga {
+		ga[i] += gv
+	}
 }
 
 // Mean reduces all elements to their scalar average.
@@ -523,61 +735,78 @@ func LayerNorm(tp *Tape, x, gamma, beta *Tensor, eps float32) *Tensor {
 		panic("tensor: LayerNorm gain/bias length mismatch")
 	}
 	out := tp.alloc(m, n)
-	// Scratch lives on the tape arena too: the backward closure needs the
-	// normalized activations and per-row scales, so they are step-lifetime.
-	xhat := tp.alloc(m, n).Data
-	invStd := tp.alloc(m).Data
-	ParallelWork(m, m*n*4, func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			xr := x.Row(i)
-			var mean float64
-			for _, v := range xr {
-				mean += float64(v)
-			}
-			mean /= float64(n)
-			var varc float64
-			for _, v := range xr {
-				d := float64(v) - mean
-				varc += d * d
-			}
-			varc /= float64(n)
-			is := float32(1 / math.Sqrt(varc+float64(eps)))
-			invStd[i] = is
-			for j, v := range xr {
-				h := (v - float32(mean)) * is
-				xhat[i*n+j] = h
-				out.Data[i*n+j] = gamma.Data[j]*h + beta.Data[j]
-			}
-		}
+	// Scratch lives on the tape arena too: the VJP needs the normalized
+	// activations and per-row scales, so they are step-lifetime.
+	xhat := tp.alloc(m, n)
+	invStd := tp.alloc(m)
+	ParallelKernel(m, m*n*4, kLayerNorm, KernelArgs{
+		S: [8][]float32{out.Data, x.Data, gamma.Data, beta.Data, xhat.Data, invStd.Data},
+		I: [6]int{n},
+		F: [6]float32{eps},
 	})
-	// The backward stays serial: gg/gb reduce across rows.
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		gx, gg, gb := x.ensureGrad(), gamma.ensureGrad(), beta.ensureGrad()
-		dh := make([]float32, n) // hoisted: one scratch row per backward, not per row
-		for i := 0; i < m; i++ {
-			gr := g[i*n : (i+1)*n]
-			hr := xhat[i*n : (i+1)*n]
-			// dxhat = g * gamma; accumulate gamma/beta grads.
-			var sumDh, sumDhH float32
-			for j, gv := range gr {
-				gg[j] += gv * hr[j]
-				gb[j] += gv
-				d := gv * gamma.Data[j]
-				dh[j] = d
-				sumDh += d
-				sumDhH += d * hr[j]
-			}
-			is := invStd[i]
-			nf := float32(n)
-			gxr := gx[i*n : (i+1)*n]
-			for j := range dh {
-				gxr[j] += (is / nf) * (nf*dh[j] - sumDh - hr[j]*sumDhH)
-			}
-		}
-	})
+	tp.record(opRecord{kind: opLayerNorm, a: x, b: gamma, c: beta, out: out, s1: xhat, s2: invStd})
 	return out
+}
+
+// kLayerNorm: S0=out, S1=x, S2=gamma, S3=beta, S4=xhat, S5=invStd; I0=n;
+// F0=eps. Partitioned over rows.
+func kLayerNorm(r0, r1 int, ka KernelArgs) {
+	out, x, gamma, beta, xhat, invStd := ka.S[0], ka.S[1], ka.S[2], ka.S[3], ka.S[4], ka.S[5]
+	n := ka.I[0]
+	eps := ka.F[0]
+	for i := r0; i < r1; i++ {
+		xr := x[i*n : (i+1)*n]
+		var mean float64
+		for _, v := range xr {
+			mean += float64(v)
+		}
+		mean /= float64(n)
+		var varc float64
+		for _, v := range xr {
+			d := float64(v) - mean
+			varc += d * d
+		}
+		varc /= float64(n)
+		is := float32(1 / math.Sqrt(varc+float64(eps)))
+		invStd[i] = is
+		for j, v := range xr {
+			h := (v - float32(mean)) * is
+			xhat[i*n+j] = h
+			out[i*n+j] = gamma[j]*h + beta[j]
+		}
+	}
+}
+
+// vjpLayerNorm: a=x, b=gamma, c=beta, out, s1=xhat, s2=invStd. The backward
+// stays serial: gg/gb reduce across rows.
+func vjpLayerNorm(tp *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	x, gamma := r.a, r.b
+	m, n := x.Rows(), x.Cols()
+	xhat, invStd := r.s1.Data, r.s2.Data
+	gx, gg, gb := x.ensureGrad(), gamma.ensureGrad(), r.c.ensureGrad()
+	dh := tp.alloc(n).Data // one scratch row per backward, not per row
+	for i := 0; i < m; i++ {
+		gr := g[i*n : (i+1)*n]
+		hr := xhat[i*n : (i+1)*n]
+		// dxhat = g * gamma; accumulate gamma/beta grads.
+		var sumDh, sumDhH float32
+		for j, gv := range gr {
+			gg[j] += gv * hr[j]
+			gb[j] += gv
+			d := gv * gamma.Data[j]
+			dh[j] = d
+			sumDh += d
+			sumDhH += d * hr[j]
+		}
+		is := invStd[i]
+		nf := float32(n)
+		gxr := gx[i*n : (i+1)*n]
+		for j := range dh {
+			gxr[j] += (is / nf) * (nf*dh[j] - sumDh - hr[j]*sumDhH)
+		}
+	}
 }

@@ -1,0 +1,66 @@
+package tensor
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolResizesWithGOMAXPROCS toggles GOMAXPROCS after the pool's first
+// use and checks that the worker pool follows: growth on the next dispatch,
+// best-effort shrink as idle workers retire, and correct results throughout
+// (the seed pool was sized once at first use and never adapted).
+func TestPoolResizesWithGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	sum := func(n int) int64 {
+		var s atomic.Int64
+		Parallel(n, func(start, end int) {
+			var local int64
+			for i := start; i < end; i++ {
+				local += int64(i)
+			}
+			s.Add(local)
+		})
+		return s.Load()
+	}
+	const n = 1 << 12
+	want := int64(n) * (n - 1) / 2
+
+	runtime.GOMAXPROCS(2)
+	if got := sum(n); got != want {
+		t.Fatalf("sum at GOMAXPROCS=2: got %d want %d", got, want)
+	}
+	if ps := int(poolSize.Load()); ps != 2 {
+		t.Fatalf("pool size %d after dispatch at GOMAXPROCS=2", ps)
+	}
+
+	runtime.GOMAXPROCS(4)
+	if got := sum(n); got != want {
+		t.Fatalf("sum at GOMAXPROCS=4: got %d want %d", got, want)
+	}
+	if ps := int(poolSize.Load()); ps != 4 {
+		t.Fatalf("pool did not grow to 4 workers, has %d", ps)
+	}
+
+	// Shrink is best-effort: a quit task is only handed to an idle worker,
+	// so allow a few dispatch rounds for the retirements to land.
+	runtime.GOMAXPROCS(2)
+	deadline := time.Now().Add(5 * time.Second)
+	for int(poolSize.Load()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool did not shrink to 2 workers, has %d", poolSize.Load())
+		}
+		if got := sum(n); got != want {
+			t.Fatalf("sum during shrink: got %d want %d", got, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The shrunken pool must still complete work correctly.
+	if got := sum(n); got != want {
+		t.Fatalf("sum after shrink: got %d want %d", got, want)
+	}
+}

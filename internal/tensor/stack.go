@@ -5,7 +5,9 @@ import "fmt"
 // StackRows gathers row `row` from each matrix in xs and stacks them into a
 // [len(xs), cols] tensor. Gradients scatter back into the source rows. This
 // is how sequence models reorganize per-timestep batches ([T] x [B,F]) into
-// per-sample sequences ([T,F]) for attention.
+// per-sample sequences ([T,F]) for attention. The xs slice itself is kept in
+// the op record, so it must not be mutated before Backward (sequence models
+// pass tape-pooled slices from Tape.Tensors, which share the step lifetime).
 func StackRows(tp *Tape, xs []*Tensor, row int) *Tensor {
 	if len(xs) == 0 {
 		panic("tensor: StackRows needs at least one tensor")
@@ -18,24 +20,30 @@ func StackRows(tp *Tape, xs []*Tensor, row int) *Tensor {
 		}
 		copy(out.Data[t*n:(t+1)*n], x.Row(row))
 	}
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		for t, x := range xs {
-			gx := x.ensureGrad()
-			gr := g[t*n : (t+1)*n]
-			dst := gx[row*n : (row+1)*n]
-			for j, gv := range gr {
-				dst[j] += gv
-			}
-		}
-	})
+	tp.record(opRecord{kind: opStackRows, out: out, ts: xs, i0: row})
 	return out
 }
 
-// ConcatRows stacks matrices with equal column counts vertically.
+// vjpStackRows: out, ts=xs, i0=row.
+func vjpStackRows(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	n := r.out.Cols()
+	row := r.i0
+	for t, x := range r.ts {
+		gx := x.ensureGrad()
+		gr := g[t*n : (t+1)*n]
+		dst := gx[row*n : (row+1)*n]
+		for j, gv := range gr {
+			dst[j] += gv
+		}
+	}
+}
+
+// ConcatRows stacks matrices with equal column counts vertically. The
+// variadic operand slice is kept in the op record (see StackRows).
 func ConcatRows(tp *Tape, xs ...*Tensor) *Tensor {
 	if len(xs) == 0 {
 		panic("tensor: ConcatRows needs at least one tensor")
@@ -54,19 +62,22 @@ func ConcatRows(tp *Tape, xs ...*Tensor) *Tensor {
 		copy(out.Data[off:], x.Data)
 		off += len(x.Data)
 	}
-	tp.record(func() {
-		g := out.Grad
-		if g == nil {
-			return
-		}
-		off := 0
-		for _, x := range xs {
-			gx := x.ensureGrad()
-			for i := range gx {
-				gx[i] += g[off+i]
-			}
-			off += len(gx)
-		}
-	})
+	tp.record(opRecord{kind: opConcatRows, out: out, ts: xs})
 	return out
+}
+
+// vjpConcatRows: out, ts=xs.
+func vjpConcatRows(_ *Tape, r *opRecord) {
+	g := r.out.Grad
+	if g == nil {
+		return
+	}
+	off := 0
+	for _, x := range r.ts {
+		gx := x.ensureGrad()
+		for i := range gx {
+			gx[i] += g[off+i]
+		}
+		off += len(gx)
+	}
 }

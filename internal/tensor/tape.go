@@ -1,32 +1,49 @@
 package tensor
 
-// Tape records the backward closures of differentiable operations in
-// execution order so they can be replayed in reverse to compute gradients.
+// Tape records differentiable operations in execution order as typed op
+// records (see records.go) so they can be replayed in reverse to compute
+// gradients through the static VJP table.
 //
 // A nil *Tape is valid everywhere an op takes one and means "inference mode":
-// the op computes its result without recording anything.
+// the op computes its result without recording anything and allocates fresh
+// output tensors. NewInferenceTape gives the pooled variant: it also records
+// nothing, but draws outputs from an arena so repeated inference passes
+// (evaluation, streaming representation generation) run allocation-free.
 //
 // A Tape is not safe for concurrent use. Data-parallel training (see
 // perfvec.Trainer) gives each gradient worker its own Tape over its own
 // shadow parameter tensors — parameters share Data but not Grad — and reuses
-// the tapes across steps via Reset, which retains the closure slice's
+// the tapes across steps via Reset, which retains the record slice's
 // capacity. Ops recorded on one tape may still parallelize internally: the
 // kernels in matmul.go and the elementwise loops in ops.go split their own
 // work across the worker pool in parallel.go.
 type Tape struct {
-	ops   []func()
+	recs  []opRecord
 	arena *Arena
+	// infer marks an inference tape: arena allocation without recording.
+	infer bool
+	// recGrows counts record-slice capacity growths — the record analogue of
+	// the arena's miss counter. Steady-state training must stop growing after
+	// the warm-up step; the regression tests assert it.
+	recGrows int
 }
 
-// NewTape returns an empty tape. Op outputs are freshly allocated; use
-// NewTapeArena for the pooled variant the training hot path runs on.
+// NewTape returns an empty recording tape. Op outputs are freshly allocated;
+// use NewTapeArena for the pooled variant the training hot path runs on.
 func NewTape() *Tape { return &Tape{} }
 
-// NewTapeArena returns a tape backed by its own Arena: every op output,
-// gradient buffer, and scratch tensor recorded through the tape is pooled,
-// and Reset recycles them all. Tensors produced on such a tape are only valid
-// until the next Reset (see Arena).
+// NewTapeArena returns a recording tape backed by its own Arena: every op
+// output, gradient buffer, and scratch tensor recorded through the tape is
+// pooled, and Reset recycles them all. Tensors produced on such a tape are
+// only valid until the next Reset (see Arena) — and so are its records,
+// which reference them.
 func NewTapeArena() *Tape { return &Tape{arena: NewArena()} }
+
+// NewInferenceTape returns an arena-backed tape that records nothing: ops
+// run in inference mode but draw their outputs (and internal scratch) from
+// the pool, so a steady-state evaluation loop that Resets between batches
+// performs zero allocations. Backward panics on an inference tape.
+func NewInferenceTape() *Tape { return &Tape{arena: NewArena(), infer: true} }
 
 // Arena returns the tape's arena, or nil for a plain tape.
 func (tp *Tape) Arena() *Arena {
@@ -52,11 +69,29 @@ func (tp *Tape) alloc(shape ...int) *Tensor {
 // rebuilt every step and must not survive the tape's Reset.
 func Zeros(tp *Tape, shape ...int) *Tensor { return tp.alloc(shape...) }
 
-// record appends a backward closure; no-op on a nil tape.
-func (tp *Tape) record(fn func()) {
-	if tp != nil {
-		tp.ops = append(tp.ops, fn)
+// Tensors returns a step-lifetime []*Tensor of length n, pooled through tp's
+// arena when it has one (recycled — zeroed — by Reset, like every arena
+// tensor) and freshly allocated otherwise. Sequence models use it for their
+// per-timestep tensor lists, which were the last per-step slice allocations
+// in the training hot path.
+func (tp *Tape) Tensors(n int) []*Tensor {
+	if tp == nil || tp.arena == nil {
+		return make([]*Tensor, n)
 	}
+	return tp.arena.Tensors(n)
+}
+
+// record appends an op record; no-op on a nil or inference tape. The record
+// slice's capacity is retained across Reset, so steady-state recording
+// allocates nothing (recGrows tracks warm-up growths).
+func (tp *Tape) record(r opRecord) {
+	if tp == nil || tp.infer {
+		return
+	}
+	if len(tp.recs) == cap(tp.recs) {
+		tp.recGrows++
+	}
+	tp.recs = append(tp.recs, r)
 }
 
 // Len returns the number of recorded operations.
@@ -64,29 +99,47 @@ func (tp *Tape) Len() int {
 	if tp == nil {
 		return 0
 	}
-	return len(tp.ops)
+	return len(tp.recs)
 }
 
-// Reset clears the tape for reuse, retaining the closure slice's capacity and
-// recycling all arena tensors handed out since the previous Reset.
+// RecordStats reports the current record count and the number of times the
+// record slice has grown since the tape was built — the record-storage
+// analogue of Arena.Stats. A steady-state training loop must stop growing
+// after its first step.
+func (tp *Tape) RecordStats() (records, grows int) {
+	if tp == nil {
+		return 0, 0
+	}
+	return len(tp.recs), tp.recGrows
+}
+
+// Reset clears the tape for reuse: records are dropped (their tensor refs
+// zeroed, capacity retained) and all arena tensors handed out since the
+// previous Reset are recycled. Records must not outlive Reset — they
+// reference step-lifetime tensors.
 func (tp *Tape) Reset() {
-	clear(tp.ops)
-	tp.ops = tp.ops[:0]
+	clear(tp.recs)
+	tp.recs = tp.recs[:0]
 	if tp.arena != nil {
 		tp.arena.Reset()
 	}
 }
 
-// Backward seeds d(loss)/d(loss) = 1 and runs all recorded closures in
-// reverse, accumulating gradients into every tensor that participated.
-// loss must be a scalar (single-element) tensor produced on this tape.
+// Backward seeds d(loss)/d(loss) = 1 and replays all recorded ops in
+// reverse through the VJP table, accumulating gradients into every tensor
+// that participated. loss must be a scalar (single-element) tensor produced
+// on this tape.
 func (tp *Tape) Backward(loss *Tensor) {
+	if tp.infer {
+		panic("tensor: Backward on an inference tape (nothing recorded)")
+	}
 	if len(loss.Data) != 1 {
 		panic("tensor: Backward requires a scalar loss")
 	}
 	g := loss.ensureGrad()
 	g[0] = 1
-	for i := len(tp.ops) - 1; i >= 0; i-- {
-		tp.ops[i]()
+	for i := len(tp.recs) - 1; i >= 0; i-- {
+		r := &tp.recs[i]
+		vjpTable[r.kind](tp, r)
 	}
 }

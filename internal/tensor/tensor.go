@@ -34,12 +34,21 @@ type Tensor struct {
 	gradBuf []float32
 }
 
+// badShape formats the panic message for an invalid shape. It deliberately
+// takes a fresh copy of the shape (see callers): formatting the caller's
+// variadic slice directly would make every shape slice escape to the heap,
+// and the `shape ...int` arguments of New/Arena.Get are on the
+// allocation-free hot path — they must stay stack-allocated.
+func badShape(dim int, shape []int) string {
+	return fmt.Sprintf("tensor: invalid dimension %d in shape %v", dim, shape)
+}
+
 // New returns a zero tensor with the given shape.
 func New(shape ...int) *Tensor {
 	n := 1
 	for _, s := range shape {
 		if s <= 0 {
-			panic(fmt.Sprintf("tensor: invalid dimension %d in shape %v", s, shape))
+			panic(badShape(s, append([]int(nil), shape...)))
 		}
 		n *= s
 	}
