@@ -1,14 +1,17 @@
 // Command perfvec-bench runs the repo's tracked micro-benchmarks
 // (BenchmarkMatMul, BenchmarkBatch, BenchmarkTrainStep) through
 // testing.Benchmark and writes the results as JSON, so the performance
-// trajectory of the training hot path is recorded across PRs (BENCH_4.json
+// trajectory of the training hot path is recorded across PRs (BENCH_5.json
 // is this PR's snapshot). With -budget it also enforces a checked-in
-// allocation budget: CI fails when a change makes the training step allocate
-// more than the recorded bound.
+// allocation budget: CI fails when a change makes the training step or the
+// GEMM backend allocate more than the recorded bound. With -tape-histogram
+// it instead runs one serial training step and prints the op-record kind
+// histogram of its tape — the record-tape profiling hook for inspecting the
+// step graph's op mix.
 //
 // Usage:
 //
-//	perfvec-bench [-o BENCH_4.json] [-budget bench_budget.json]
+//	perfvec-bench [-o BENCH_5.json] [-budget bench_budget.json] [-tape-histogram]
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -65,15 +69,32 @@ var closureTapeTrainStep = result{
 	AllocsPerOp: 312,
 }
 
+// unpackedMatMul is BenchmarkMatMul measured on the PR 4 tree (unpacked
+// 4x4-tile kernels, saxpy/dot assembly) at GOMAXPROCS=1 on the same box as
+// BENCH_5.json: the reference the packed BLIS-style engine is judged
+// against (the acceptance bar is >= 1.8x).
+var unpackedMatMul = result{
+	Iterations:  1562,
+	NsPerOp:     1454473,
+	BytesPerOp:  262256,
+	AllocsPerOp: 3,
+}
+
 // budget is the schema of bench_budget.json: per-benchmark ceilings.
 type budget map[string]struct {
 	MaxAllocsPerOp int64 `json:"max_allocs_per_op"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_4.json", "output JSON path (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_5.json", "output JSON path (\"-\" for stdout)")
 	budgetPath := flag.String("budget", "", "allocation budget JSON to enforce (exit 1 on regression)")
+	tapeHist := flag.Bool("tape-histogram", false, "print the op-record kind histogram of one training step and exit")
 	flag.Parse()
+
+	if *tapeHist {
+		printTapeHistogram()
+		return
+	}
 
 	benches := []struct {
 		name string
@@ -91,6 +112,7 @@ func main() {
 		Baseline: map[string]result{
 			"TrainStep_preArena":    preArenaTrainStep,
 			"TrainStep_closureTape": closureTapeTrainStep,
+			"MatMul_unpacked":       unpackedMatMul,
 		},
 	}
 	for _, b := range benches {
@@ -151,4 +173,27 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// printTapeHistogram runs one serial training step at benchmark scale and
+// prints its tape's op-kind histogram, most frequent first (ties by name),
+// with the record total last.
+func printTapeHistogram() {
+	hist := benchsuite.TrainStepHistogram()
+	names := make([]string, 0, len(hist))
+	for name := range hist {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if hist[names[i]] != hist[names[j]] {
+			return hist[names[i]] > hist[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	total := 0
+	for _, name := range names {
+		fmt.Printf("%-20s %6d\n", name, hist[name])
+		total += hist[name]
+	}
+	fmt.Printf("%-20s %6d\n", "total records", total)
 }

@@ -14,15 +14,44 @@
 //
 //	go build ./... && go test ./...
 //
-// The numeric substrate (internal/tensor) is a blocked, worker-pooled GEMM
-// engine: cache-tiled, register-blocked kernels for all three transpose
-// variants, with AVX2+FMA assembly micro-kernels on amd64 (runtime-detected,
-// portable Go fallback elsewhere), leading-dimension-parameterized so fused
-// ops (MatMulBTCat for recurrent cells, MatMulBTCols for attention heads)
-// run on column sub-views without copies. Data-parallel ops dispatch to a
-// persistent worker pool sized to GOMAXPROCS, and perfvec.Trainer shards
-// minibatches across gradient workers with deterministic reduction, so both
-// the kernel layer and the training loop scale with cores.
+// The numeric substrate (internal/tensor) is a packed, cache-blocked,
+// worker-pooled GEMM engine in the BLIS style. All three transpose variants
+// (NN, NT, TN) route through one packed kernel and differ only in pack
+// orientation:
+//
+//   - Packing layout: A is packed into MR-row strips (layout
+//     aPack[strip*MR*kc + l*MR + r], rows past m zero-filled), B into
+//     NR-column strips (bPack[strip*NR*kc + l*NR + c], columns past n
+//     zero-filled), so the micro-kernel streams purely contiguous panels.
+//   - Blocking parameters: KC-deep reduction blocks (a packed KC x NR B
+//     strip is half an L1d, and the C tile round-trips memory once per KC
+//     block), MC-tall row blocks (a packed MC x KC A block sits in L2), and
+//     NC-wide column panels bounding each worker's packed-B working set.
+//     Workers partition the output's NR-column strips (or its MR-row
+//     strips, when the columns cannot feed every worker and the rows can)
+//     and share the packed A block read-only; column-partitioned workers
+//     pack the B panels for their own column range.
+//   - Micro-kernel contract: gemmMicro6x16 (gemm_amd64.s) loads the 6x16 C
+//     tile into twelve YMM accumulators, performs kc fused-multiply-add
+//     steps (two B vectors, six A broadcasts each) with software prefetch
+//     of the upcoming panels, and stores the tile back once — per element a
+//     pure FMA chain in ascending k order. The portable kernel
+//     (gemm_generic.go) applies the identical per-element operation using
+//     an exactly emulated single-rounding FMA (round-to-odd fix for the
+//     float64 double rounding), so assembly and portable results are
+//     bitwise identical, as are serial and parallel runs at any worker
+//     count.
+//   - Packed-buffer lifetime: pack panels come from a free-list pool
+//     (packPool) and are owned by the engine only within a single GEMM
+//     call — returned before the call completes, never retained — so the
+//     hot path stays zero-alloc without pinning panel memory.
+//
+// Kernels are leading-dimension-parameterized so fused ops (MatMulBTCat for
+// recurrent cells, MatMulBTCols for attention heads) run on column
+// sub-views without copies. Data-parallel ops dispatch to a persistent
+// worker pool sized to GOMAXPROCS, and perfvec.Trainer shards minibatches
+// across gradient workers with deterministic reduction, so both the kernel
+// layer and the training loop scale with cores.
 //
 // Autodiff runs on a typed op-record tape: each differentiable op appends a
 // fixed-size opRecord (op-kind enum, operand/output/saved-activation tensor
@@ -54,11 +83,17 @@
 // a loss curve or a serialized model. The trainer's validation loss and its
 // shard-gradient reduction both parallelize across the worker pool with
 // bitwise-invariant results (element ranges outer, fixed worker order
-// inner), minibatch shards go to persistent per-worker goroutines, and the
-// worker pool resizes when GOMAXPROCS changes after first use.
-// cmd/perfvec-bench records MatMul/Batch/TrainStep in BENCH_N.json, and CI
-// fails any change whose training step exceeds the allocation budget in
-// bench_budget.json (10 allocs/op; the steady-state step measures 0).
+// inner, reduced through the typed kGradReduce kernel in worker-slot
+// groups), minibatch shards go to persistent per-worker goroutines, and the
+// worker pool resizes when GOMAXPROCS changes after first use. Inference
+// pools the same way: Foundation.InstructionReps borrows pooled inference
+// tapes per encode chunk and WindowsFor draws window tensors through them.
+// cmd/perfvec-bench records MatMul/Batch/TrainStep in BENCH_N.json (with
+// -tape-histogram printing one step's op-record kind histogram for graph
+// profiling), and CI fails any change whose training step or GEMM exceeds
+// the allocation budgets in bench_budget.json (TrainStep 10 allocs/op — the
+// steady-state step measures 0 — and MatMul 4, the pooled engine measures
+// 3, all in the output tensor).
 //
 // The data path is streaming end to end: emu.Stepper executes programs one
 // pulled instruction at a time (trace.Stream), features.StreamExtractor

@@ -78,6 +78,27 @@ func Batch(b *testing.B) {
 	}
 }
 
+// TrainStepHistogram runs one serial training step of the default model on
+// the synthetic benchmark dataset and returns the op-record kind histogram
+// of its tape: the op mix of the step's autodiff graph, exposed by
+// cmd/perfvec-bench -tape-histogram for profiling graph shape at paper
+// scale. The step is forced serial (GradWorkers=1) so a single tape records
+// the whole minibatch graph.
+func TrainStepHistogram() map[string]int {
+	cfg := perfvec.DefaultConfig()
+	cfg.Epochs = 1
+	cfg.GradWorkers = 1
+	d := syntheticDataset(4096, cfg)
+	tr := perfvec.NewTrainer(perfvec.NewFoundation(cfg), 8)
+	opt := nn.NewAdam(cfg.LR)
+	batch := make([]int, cfg.BatchSize)
+	for i := range batch {
+		batch[i] = i
+	}
+	tr.Step(d, batch, opt)
+	return tr.TapeHistogram()
+}
+
 // TrainStep measures one reuse-form training step (batch assembly, forward,
 // backward, optimizer) of the default LSTM-2-32 model on a 256-sample
 // minibatch — the hot loop of the whole reproduction. Two warm-up steps run

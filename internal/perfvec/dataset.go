@@ -243,15 +243,18 @@ func (d *Dataset) fillWindows(xs []*tensor.Tensor, targets *tensor.Tensor, ids [
 
 // WindowsFor materializes input windows for instructions [from, to) of a
 // single program — used for representation generation at inference time.
-// An empty range (from >= to) returns nil.
-func WindowsFor(p *ProgramData, from, to, window int) []*tensor.Tensor {
+// An empty range (from >= to) returns nil. The window tensors and the
+// []*Tensor list itself are drawn through tp (arena-pooled on arena tapes,
+// like Dataset.Batch's windows; step-lifetime — valid only until tp's next
+// Reset); a nil tp allocates fresh.
+func WindowsFor(tp *tensor.Tape, p *ProgramData, from, to, window int) []*tensor.Tensor {
 	bsz := to - from
 	if bsz <= 0 {
 		return nil
 	}
-	xs := make([]*tensor.Tensor, window)
+	xs := tp.Tensors(window)
 	for t := range xs {
-		xs[t] = tensor.New(bsz, p.FeatDim)
+		xs[t] = tensor.Zeros(tp, bsz, p.FeatDim)
 	}
 	for b := 0; b < bsz; b++ {
 		i := from + b

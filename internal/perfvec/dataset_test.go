@@ -91,12 +91,12 @@ func TestSubsampleDeterminism(t *testing.T) {
 func TestWindowsForBoundaries(t *testing.T) {
 	p := synthProgram("p", 6, 3, 1)
 	// Empty range: no windows, no panic.
-	if xs := WindowsFor(p, 3, 3, 4); xs != nil {
+	if xs := WindowsFor(nil, p, 3, 3, 4); xs != nil {
 		t.Fatalf("from==to returned %d tensors, want nil", len(xs))
 	}
 	// Window longer than the whole trace: early slots are zero padding.
 	window := p.N + 4
-	xs := WindowsFor(p, 0, p.N, window)
+	xs := WindowsFor(nil, p, 0, p.N, window)
 	for b := 0; b < p.N; b++ {
 		for tt := 0; tt < window; tt++ {
 			src := b - (window - 1) + tt
@@ -113,7 +113,7 @@ func TestWindowsForBoundaries(t *testing.T) {
 		}
 	}
 	// Window ending exactly at the trace's last instruction.
-	last := WindowsFor(p, p.N-1, p.N, 2)
+	last := WindowsFor(nil, p, p.N-1, p.N, 2)
 	if got, want := last[1].Row(0)[0], p.Features[(p.N-1)*p.FeatDim]; got != want {
 		t.Fatalf("final-instruction slot = %v, want %v", got, want)
 	}

@@ -19,6 +19,12 @@ type Foundation struct {
 	Cfg     Config
 	Encoder nn.SeqEncoder
 	Head    *nn.Linear
+
+	// repTapes pools the inference tapes InstructionReps' encode chunks
+	// borrow across calls, so steady-state representation generation
+	// (analysis, fine-tuning, eval) stops allocating window slices and
+	// activations per chunk; see tapePool.
+	repTapes tapePool
 }
 
 // NewFoundation builds a randomly initialized foundation model.
@@ -75,11 +81,18 @@ func (f *Foundation) InstructionReps(p *ProgramData) *tensor.Tensor {
 	const chunk = streamChunk
 	nChunks := (p.N + chunk - 1) / chunk
 	tensor.Parallel(nChunks, func(c0, c1 int) {
+		// Each chunk range runs on a pooled inference tape: windows,
+		// activations, and the per-timestep window list come out of its
+		// arena, and Reset recycles them between chunks, so steady-state
+		// representation generation allocates only the output matrix.
+		tp := f.repTapes.get()
+		defer f.repTapes.put(tp)
 		for c := c0; c < c1; c++ {
+			tp.Reset()
 			from := c * chunk
 			to := min(from+chunk, p.N)
-			xs := WindowsFor(p, from, to, f.Cfg.Window)
-			reps := f.Forward(nil, xs)
+			xs := WindowsFor(tp, p, from, to, f.Cfg.Window)
+			reps := f.Forward(tp, xs)
 			copy(out.Data[from*f.Cfg.RepDim:to*f.Cfg.RepDim], reps.Data)
 		}
 	})

@@ -203,7 +203,7 @@ func TestInstructionRepsParallelMatchesSerial(t *testing.T) {
 	p := pds[0]
 	par := model.InstructionReps(p)
 	// Serial reference via WindowsFor over the whole program.
-	xs := WindowsFor(p, 0, p.N, model.Cfg.Window)
+	xs := WindowsFor(nil, p, 0, p.N, model.Cfg.Window)
 	ser := model.Forward(nil, xs)
 	for i := range par.Data {
 		if math.Abs(float64(par.Data[i]-ser.Data[i])) > 1e-5 {

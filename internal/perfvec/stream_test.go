@@ -108,7 +108,7 @@ func TestWindowStreamMatchesWindowsFor(t *testing.T) {
 			if n == 0 {
 				break
 			}
-			want := WindowsFor(p, pos, pos+n, window)
+			want := WindowsFor(nil, p, pos, pos+n, window)
 			for tt := range xs {
 				for i, v := range want[tt].Data {
 					if xs[tt].Data[i] != v {
@@ -153,7 +153,7 @@ func TestWindowStreamShrinkingMaxB(t *testing.T) {
 		if got := xs[0].Rows(); got != n {
 			t.Fatalf("maxB=%d: batch tensors have %d rows, want n=%d", maxB, got, n)
 		}
-		want := WindowsFor(p, pos, pos+n, window)
+		want := WindowsFor(nil, p, pos, pos+n, window)
 		for tt := range xs {
 			for i, v := range want[tt].Data {
 				if xs[tt].Data[i] != v {

@@ -35,13 +35,49 @@ type Trainer struct {
 	params_ []*tensor.Tensor // cached master parameter list
 	stepWG  sync.WaitGroup   // reused across sharded steps (no per-step alloc)
 
-	// evalTapes is a free list of inference tapes (arena-backed,
-	// non-recording) reused by Loss's eval shards across calls, so
-	// steady-state evaluation stops allocating activations. The free list
-	// is mutex-guarded, so concurrent Loss calls stay safe (each borrowed
-	// tape is used by exactly one shard goroutine at a time).
-	evalMu    sync.Mutex
-	evalTapes []*tensor.Tape
+	// evalTapes pools the inference tapes Loss's eval shards borrow, so
+	// steady-state evaluation stops allocating activations; see tapePool.
+	evalTapes tapePool
+}
+
+// tapePool is a mutex-guarded free list of arena-backed, non-recording
+// inference tapes, shared by the evaluation path (Trainer.Loss) and the
+// representation path (Foundation.InstructionReps). Concurrent borrowers
+// are safe: each borrowed tape is confined to one goroutine until put back.
+type tapePool struct {
+	mu    sync.Mutex
+	tapes []*tensor.Tape
+}
+
+// get pops a pooled inference tape, building one on first use.
+func (p *tapePool) get() *tensor.Tape {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.tapes); n > 0 {
+		tp := p.tapes[n-1]
+		p.tapes = p.tapes[:n-1]
+		return tp
+	}
+	return tensor.NewInferenceTape()
+}
+
+func (p *tapePool) put(tp *tensor.Tape) {
+	p.mu.Lock()
+	p.tapes = append(p.tapes, tp)
+	p.mu.Unlock()
+}
+
+// misses sums the arena misses of every pooled tape — the regression
+// counter the steady-state allocation tests watch.
+func (p *tapePool) misses() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, tp := range p.tapes {
+		_, m := tp.Arena().Stats()
+		total += m
+	}
+	return total
 }
 
 // shardJob is one minibatch shard handed to a gradWorker's persistent
@@ -227,6 +263,16 @@ func (t *Trainer) Step(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 	return t.stepReuse(d, batch, opt)
 }
 
+// TapeHistogram reports the op-record kind histogram of the most recent
+// serial training step (the step's tape is only cleared at the start of the
+// next step, so the graph of the last one is still recorded). Empty before
+// the first serial step — including when steps shard across gradient
+// workers, whose tapes record only their own shard's graph. This is the
+// record-tape profiling hook surfaced by cmd/perfvec-bench -tape-histogram.
+func (t *Trainer) TapeHistogram() map[string]int {
+	return t.tape.OpHistogram()
+}
+
 // stepReuse is the efficient training step of §IV-B: one encoder forward
 // pass produces R_i, which is reused to predict the incremental latency on
 // all K microarchitectures simultaneously via a single matrix product. With
@@ -276,51 +322,67 @@ func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 	}
 	t.stepWG.Wait()
 
-	// Reduce shard gradients into the master parameters: element ranges
-	// split across the worker pool (outer), workers iterated in fixed order
-	// per range (inner), so every element accumulates w0, w1, ... exactly
-	// like the serial worker-order reduction — bitwise identical, but the
-	// ranges run concurrently. Each range also zeroes the worker gradients
-	// it has consumed.
+	// Reduce shard gradients into the master parameters, one parameter at a
+	// time, through the typed reduction kernel: element ranges split across
+	// the worker pool (outer), gradient slots iterated in fixed order per
+	// range (inner), so every element accumulates w0, w1, ... exactly like
+	// the serial worker-order reduction — bitwise identical, but the ranges
+	// run concurrently. Each range also zeroes the worker gradients it has
+	// consumed. A KernelArgs block carries the master plus up to seven
+	// worker gradients, so a parameter with more shard gradients than slots
+	// reduces in consecutive slot groups, ascending worker order preserved
+	// across groups. Unlike the previous per-parameter reduction closures,
+	// dispatching the kernel allocates nothing (see tensor.ParallelKernel),
+	// which is what keeps the multi-worker step as allocation-free as the
+	// serial one.
 	master := t.params()
 	var total float64
 	for wi := 0; wi < nW; wi++ {
 		total += workers[wi].loss
 	}
-	// nRed is never reassigned, so the reduction closure captures it by
-	// value; capturing nW (reassigned above) would heap-box it on every
-	// step, including the serial path that never reaches this loop.
-	nRed := nW
 	for pi, p := range master {
-		touched := false
-		for wi := 0; wi < nRed; wi++ {
-			if workers[wi].params[pi].Grad != nil {
-				touched = true
-				break
-			}
-		}
-		if !touched {
-			continue
-		}
-		g := p.EnsureGrad()
-		tensor.ParallelWork(len(g), len(g)*(nRed+1), func(s, e int) {
-			for wi := 0; wi < nRed; wi++ {
-				wgrad := workers[wi].params[pi].Grad
-				if wgrad == nil {
-					continue
+		var g []float32 // EnsureGrad only for parameters a shard touched
+		for wi := 0; wi < nW; {
+			var ka tensor.KernelArgs
+			slots := 0
+			for ; wi < nW && slots < len(ka.S)-1; wi++ {
+				if wgrad := workers[wi].params[pi].Grad; wgrad != nil {
+					ka.S[1+slots] = wgrad
+					slots++
 				}
-				for i := s; i < e; i++ {
-					g[i] += wgrad[i]
-				}
-				clear(wgrad[s:e])
 			}
-		})
+			if slots == 0 {
+				continue
+			}
+			if g == nil {
+				g = p.EnsureGrad()
+			}
+			ka.S[0] = g
+			ka.I[0] = slots
+			tensor.ParallelKernel(len(g), len(g)*(slots+1), kGradReduce, ka)
+		}
 	}
 	if cfg.ClipNorm > 0 {
 		nn.ClipGradients(master, cfg.ClipNorm)
 	}
 	opt.Step(master)
 	return total
+}
+
+// kGradReduce is the typed gradient-reduction kernel of stepReuse: S0 is the
+// master gradient, S1..S[I0] one slot group of worker gradients, accumulated
+// into the master in ascending slot order and zeroed as they are consumed.
+// Per-element updates are independent across the partitioned range, so
+// chunked execution is bitwise-deterministic at any pool size.
+func kGradReduce(s, e int, ka tensor.KernelArgs) {
+	g := ka.S[0]
+	for w := 1; w <= ka.I[0]; w++ {
+		wgrad := ka.S[w]
+		for i := s; i < e; i++ {
+			g[i] += wgrad[i]
+		}
+		clear(wgrad[s:e])
+	}
 }
 
 // stepNaive predicts one microarchitecture per step: the slow baseline whose
@@ -344,28 +406,6 @@ func (t *Trainer) stepNaive(d *Dataset, batch []int, opt nn.Optimizer, rng *rand
 	return float64(loss.Data[0])
 }
 
-// evalTape pops a pooled inference tape (arena-backed, non-recording) for an
-// eval shard, building one on first use; putEvalTape returns it. Tapes
-// persist on the Trainer across Loss calls, so after the first evaluation
-// every shard's activations, window tensors, and slice slabs come out of a
-// pool and steady-state evaluation allocates nothing.
-func (t *Trainer) evalTape() *tensor.Tape {
-	t.evalMu.Lock()
-	defer t.evalMu.Unlock()
-	if n := len(t.evalTapes); n > 0 {
-		tp := t.evalTapes[n-1]
-		t.evalTapes = t.evalTapes[:n-1]
-		return tp
-	}
-	return tensor.NewInferenceTape()
-}
-
-func (t *Trainer) putEvalTape(tp *tensor.Tape) {
-	t.evalMu.Lock()
-	t.evalTapes = append(t.evalTapes, tp)
-	t.evalMu.Unlock()
-}
-
 // Loss evaluates the (reuse-form) MSE over the given sample ids without
 // updating parameters. Evaluation batches are sharded across the tensor
 // worker pool — the model is read-only during inference, every shard
@@ -386,8 +426,8 @@ func (t *Trainer) Loss(d *Dataset, ids []int) float64 {
 	// concurrent goroutines, at the cost of one small slice per call.
 	losses := make([]float64, nChunks)
 	tensor.Parallel(nChunks, func(c0, c1 int) {
-		tp := t.evalTape()
-		defer t.putEvalTape(tp)
+		tp := t.evalTapes.get()
+		defer t.evalTapes.put(tp)
 		for c := c0; c < c1; c++ {
 			tp.Reset()
 			from := c * evalBatch

@@ -2,40 +2,25 @@
 
 package tensor
 
-// useFMA routes the GEMM panel kernels through the AVX2+FMA assembly
-// micro-kernels in gemm_amd64.s when the CPU and OS support 256-bit vector
-// state. The portable register-blocked Go kernels remain as the fallback (and
-// as the reference the tests compare against).
+// useFMA routes the packed engine's micro-kernel dispatch (gemmMicro in
+// matmul.go) through the AVX2+FMA assembly kernel in gemm_amd64.s when the
+// CPU and OS support 256-bit vector state. The portable kernel in
+// gemm_generic.go remains as the fallback; its emulated fused multiply-add
+// makes it bitwise identical to the assembly path, so tests exercise both
+// and compare them exactly.
 var useFMA = cpuHasAVX2FMA()
 
 // cpuHasAVX2FMA reports whether the processor supports AVX2 and FMA3 and the
 // OS preserves YMM state across context switches (OSXSAVE + XGETBV).
 func cpuHasAVX2FMA() bool
 
-// fmaSaxpy4 computes d_r[j] = fma(a_r, b[j], d_r[j]) for r in 0..3 and
-// j in [0,n): four simultaneous scaled-row accumulations sharing one load of
-// b. The vector body and the scalar tail both use fused multiply-adds, so
-// every element sees the identical operation regardless of its lane.
+// gemmMicro6x16 accumulates one 6x16 output tile held register-resident
+// across the whole k-loop: twelve YMM accumulators are loaded from c (row
+// stride ldc floats), receive kc fused multiply-add steps from the packed
+// panels — a supplies 6 broadcast values per step (layout a[l*6+r]), b two
+// 8-wide vectors (layout b[l*16+v]) — and are stored back once. The next
+// panel data is software-prefetched inside the loop. kc must be >= 0; c, a,
+// and b must cover the full tile, 6*kc, and 16*kc floats respectively.
 //
 //go:noescape
-func fmaSaxpy4(d0, d1, d2, d3, b *float32, a0, a1, a2, a3 float32, n int)
-
-// fmaSaxpy1 is the single-row form of fmaSaxpy4, used for row remainders so
-// that a row's arithmetic does not depend on whether it fell into a 4-row
-// tile (which is what keeps parallel and serial results bitwise identical).
-//
-//go:noescape
-func fmaSaxpy1(d, b *float32, a float32, n int)
-
-// fmaDot4 computes out[r] = a . b_r for r in 0..3, sharing one load of a
-// across four dot products. Each dot accumulates eight vector lanes over the
-// main body, a scalar-lane tail, and a fixed horizontal-reduction tree.
-//
-//go:noescape
-func fmaDot4(a, b0, b1, b2, b3 *float32, k int, out *float32)
-
-// fmaDot1 is the single-dot form of fmaDot4 with the identical accumulation
-// structure, used for b-row remainders.
-//
-//go:noescape
-func fmaDot1(a, b *float32, k int) float32
+func gemmMicro6x16(c, a, b *float32, kc, ldc int)

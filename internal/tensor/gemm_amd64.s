@@ -1,11 +1,14 @@
-// AVX2+FMA micro-kernels for the blocked GEMM engine (see matmul.go).
+// AVX2+FMA micro-kernel for the packed GEMM engine (see matmul.go).
 //
-// Every kernel keeps one accumulation discipline: 8-wide vector lanes over
-// the main body, a scalar tail using the same fused multiply-add operation,
-// and (for the dot kernels) a fixed horizontal-reduction tree. A given
-// element's arithmetic therefore depends only on its position within the
-// panel, never on tile grouping, which is what lets parallel and serial GEMM
-// runs produce bitwise-identical results.
+// gemmMicro6x16 keeps a full 6x16 accumulator tile register-resident across
+// the entire k-loop: twelve YMM accumulators (six rows x two 8-lane
+// vectors), two registers for the packed-B vectors of the current k-step,
+// and two rotating registers for the packed-A broadcasts — all sixteen YMM
+// names. C is loaded once before the loop and stored once after
+// it, so per element the arithmetic is a pure chain of fused multiply-adds
+// in ascending k order. The portable kernel in gemm_generic.go applies the
+// identical operation per element (emulated single-rounding FMA), so the
+// two paths agree bitwise.
 
 #include "textflag.h"
 
@@ -37,235 +40,92 @@ no:
 	MOVB $0, ret+0(FP)
 	RET
 
-// func fmaSaxpy4(d0, d1, d2, d3, b *float32, a0, a1, a2, a3 float32, n int)
-// d_r[j] = fma(a_r, b[j], d_r[j]) for r in 0..3, j in [0,n).
-TEXT ·fmaSaxpy4(SB), NOSPLIT, $0-64
-	MOVQ         d0+0(FP), DI
-	MOVQ         d1+8(FP), SI
-	MOVQ         d2+16(FP), DX
-	MOVQ         d3+24(FP), CX
-	MOVQ         b+32(FP), BX
-	VBROADCASTSS a0+40(FP), Y0
-	VBROADCASTSS a1+44(FP), Y1
-	VBROADCASTSS a2+48(FP), Y2
-	VBROADCASTSS a3+52(FP), Y3
-	MOVQ         n+56(FP), AX
+// func gemmMicro6x16(c, a, b *float32, kc, ldc int)
+//
+// C tile rows r at c + r*ldc*4, 16 floats each (two YMM); packed A strip
+// a[l*6+r]; packed B strip b[l*16+v]. Accumulators:
+//
+//	row 0: Y4  Y5     row 3: Y10 Y11
+//	row 1: Y6  Y7     row 4: Y12 Y13
+//	row 2: Y8  Y9     row 5: Y14 Y15
+//
+// Y0/Y1 hold the B vectors of the current k-step, Y2/Y3 rotate through the
+// six A broadcasts (two in flight keeps the broadcast off the FMA critical
+// path).
+TEXT ·gemmMicro6x16(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ kc+24(FP), CX
+	MOVQ ldc+32(FP), DX
+	SHLQ $2, DX                 // row stride in bytes
 
-saxpy4vec:
-	CMPQ        AX, $8
-	JL          saxpy4tail
-	VMOVUPS     (BX), Y4
-	VMOVUPS     (DI), Y5
-	VFMADD231PS Y4, Y0, Y5
-	VMOVUPS     Y5, (DI)
-	VMOVUPS     (SI), Y5
-	VFMADD231PS Y4, Y1, Y5
-	VMOVUPS     Y5, (SI)
-	VMOVUPS     (DX), Y5
-	VFMADD231PS Y4, Y2, Y5
-	VMOVUPS     Y5, (DX)
-	VMOVUPS     (CX), Y5
-	VFMADD231PS Y4, Y3, Y5
-	VMOVUPS     Y5, (CX)
-	ADDQ        $32, BX
-	ADDQ        $32, DI
-	ADDQ        $32, SI
-	ADDQ        $32, DX
-	ADDQ        $32, CX
-	SUBQ        $8, AX
-	JMP         saxpy4vec
+	// Row pointers R8..R13 = c + {0..5}*ldc.
+	MOVQ DI, R8
+	LEAQ (DI)(DX*1), R9
+	LEAQ (R9)(DX*1), R10
+	LEAQ (R10)(DX*1), R11
+	LEAQ (R11)(DX*1), R12
+	LEAQ (R12)(DX*1), R13
 
-saxpy4tail:
-	TESTQ       AX, AX
-	JZ          saxpy4done
-	VMOVSS      (BX), X4
-	VMOVSS      (DI), X5
-	VFMADD231SS X4, X0, X5
-	VMOVSS      X5, (DI)
-	VMOVSS      (SI), X5
-	VFMADD231SS X4, X1, X5
-	VMOVSS      X5, (SI)
-	VMOVSS      (DX), X5
-	VFMADD231SS X4, X2, X5
-	VMOVSS      X5, (DX)
-	VMOVSS      (CX), X5
-	VFMADD231SS X4, X3, X5
-	VMOVSS      X5, (CX)
-	ADDQ        $4, BX
-	ADDQ        $4, DI
-	ADDQ        $4, SI
-	ADDQ        $4, DX
-	ADDQ        $4, CX
-	DECQ        AX
-	JMP         saxpy4tail
+	// Load the 6x16 C tile into the accumulators.
+	VMOVUPS (R8), Y4
+	VMOVUPS 32(R8), Y5
+	VMOVUPS (R9), Y6
+	VMOVUPS 32(R9), Y7
+	VMOVUPS (R10), Y8
+	VMOVUPS 32(R10), Y9
+	VMOVUPS (R11), Y10
+	VMOVUPS 32(R11), Y11
+	VMOVUPS (R12), Y12
+	VMOVUPS 32(R12), Y13
+	VMOVUPS (R13), Y14
+	VMOVUPS 32(R13), Y15
 
-saxpy4done:
-	VZEROUPPER
-	RET
+	TESTQ CX, CX
+	JZ    store
 
-// func fmaSaxpy1(d, b *float32, a float32, n int)
-// d[j] = fma(a, b[j], d[j]) for j in [0,n).
-TEXT ·fmaSaxpy1(SB), NOSPLIT, $0-32
-	MOVQ         d+0(FP), DI
-	MOVQ         b+8(FP), BX
-	VBROADCASTSS a+16(FP), Y0
-	MOVQ         n+24(FP), AX
+kloop:
+	VMOVUPS      (BX), Y0       // b[l*16 .. l*16+7]
+	VMOVUPS      32(BX), Y1     // b[l*16+8 .. l*16+15]
+	VBROADCASTSS (SI), Y2       // a[l*6+0]
+	VFMADD231PS  Y0, Y2, Y4
+	VFMADD231PS  Y1, Y2, Y5
+	VBROADCASTSS 4(SI), Y3      // a[l*6+1]
+	VFMADD231PS  Y0, Y3, Y6
+	VFMADD231PS  Y1, Y3, Y7
+	VBROADCASTSS 8(SI), Y2      // a[l*6+2]
+	VFMADD231PS  Y0, Y2, Y8
+	VFMADD231PS  Y1, Y2, Y9
+	VBROADCASTSS 12(SI), Y3     // a[l*6+3]
+	VFMADD231PS  Y0, Y3, Y10
+	VFMADD231PS  Y1, Y3, Y11
+	VBROADCASTSS 16(SI), Y2     // a[l*6+4]
+	VFMADD231PS  Y0, Y2, Y12
+	VFMADD231PS  Y1, Y2, Y13
+	VBROADCASTSS 20(SI), Y3     // a[l*6+5]
+	VFMADD231PS  Y0, Y3, Y14
+	VFMADD231PS  Y1, Y3, Y15
+	// Prefetch the panels ~16 k-steps ahead (b advances 64 B/step, a 24).
+	PREFETCHT0   1024(BX)
+	PREFETCHT0   384(SI)
+	ADDQ         $64, BX
+	ADDQ         $24, SI
+	DECQ         CX
+	JNZ          kloop
 
-saxpy1vec:
-	CMPQ        AX, $8
-	JL          saxpy1tail
-	VMOVUPS     (BX), Y4
-	VMOVUPS     (DI), Y5
-	VFMADD231PS Y4, Y0, Y5
-	VMOVUPS     Y5, (DI)
-	ADDQ        $32, BX
-	ADDQ        $32, DI
-	SUBQ        $8, AX
-	JMP         saxpy1vec
-
-saxpy1tail:
-	TESTQ       AX, AX
-	JZ          saxpy1done
-	VMOVSS      (BX), X4
-	VMOVSS      (DI), X5
-	VFMADD231SS X4, X0, X5
-	VMOVSS      X5, (DI)
-	ADDQ        $4, BX
-	ADDQ        $4, DI
-	DECQ        AX
-	JMP         saxpy1tail
-
-saxpy1done:
-	VZEROUPPER
-	RET
-
-// func fmaDot4(a, b0, b1, b2, b3 *float32, k int, out *float32)
-// out[r] = a . b_r for r in 0..3.
-// Vector accumulators Y0..Y3, scalar-tail accumulators X8..X11, then a fixed
-// reduction: lane sums (upper half + lower half, two horizontal adds) plus
-// the tail accumulator.
-TEXT ·fmaDot4(SB), NOSPLIT, $0-56
-	MOVQ   a+0(FP), AX
-	MOVQ   b0+8(FP), BX
-	MOVQ   b1+16(FP), CX
-	MOVQ   b2+24(FP), DX
-	MOVQ   b3+32(FP), SI
-	MOVQ   k+40(FP), DI
-	VXORPS Y0, Y0, Y0
-	VXORPS Y1, Y1, Y1
-	VXORPS Y2, Y2, Y2
-	VXORPS Y3, Y3, Y3
-	VXORPS X8, X8, X8
-	VXORPS X9, X9, X9
-	VXORPS X10, X10, X10
-	VXORPS X11, X11, X11
-
-dot4vec:
-	CMPQ        DI, $8
-	JL          dot4tail
-	VMOVUPS     (AX), Y4
-	VMOVUPS     (BX), Y5
-	VFMADD231PS Y5, Y4, Y0
-	VMOVUPS     (CX), Y5
-	VFMADD231PS Y5, Y4, Y1
-	VMOVUPS     (DX), Y5
-	VFMADD231PS Y5, Y4, Y2
-	VMOVUPS     (SI), Y5
-	VFMADD231PS Y5, Y4, Y3
-	ADDQ        $32, AX
-	ADDQ        $32, BX
-	ADDQ        $32, CX
-	ADDQ        $32, DX
-	ADDQ        $32, SI
-	SUBQ        $8, DI
-	JMP         dot4vec
-
-dot4tail:
-	TESTQ       DI, DI
-	JZ          dot4reduce
-	VMOVSS      (AX), X4
-	VMOVSS      (BX), X5
-	VFMADD231SS X5, X4, X8
-	VMOVSS      (CX), X5
-	VFMADD231SS X5, X4, X9
-	VMOVSS      (DX), X5
-	VFMADD231SS X5, X4, X10
-	VMOVSS      (SI), X5
-	VFMADD231SS X5, X4, X11
-	ADDQ        $4, AX
-	ADDQ        $4, BX
-	ADDQ        $4, CX
-	ADDQ        $4, DX
-	ADDQ        $4, SI
-	DECQ        DI
-	JMP         dot4tail
-
-dot4reduce:
-	MOVQ         out+48(FP), DI
-	VEXTRACTF128 $1, Y0, X5
-	VADDPS       X5, X0, X0
-	VHADDPS      X0, X0, X0
-	VHADDPS      X0, X0, X0
-	VADDSS       X8, X0, X0
-	VMOVSS       X0, (DI)
-	VEXTRACTF128 $1, Y1, X5
-	VADDPS       X5, X1, X1
-	VHADDPS      X1, X1, X1
-	VHADDPS      X1, X1, X1
-	VADDSS       X9, X1, X1
-	VMOVSS       X1, 4(DI)
-	VEXTRACTF128 $1, Y2, X5
-	VADDPS       X5, X2, X2
-	VHADDPS      X2, X2, X2
-	VHADDPS      X2, X2, X2
-	VADDSS       X10, X2, X2
-	VMOVSS       X2, 8(DI)
-	VEXTRACTF128 $1, Y3, X5
-	VADDPS       X5, X3, X3
-	VHADDPS      X3, X3, X3
-	VHADDPS      X3, X3, X3
-	VADDSS       X11, X3, X3
-	VMOVSS       X3, 12(DI)
-	VZEROUPPER
-	RET
-
-// func fmaDot1(a, b *float32, k int) float32
-// Identical accumulation structure to one lane of fmaDot4.
-TEXT ·fmaDot1(SB), NOSPLIT, $0-28
-	MOVQ   a+0(FP), AX
-	MOVQ   b+8(FP), BX
-	MOVQ   k+16(FP), DI
-	VXORPS Y0, Y0, Y0
-	VXORPS X8, X8, X8
-
-dot1vec:
-	CMPQ        DI, $8
-	JL          dot1tail
-	VMOVUPS     (AX), Y4
-	VMOVUPS     (BX), Y5
-	VFMADD231PS Y5, Y4, Y0
-	ADDQ        $32, AX
-	ADDQ        $32, BX
-	SUBQ        $8, DI
-	JMP         dot1vec
-
-dot1tail:
-	TESTQ       DI, DI
-	JZ          dot1reduce
-	VMOVSS      (AX), X4
-	VMOVSS      (BX), X5
-	VFMADD231SS X5, X4, X8
-	ADDQ        $4, AX
-	ADDQ        $4, BX
-	DECQ        DI
-	JMP         dot1tail
-
-dot1reduce:
-	VEXTRACTF128 $1, Y0, X5
-	VADDPS       X5, X0, X0
-	VHADDPS      X0, X0, X0
-	VHADDPS      X0, X0, X0
-	VADDSS       X8, X0, X0
-	VMOVSS       X0, ret+24(FP)
+store:
+	VMOVUPS Y4, (R8)
+	VMOVUPS Y5, 32(R8)
+	VMOVUPS Y6, (R9)
+	VMOVUPS Y7, 32(R9)
+	VMOVUPS Y8, (R10)
+	VMOVUPS Y9, 32(R10)
+	VMOVUPS Y10, (R11)
+	VMOVUPS Y11, 32(R11)
+	VMOVUPS Y12, (R12)
+	VMOVUPS Y13, 32(R12)
+	VMOVUPS Y14, (R13)
+	VMOVUPS Y15, 32(R13)
 	VZEROUPPER
 	RET

@@ -1,0 +1,92 @@
+package tensor
+
+import "math"
+
+// Portable micro-kernel: the exact twin of gemmMicro6x16 in gemm_amd64.s.
+//
+// It keeps the same MR x NR accumulator tile in a local array across the
+// k-loop and applies the same operation per element — a single-rounding
+// fused multiply-add, emulated through float64 with a round-to-odd fix —
+// so its results are bitwise identical to the assembly kernel's
+// (TestGEMMAsmMatchesGeneric pins this). That identity is what makes GEMM
+// results, gradients, and trained models reproducible across amd64 and
+// non-SIMD platforms.
+
+// gemmMicroGeneric accumulates one MR x NR tile: c[r*ldc+v] receives kc
+// fused multiply-add steps of a[l*MR+r] * b[l*NR+v] in ascending l order,
+// mirroring the assembly kernel's register-resident accumulator discipline.
+func gemmMicroGeneric(c, a, b []float32, kc, ldc int) {
+	var acc [gemmMR * gemmNR]float32
+	for r := 0; r < gemmMR; r++ {
+		copy(acc[r*gemmNR:(r+1)*gemmNR], c[r*ldc:r*ldc+gemmNR])
+	}
+	var bd [gemmNR]float64 // B row converted once per k-step, shared by all MR rows
+	for l := 0; l < kc; l++ {
+		av := a[l*gemmMR : l*gemmMR+gemmMR]
+		bv := b[l*gemmNR : l*gemmNR+gemmNR]
+		for v, x := range bv {
+			bd[v] = float64(x)
+		}
+		for r := 0; r < gemmMR; r++ {
+			ar := float64(av[r])
+			row := acc[r*gemmNR : r*gemmNR+gemmNR]
+			for v := range row {
+				row[v] = fma32p(ar*bd[v], row[v])
+			}
+		}
+	}
+	for r := 0; r < gemmMR; r++ {
+		copy(c[r*ldc:r*ldc+gemmNR], acc[r*gemmNR:(r+1)*gemmNR])
+	}
+}
+
+// fma32 returns float32(a*b + c) rounded once — the portable equivalent of
+// one VFMADD231 lane.
+//
+// The product of two float32s is exact in float64 (24-bit significands
+// multiply into at most 48), so the only rounding happens in the float64
+// addition followed by the float32 conversion. That double rounding differs
+// from a single rounding only when the nearest-even float64 sum s lands
+// exactly on a float32 rounding boundary: both s and any float32 midpoint M
+// are multiples of a float64 ulp, so unless s == M the exact sum (within
+// half a float64 ulp of s) lies on the same side of every boundary as s and
+// the second rounding is harmless. The fast path therefore just tests
+// whether s's 29 discarded significand bits are the exact midpoint pattern;
+// the slow fix runs only then — or in the float32-subnormal range, where
+// the discarded-bit count differs and the pattern test does not apply.
+func fma32(a, b, c float32) float32 {
+	return fma32p(float64(a)*float64(b), c) // the product is exact
+}
+
+// fma32p finishes an fma32 whose product p was already formed in float64 —
+// the micro-kernel hoists the operand conversions out of its inner loop.
+func fma32p(p float64, c float32) float32 {
+	s := p + float64(c)
+	bits := math.Float64bits(s)
+	// 0x10000000: float64->float32 conversion discards 29 significand bits;
+	// the tie pattern is a lone leading 1. 0x381 << 52: the exponent below
+	// which the result is float32-subnormal (2^-126).
+	if bits&0x1FFFFFFF == 0x10000000 || bits&(0x7FF<<52) < 0x381<<52 {
+		return fma32Slow(p, float64(c), s)
+	}
+	return float32(s)
+}
+
+// fma32Slow resolves the boundary cases of fma32 by redoing the addition in
+// round-to-odd (Boldo–Melquiond): recover the addition's exact residual
+// with TwoSum, and when it is nonzero and s's last significand bit is even,
+// nudge s one float64 ulp toward the residual. Converting a round-to-odd
+// double to float32 then rounds exactly once (53 >= 24+2, including the
+// reduced-precision subnormal range).
+func fma32Slow(p, cd, s float64) float32 {
+	t := s - p
+	r := (p - (s - t)) + (cd - t)
+	if r != 0 && math.Float64bits(s)&1 == 0 {
+		if r > 0 {
+			s = math.Nextafter(s, math.Inf(1))
+		} else {
+			s = math.Nextafter(s, math.Inf(-1))
+		}
+	}
+	return float32(s)
+}

@@ -2,23 +2,13 @@
 
 package tensor
 
-// Non-amd64 builds run the portable register-blocked Go kernels; the stubs
-// below are never reached (every call site checks useFMA first). useFMA is a
-// var, not a const, so tests can exercise both dispatch paths uniformly.
+// Non-amd64 builds run the portable packed engine with the generic
+// micro-kernel in gemm_generic.go — bitwise identical to the assembly path,
+// so results are reproducible across platforms. The stub below is never
+// reached (gemmMicro checks useFMA first). useFMA is a var, not a const, so
+// tests can exercise both dispatch paths uniformly.
 var useFMA = false
 
-func fmaSaxpy4(d0, d1, d2, d3, b *float32, a0, a1, a2, a3 float32, n int) {
-	panic("tensor: SIMD kernel called without hardware support")
-}
-
-func fmaSaxpy1(d, b *float32, a float32, n int) {
-	panic("tensor: SIMD kernel called without hardware support")
-}
-
-func fmaDot4(a, b0, b1, b2, b3 *float32, k int, out *float32) {
-	panic("tensor: SIMD kernel called without hardware support")
-}
-
-func fmaDot1(a, b *float32, k int) float32 {
-	panic("tensor: SIMD kernel called without hardware support")
+func gemmMicro6x16(c, a, b *float32, kc, ldc int) {
+	panic("tensor: SIMD micro-kernel called without hardware support")
 }

@@ -1,35 +1,80 @@
 package tensor
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
-// Blocked GEMM kernels shared by the forward and backward passes.
+// Packed, cache-blocked GEMM engine shared by the forward and backward
+// passes — a BLIS-style decomposition replacing the three divergent panel
+// implementations the seed kernels grew into.
 //
-// All kernels accumulate into dst (callers zero dst when overwrite semantics
-// are needed) and parallelize across rows of the output when the work is
-// large enough. Each is built from a 4x4 register-blocked micro-kernel over
-// cache-sized panels (gemmBlock*): the micro-kernel holds a 4x4 tile of the
-// output in scalar registers and streams the shared operand panel through L1,
-// so every loaded input element feeds four multiply-adds instead of one.
+// All three transpose cases (NN, NT, TN) route through one engine,
+// gemmPacked, which differs per case only in how the operands are packed:
 //
-// Layout is parameterized by leading dimensions (lda/ldb/ldc), which lets the
-// fused ops in ops.go (MatMulBTCat, MatMulBTCols) run the same kernels
+//   - A is packed into MR-row strips: strip s holds rows [s*MR, s*MR+MR) with
+//     layout aPack[s*MR*kc + l*MR + r] — the micro-kernel reads MR contiguous
+//     floats per k-step and broadcasts each. Rows past m are zero-filled.
+//   - B is packed into NR-column strips: strip t holds columns
+//     [t*NR, t*NR+NR) with layout bPack[t*NR*kc + l*NR + c] — the
+//     micro-kernel loads two 8-wide vectors per k-step. Columns past n are
+//     zero-filled.
+//
+// Around the packed panels sit the standard three blocking loops: KC-deep
+// reduction blocks (A is packed once per KC block and shared by every
+// worker), NC-wide column panels (each worker packs the B panel for the
+// column range it owns), and MC-tall row blocks (the packed-A working set
+// streamed against one L1-resident B strip). The innermost unit is the
+// MRxNR register-resident micro-kernel: gemmMicro6x16 in gemm_amd64.s keeps
+// the full 6x16 accumulator tile in twelve YMM registers across the whole
+// k-loop (load C once, fused-multiply-add kc steps, store C once), with
+// software prefetch of the upcoming packed panels; gemmMicroGeneric in
+// gemm_generic.go is the portable twin with the identical accumulator
+// structure, using an exactly emulated fused multiply-add so the two paths
+// agree bitwise (see TestGEMMAsmMatchesGeneric).
+//
+// Layout is parameterized by leading dimensions (lda/ldb/ldc), which lets
+// the fused ops in ops.go (MatMulBTCat, MatMulBTCols) run the engine
 // directly on column sub-views of a matrix without materializing copies.
 //
-// The kernels are deliberately branch-free in the data: the seed versions
-// skipped zero multiplicands, which made their timing depend on input
-// sparsity (fast on ReLU-sparse activations, slow on dense gradients) and
-// made benchmark numbers incomparable across inputs. Constant-time kernels
-// cost a few extra multiplies on sparse inputs but give shape-only-dependent
-// throughput, which is what the kernel benchmarks in bench_test.go and
-// matmul_test.go cite.
-//
-// Every per-element accumulation runs in ascending reduction order regardless
-// of panel boundaries or worker count, so results are bitwise-identical
-// between serial and parallel execution (see TestGEMMParallelMatchesSerial).
+// Determinism contract (unchanged from the unpacked engine): every output
+// element accumulates its k-products in ascending reduction order through a
+// chain of fused multiply-adds, regardless of panel boundaries, tile
+// remainders, or worker count. Parallel partitioning is over NR-column
+// strips (or MR-row strips for narrow-tall outputs; see gemmPacked), and a
+// tile's reduction never crosses workers, so results are bitwise-identical
+// between serial and parallel execution (TestGEMMParallelMatchesSerial)
+// and between the assembly and portable micro-kernels. The kernels remain
+// branch-free in the data: throughput depends only on shape, never on
+// input sparsity.
 
-// packPool recycles gemmTN's transposition scratch: that kernel runs inside
-// every op's backward pass (dW += dC^T * X), so per-call allocation would
-// put steady GC pressure on the training loop.
+const (
+	// gemmMR x gemmNR is the micro-kernel tile: 6 rows x 16 columns = twelve
+	// 8-wide YMM accumulators, register-resident across the k-loop (plus two
+	// registers for the B vectors and two rotating broadcast registers —
+	// all sixteen YMM names).
+	gemmMR = 6
+	gemmNR = 16
+	// gemmKC is the reduction-block depth: one packed B strip (KC x NR) is
+	// 16 KiB — half of a 32 KiB L1d — and the C tile round-trips through
+	// memory only once per KC block.
+	gemmKC = 256
+	// gemmMC is the row-block height (a multiple of MR): a packed MC x KC A
+	// block is 72 KiB, sized to sit in L2 while B strips stream past it.
+	gemmMC = 72
+	// gemmNC is the column-panel width (a multiple of NR) bounding each
+	// worker's packed B panel (KC x NC = 512 KiB, an L3-resident working
+	// set).
+	gemmNC = 512
+)
+
+// packPool recycles the engine's packing buffers: one shared A panel per KC
+// block plus one B panel per worker per column range. GEMMs run in every
+// op's forward and backward pass, so per-call allocation would put steady GC
+// pressure on the training loop. Lifetime rule: a packed buffer is owned by
+// the engine only for the duration of the gemmPacked call that took it —
+// panels are returned to the pool before the call completes, never retained
+// or handed out.
 var packPool = sync.Pool{New: func() any { return new([]float32) }}
 
 // packBuf returns a pooled scratch slice with capacity at least n.
@@ -41,17 +86,6 @@ func packBuf(n int) *[]float32 {
 	return p
 }
 
-const (
-	// gemmBlockK is the k-panel depth: a 4-row A stripe of this depth plus
-	// the B panel below stay L1-resident across the j loop.
-	gemmBlockK = 64
-	// gemmBlockN is the n-panel width: a gemmBlockK x gemmBlockN B block is
-	// 16 KiB, reused across every row tile of the output panel.
-	gemmBlockN = 64
-	// gemmBlockM is the reduction-panel height packed at a time by gemmTN.
-	gemmBlockM = 64
-)
-
 // mmNN computes dst[m,n] += a[m,k] * b[k,n].
 func mmNN(dst, a, b []float32, m, k, n int) { gemmNN(dst, a, b, m, k, n, k, n, n) }
 
@@ -62,423 +96,257 @@ func mmNT(dst, a, b []float32, m, k, n int) { gemmNT(dst, a, b, m, k, n, k, k, n
 func mmTN(dst, a, b []float32, m, k, n int) { gemmTN(dst, a, b, m, k, n, k, n, n) }
 
 // gemmNN computes dst[i*ldc+j] += sum_l a[i*lda+l] * b[l*ldb+j] for
-// i in [0,m), j in [0,n), l in [0,k). Dispatch is a typed kernel (see
-// ParallelKernel): the GEMMs run in every op's forward and backward pass, so
-// a per-call loop closure would put steady allocation pressure on the
-// training loop.
+// i in [0,m), j in [0,n), l in [0,k).
 func gemmNN(dst, a, b []float32, m, k, n, lda, ldb, ldc int) {
-	ParallelKernel(m, m*n*k, kGemmNN, KernelArgs{
-		S: [8][]float32{dst, a, b},
-		I: [6]int{k, n, lda, ldb, ldc},
-	})
-}
-
-// kGemmNN: S0=dst, S1=a, S2=b; I0=k, I1=n, I2=lda, I3=ldb, I4=ldc.
-// Partitioned over output rows [i0,i1).
-func kGemmNN(i0, i1 int, ka KernelArgs) {
-	dst, a, b := ka.S[0], ka.S[1], ka.S[2]
-	k, n, lda, ldb, ldc := ka.I[0], ka.I[1], ka.I[2], ka.I[3], ka.I[4]
-	for kb := 0; kb < k; kb += gemmBlockK {
-		kEnd := min(kb+gemmBlockK, k)
-		for jb := 0; jb < n; jb += gemmBlockN {
-			jEnd := min(jb+gemmBlockN, n)
-			gemmNNPanel(dst, a, b, i0, i1, jb, jEnd, kb, kEnd, lda, ldb, ldc)
-		}
-	}
-}
-
-// gemmNNPanel updates output rows [i0,i1), columns [j0,j1) from reduction
-// indices [k0,k1).
-func gemmNNPanel(dst, a, b []float32, i0, i1, j0, j1, k0, k1, lda, ldb, ldc int) {
-	if useFMA {
-		w := j1 - j0
-		i := i0
-		for ; i+4 <= i1; i += 4 {
-			a0 := a[i*lda+k0 : i*lda+k1]
-			a1 := a[(i+1)*lda+k0 : (i+1)*lda+k1]
-			a2 := a[(i+2)*lda+k0 : (i+2)*lda+k1]
-			a3 := a[(i+3)*lda+k0 : (i+3)*lda+k1]
-			d0 := dst[i*ldc+j0:]
-			d1 := dst[(i+1)*ldc+j0:]
-			d2 := dst[(i+2)*ldc+j0:]
-			d3 := dst[(i+3)*ldc+j0:]
-			for l := range a0 {
-				bl := b[(k0+l)*ldb+j0:]
-				fmaSaxpy4(&d0[0], &d1[0], &d2[0], &d3[0], &bl[0], a0[l], a1[l], a2[l], a3[l], w)
-			}
-		}
-		for ; i < i1; i++ {
-			ai := a[i*lda+k0 : i*lda+k1]
-			di := dst[i*ldc+j0:]
-			for l := range ai {
-				bl := b[(k0+l)*ldb+j0:]
-				fmaSaxpy1(&di[0], &bl[0], ai[l], w)
-			}
-		}
-		return
-	}
-	i := i0
-	for ; i+4 <= i1; i += 4 {
-		a0 := a[i*lda+k0 : i*lda+k1]
-		a1 := a[(i+1)*lda+k0 : (i+1)*lda+k1]
-		a2 := a[(i+2)*lda+k0 : (i+2)*lda+k1]
-		a3 := a[(i+3)*lda+k0 : (i+3)*lda+k1]
-		d0 := dst[i*ldc:]
-		d1 := dst[(i+1)*ldc:]
-		d2 := dst[(i+2)*ldc:]
-		d3 := dst[(i+3)*ldc:]
-		j := j0
-		for ; j+4 <= j1; j += 4 {
-			microNN4x4(d0, d1, d2, d3, a0, a1, a2, a3, b, j, k0, ldb)
-		}
-		for ; j < j1; j++ {
-			bi := k0*ldb + j
-			c0, c1, c2, c3 := d0[j], d1[j], d2[j], d3[j]
-			for l := 0; l < len(a0); l++ {
-				bv := b[bi]
-				c0 += a0[l] * bv
-				c1 += a1[l] * bv
-				c2 += a2[l] * bv
-				c3 += a3[l] * bv
-				bi += ldb
-			}
-			d0[j], d1[j], d2[j], d3[j] = c0, c1, c2, c3
-		}
-	}
-	for ; i < i1; i++ {
-		ai := a[i*lda+k0 : i*lda+k1]
-		di := dst[i*ldc:]
-		for j := j0; j < j1; j++ {
-			bi := k0*ldb + j
-			c := di[j]
-			for l := 0; l < len(ai); l++ {
-				c += ai[l] * b[bi]
-				bi += ldb
-			}
-			di[j] = c
-		}
-	}
-}
-
-// microNN4x4 is the register-blocked inner kernel of gemmNN: a 4x4 output
-// tile at column j, accumulated over the a-row slices (already limited to the
-// current k-panel, whose first index is k0 in b's coordinates).
-func microNN4x4(d0, d1, d2, d3, a0, a1, a2, a3, b []float32, j, k0, ldb int) {
-	c00, c01, c02, c03 := d0[j], d0[j+1], d0[j+2], d0[j+3]
-	c10, c11, c12, c13 := d1[j], d1[j+1], d1[j+2], d1[j+3]
-	c20, c21, c22, c23 := d2[j], d2[j+1], d2[j+2], d2[j+3]
-	c30, c31, c32, c33 := d3[j], d3[j+1], d3[j+2], d3[j+3]
-	bi := k0*ldb + j
-	for l := 0; l < len(a0); l++ {
-		bl := b[bi : bi+4 : bi+4]
-		b0, b1, b2, b3 := bl[0], bl[1], bl[2], bl[3]
-		av := a0[l]
-		c00 += av * b0
-		c01 += av * b1
-		c02 += av * b2
-		c03 += av * b3
-		av = a1[l]
-		c10 += av * b0
-		c11 += av * b1
-		c12 += av * b2
-		c13 += av * b3
-		av = a2[l]
-		c20 += av * b0
-		c21 += av * b1
-		c22 += av * b2
-		c23 += av * b3
-		av = a3[l]
-		c30 += av * b0
-		c31 += av * b1
-		c32 += av * b2
-		c33 += av * b3
-		bi += ldb
-	}
-	d0[j], d0[j+1], d0[j+2], d0[j+3] = c00, c01, c02, c03
-	d1[j], d1[j+1], d1[j+2], d1[j+3] = c10, c11, c12, c13
-	d2[j], d2[j+1], d2[j+2], d2[j+3] = c20, c21, c22, c23
-	d3[j], d3[j+1], d3[j+2], d3[j+3] = c30, c31, c32, c33
+	gemmPacked(dst, a, b, m, k, n, lda, ldb, ldc, false, false)
 }
 
 // gemmNT computes dst[i*ldc+j] += sum_l a[i*lda+l] * b[j*ldb+l] for
-// i in [0,m), j in [0,n), l in [0,k). Both operands are traversed along
-// contiguous rows, so no packing or k-blocking is needed: the 4x4 tile reads
-// eight sequential streams and keeps its sixteen dot products in registers.
+// i in [0,m), j in [0,n), l in [0,k).
 func gemmNT(dst, a, b []float32, m, k, n, lda, ldb, ldc int) {
-	ParallelKernel(m, m*n*k, kGemmNT, KernelArgs{
-		S: [8][]float32{dst, a, b},
-		I: [6]int{k, n, lda, ldb, ldc},
-	})
-}
-
-// kGemmNT: S0=dst, S1=a, S2=b; I0=k, I1=n, I2=lda, I3=ldb, I4=ldc.
-// Partitioned over output rows [i0,i1).
-func kGemmNT(i0, i1 int, ka KernelArgs) {
-	dst, a, b := ka.S[0], ka.S[1], ka.S[2]
-	k, n, lda, ldb, ldc := ka.I[0], ka.I[1], ka.I[2], ka.I[3], ka.I[4]
-	{
-		if useFMA {
-			gemmNTFMA(dst, a, b, i0, i1, k, n, lda, ldb, ldc)
-			return
-		}
-		i := i0
-		for ; i+4 <= i1; i += 4 {
-			a0 := a[i*lda : i*lda+k]
-			a1 := a[(i+1)*lda : (i+1)*lda+k]
-			a2 := a[(i+2)*lda : (i+2)*lda+k]
-			a3 := a[(i+3)*lda : (i+3)*lda+k]
-			d0 := dst[i*ldc:]
-			d1 := dst[(i+1)*ldc:]
-			d2 := dst[(i+2)*ldc:]
-			d3 := dst[(i+3)*ldc:]
-			j := 0
-			for ; j+4 <= n; j += 4 {
-				microNT4x4(d0, d1, d2, d3, a0, a1, a2, a3, b, j, k, ldb)
-			}
-			for ; j < n; j++ {
-				bj := b[j*ldb : j*ldb+k]
-				c0, c1, c2, c3 := d0[j], d1[j], d2[j], d3[j]
-				for l, bv := range bj {
-					c0 += a0[l] * bv
-					c1 += a1[l] * bv
-					c2 += a2[l] * bv
-					c3 += a3[l] * bv
-				}
-				d0[j], d1[j], d2[j], d3[j] = c0, c1, c2, c3
-			}
-		}
-		for ; i < i1; i++ {
-			ai := a[i*lda : i*lda+k]
-			di := dst[i*ldc:]
-			for j := 0; j < n; j++ {
-				bj := b[j*ldb : j*ldb+k]
-				c := di[j]
-				for l, bv := range bj {
-					c += ai[l] * bv
-				}
-				di[j] = c
-			}
-		}
-	}
-}
-
-// gemmNTFMA is the AVX2 path of gemmNT for output rows [i0,i1): dot-product
-// tiles sharing operand-row loads through fmaDot4, with fmaDot1 (identical
-// accumulation structure) covering the b-row remainder.
-func gemmNTFMA(dst, a, b []float32, i0, i1, k, n, lda, ldb, ldc int) {
-	var sums [4]float32
-	i := i0
-	for ; i+4 <= i1; i += 4 {
-		a0 := a[i*lda : i*lda+k]
-		a1 := a[(i+1)*lda : (i+1)*lda+k]
-		a2 := a[(i+2)*lda : (i+2)*lda+k]
-		a3 := a[(i+3)*lda : (i+3)*lda+k]
-		d0 := dst[i*ldc:]
-		d1 := dst[(i+1)*ldc:]
-		d2 := dst[(i+2)*ldc:]
-		d3 := dst[(i+3)*ldc:]
-		j := 0
-		for ; j+4 <= n; j += 4 {
-			b0 := &b[j*ldb]
-			b1 := &b[(j+1)*ldb]
-			b2 := &b[(j+2)*ldb]
-			b3 := &b[(j+3)*ldb]
-			fmaDot4(&a0[0], b0, b1, b2, b3, k, &sums[0])
-			d0[j] += sums[0]
-			d0[j+1] += sums[1]
-			d0[j+2] += sums[2]
-			d0[j+3] += sums[3]
-			fmaDot4(&a1[0], b0, b1, b2, b3, k, &sums[0])
-			d1[j] += sums[0]
-			d1[j+1] += sums[1]
-			d1[j+2] += sums[2]
-			d1[j+3] += sums[3]
-			fmaDot4(&a2[0], b0, b1, b2, b3, k, &sums[0])
-			d2[j] += sums[0]
-			d2[j+1] += sums[1]
-			d2[j+2] += sums[2]
-			d2[j+3] += sums[3]
-			fmaDot4(&a3[0], b0, b1, b2, b3, k, &sums[0])
-			d3[j] += sums[0]
-			d3[j+1] += sums[1]
-			d3[j+2] += sums[2]
-			d3[j+3] += sums[3]
-		}
-		for ; j < n; j++ {
-			bj := &b[j*ldb]
-			d0[j] += fmaDot1(&a0[0], bj, k)
-			d1[j] += fmaDot1(&a1[0], bj, k)
-			d2[j] += fmaDot1(&a2[0], bj, k)
-			d3[j] += fmaDot1(&a3[0], bj, k)
-		}
-	}
-	for ; i < i1; i++ {
-		ai := a[i*lda : i*lda+k]
-		di := dst[i*ldc:]
-		j := 0
-		for ; j+4 <= n; j += 4 {
-			fmaDot4(&ai[0], &b[j*ldb], &b[(j+1)*ldb], &b[(j+2)*ldb], &b[(j+3)*ldb], k, &sums[0])
-			di[j] += sums[0]
-			di[j+1] += sums[1]
-			di[j+2] += sums[2]
-			di[j+3] += sums[3]
-		}
-		for ; j < n; j++ {
-			di[j] += fmaDot1(&ai[0], &b[j*ldb], k)
-		}
-	}
-}
-
-// microNT4x4 accumulates a 4x4 tile of row-dot-products: four a-rows against
-// b-rows j..j+3, all along the contiguous k axis.
-func microNT4x4(d0, d1, d2, d3, a0, a1, a2, a3, b []float32, j, k, ldb int) {
-	b0 := b[j*ldb : j*ldb+k]
-	b1 := b[(j+1)*ldb : (j+1)*ldb+k]
-	b2 := b[(j+2)*ldb : (j+2)*ldb+k]
-	b3 := b[(j+3)*ldb : (j+3)*ldb+k]
-	c00, c01, c02, c03 := d0[j], d0[j+1], d0[j+2], d0[j+3]
-	c10, c11, c12, c13 := d1[j], d1[j+1], d1[j+2], d1[j+3]
-	c20, c21, c22, c23 := d2[j], d2[j+1], d2[j+2], d2[j+3]
-	c30, c31, c32, c33 := d3[j], d3[j+1], d3[j+2], d3[j+3]
-	for l := 0; l < k; l++ {
-		bv0, bv1, bv2, bv3 := b0[l], b1[l], b2[l], b3[l]
-		av := a0[l]
-		c00 += av * bv0
-		c01 += av * bv1
-		c02 += av * bv2
-		c03 += av * bv3
-		av = a1[l]
-		c10 += av * bv0
-		c11 += av * bv1
-		c12 += av * bv2
-		c13 += av * bv3
-		av = a2[l]
-		c20 += av * bv0
-		c21 += av * bv1
-		c22 += av * bv2
-		c23 += av * bv3
-		av = a3[l]
-		c30 += av * bv0
-		c31 += av * bv1
-		c32 += av * bv2
-		c33 += av * bv3
-	}
-	d0[j], d0[j+1], d0[j+2], d0[j+3] = c00, c01, c02, c03
-	d1[j], d1[j+1], d1[j+2], d1[j+3] = c10, c11, c12, c13
-	d2[j], d2[j+1], d2[j+2], d2[j+3] = c20, c21, c22, c23
-	d3[j], d3[j+1], d3[j+2], d3[j+3] = c30, c31, c32, c33
+	gemmPacked(dst, a, b, m, k, n, lda, ldb, ldc, false, true)
 }
 
 // gemmTN computes dst[l*ldc+j] += sum_i a[i*lda+l] * b[i*ldb+j] for
-// l in [0,k), j in [0,n), i in [0,m). a is accessed column-wise, so each
-// worker packs the a-columns it owns into a transposed panel (one
-// gemmBlockM-deep stripe at a time) and then runs the same register-blocked
-// tile as gemmNN over contiguous data.
+// l in [0,k), j in [0,n), i in [0,m): the output has k rows and the
+// reduction runs over m. In the packed engine's terms the "A" operand is
+// a^T, selected by the transposed pack orientation.
 func gemmTN(dst, a, b []float32, m, k, n, lda, ldb, ldc int) {
-	ParallelKernel(k, m*n*k, kGemmTN, KernelArgs{
-		S: [8][]float32{dst, a, b},
-		I: [6]int{m, n, lda, ldb, ldc},
-	})
+	gemmPacked(dst, a, b, k, m, n, lda, ldb, ldc, true, false)
 }
 
-// kGemmTN: S0=dst, S1=a, S2=b; I0=m, I1=n, I2=lda, I3=ldb, I4=ldc.
-// Partitioned over output rows (a-columns) [l0,l1).
-func kGemmTN(l0, l1 int, ka KernelArgs) {
-	dst, a, b := ka.S[0], ka.S[1], ka.S[2]
-	m, n, lda, ldb, ldc := ka.I[0], ka.I[1], ka.I[2], ka.I[3], ka.I[4]
-	rows := l1 - l0
-	scratch := packBuf(rows * gemmBlockM)
-	defer packPool.Put(scratch)
-	pack := (*scratch)[:rows*gemmBlockM]
-	for ib := 0; ib < m; ib += gemmBlockM {
-		iEnd := min(ib+gemmBlockM, m)
-		ni := iEnd - ib
-		for ii := 0; ii < ni; ii++ {
-			row := a[(ib+ii)*lda:]
-			for l := l0; l < l1; l++ {
-				pack[(l-l0)*ni+ii] = row[l]
-			}
-		}
-		bPanel := b[ib*ldb:]
-		for jb := 0; jb < n; jb += gemmBlockN {
-			jEnd := min(jb+gemmBlockN, n)
-			gemmTNPanel(dst, pack, bPanel, l0, l1, jb, jEnd, ni, ldb, ldc)
-		}
-	}
-}
-
-// gemmTNPanel updates output rows [l0,l1), columns [j0,j1) from one packed
-// reduction stripe of depth ni. pack holds the transposed a-stripe with row r
-// of the output at pack[(r-l0)*ni : (r-l0+1)*ni].
-func gemmTNPanel(dst, pack, b []float32, l0, l1, j0, j1, ni, ldb, ldc int) {
-	if useFMA {
-		w := j1 - j0
-		l := l0
-		for ; l+4 <= l1; l += 4 {
-			p := (l - l0) * ni
-			a0 := pack[p : p+ni]
-			a1 := pack[p+ni : p+2*ni]
-			a2 := pack[p+2*ni : p+3*ni]
-			a3 := pack[p+3*ni : p+4*ni]
-			d0 := dst[l*ldc+j0:]
-			d1 := dst[(l+1)*ldc+j0:]
-			d2 := dst[(l+2)*ldc+j0:]
-			d3 := dst[(l+3)*ldc+j0:]
-			for ii := 0; ii < ni; ii++ {
-				bl := b[ii*ldb+j0:]
-				fmaSaxpy4(&d0[0], &d1[0], &d2[0], &d3[0], &bl[0], a0[ii], a1[ii], a2[ii], a3[ii], w)
-			}
-		}
-		for ; l < l1; l++ {
-			al := pack[(l-l0)*ni : (l-l0+1)*ni]
-			dl := dst[l*ldc+j0:]
-			for ii := 0; ii < ni; ii++ {
-				bl := b[ii*ldb+j0:]
-				fmaSaxpy1(&dl[0], &bl[0], al[ii], w)
-			}
-		}
+// gemmPacked is the engine: dst[i*ldc+j] += sum_l A[i,l] * B[l,j] for a
+// logical m x k A and k x n B, where A is a (aT: read as a^T, so a's storage
+// is k x m with leading dimension lda) and B is b (bT: read as b^T, so b's
+// storage is n x k with leading dimension ldb).
+//
+// The KC loop lives here, outside the parallel dispatch: A is packed once
+// per KC block into a pooled buffer shared read-only by every worker, then
+// the NR-column strips of the output are partitioned across the pool (each
+// worker packs the B panels for the column range it owns). Dispatch is a
+// typed kernel — see ParallelKernel — because GEMMs run in every op's
+// forward and backward pass.
+func gemmPacked(dst, a, b []float32, m, k, n, lda, ldb, ldc int, aT, bT bool) {
+	if m == 0 || n == 0 {
 		return
 	}
-	l := l0
-	for ; l+4 <= l1; l += 4 {
-		p := (l - l0) * ni
-		a0 := pack[p : p+ni]
-		a1 := pack[p+ni : p+2*ni]
-		a2 := pack[p+2*ni : p+3*ni]
-		a3 := pack[p+3*ni : p+4*ni]
-		d0 := dst[l*ldc:]
-		d1 := dst[(l+1)*ldc:]
-		d2 := dst[(l+2)*ldc:]
-		d3 := dst[(l+3)*ldc:]
-		j := j0
-		for ; j+4 <= j1; j += 4 {
-			microNN4x4(d0, d1, d2, d3, a0, a1, a2, a3, b, j, 0, ldb)
+	nStrips := (n + gemmNR - 1) / gemmNR
+	mStrips := (m + gemmMR - 1) / gemmMR
+	flags := 0
+	if bT {
+		flags |= gemmFlagBT
+	}
+	// Partition axis: column strips are preferred — each worker packs B
+	// only for its own column range, so every panel is packed exactly once.
+	// Only when the columns cannot feed the pool (fewer NR-column strips
+	// than workers) and the rows offer more units does the partition switch
+	// to MR-row strips; each worker then packs the full (narrow) B panel
+	// itself, trading a small duplicated pack for row parallelism the
+	// column count cannot provide. Either way the packed A block is shared
+	// read-only and a tile's k-reduction never crosses workers, so results
+	// stay bitwise identical whichever axis is chosen and at any worker
+	// count (TestGEMMParallelMatchesSerial compares across both).
+	units := nStrips
+	if mStrips > nStrips && nStrips < runtime.GOMAXPROCS(0) {
+		units = mStrips
+		flags |= gemmFlagRows
+	}
+	for pc := 0; pc < k; pc += gemmKC {
+		kc := min(gemmKC, k-pc)
+		pa := packBuf(mStrips * gemmMR * kc)
+		aPack := (*pa)[:mStrips*gemmMR*kc]
+		if aT {
+			packAT(aPack, a, m, kc, pc, lda)
+		} else {
+			packAN(aPack, a, m, kc, pc, lda)
 		}
-		for ; j < j1; j++ {
-			bi := j
-			c0, c1, c2, c3 := d0[j], d1[j], d2[j], d3[j]
-			for ii := 0; ii < ni; ii++ {
-				bv := b[bi]
-				c0 += a0[ii] * bv
-				c1 += a1[ii] * bv
-				c2 += a2[ii] * bv
-				c3 += a3[ii] * bv
-				bi += ldb
+		// The b slice is pre-offset to the current KC block so the kernel
+		// needs no pc argument: row pc for a normal B, column pc for a
+		// transposed one.
+		var bOff []float32
+		if bT {
+			bOff = b[pc:]
+		} else {
+			bOff = b[pc*ldb:]
+		}
+		ParallelKernel(units, m*kc*n, kGemmPacked, KernelArgs{
+			S: [8][]float32{dst, aPack, bOff},
+			I: [6]int{kc, m, n, ldb, ldc, flags},
+		})
+		packPool.Put(pa)
+	}
+}
+
+// kGemmPacked flag bits (I5).
+const (
+	gemmFlagBT   = 1 << iota // b is transposed (logical k x n stored n x k)
+	gemmFlagRows             // partition units are MR-row strips, not NR-column strips
+)
+
+// packAN packs rows of a normal (row-major m x k) A for reduction indices
+// [pc, pc+kc) into MR-row strips; rows past m are zero-filled.
+func packAN(dst, a []float32, m, kc, pc, lda int) {
+	ns := (m + gemmMR - 1) / gemmMR
+	for s := 0; s < ns; s++ {
+		strip := dst[s*gemmMR*kc : (s+1)*gemmMR*kc]
+		for r := 0; r < gemmMR; r++ {
+			i := s*gemmMR + r
+			if i >= m {
+				for l := 0; l < kc; l++ {
+					strip[l*gemmMR+r] = 0
+				}
+				continue
 			}
-			d0[j], d1[j], d2[j], d3[j] = c0, c1, c2, c3
+			row := a[i*lda+pc : i*lda+pc+kc]
+			for l, v := range row {
+				strip[l*gemmMR+r] = v
+			}
 		}
 	}
-	for ; l < l1; l++ {
-		al := pack[(l-l0)*ni : (l-l0+1)*ni]
-		dl := dst[l*ldc:]
-		for j := j0; j < j1; j++ {
-			bi := j
-			c := dl[j]
-			for ii := 0; ii < ni; ii++ {
-				c += al[ii] * b[bi]
-				bi += ldb
+}
+
+// packAT packs a transposed A (storage k x m reads as logical m x k, the TN
+// case): strip s holds logical rows (a-columns) [s*MR, s*MR+MR) over
+// reduction (a-row) indices [pc, pc+kc). Each source row contributes MR
+// contiguous elements per k-step.
+func packAT(dst, a []float32, m, kc, pc, lda int) {
+	ns := (m + gemmMR - 1) / gemmMR
+	for s := 0; s < ns; s++ {
+		strip := dst[s*gemmMR*kc : (s+1)*gemmMR*kc]
+		c0 := s * gemmMR
+		nr := min(gemmMR, m-c0)
+		for l := 0; l < kc; l++ {
+			row := a[(pc+l)*lda+c0 : (pc+l)*lda+c0+nr]
+			out := strip[l*gemmMR : l*gemmMR+gemmMR]
+			copy(out, row)
+			for r := nr; r < gemmMR; r++ {
+				out[r] = 0
 			}
-			dl[j] = c
+		}
+	}
+}
+
+// kGemmPacked is the per-worker body: S0=dst, S1=packed A (all strips for
+// the current KC block), S2=b offset to the KC block; I0=kc, I1=m, I2=n,
+// I3=ldb, I4=ldc, I5=gemmFlag bits. The partition units [s0,s1) are
+// NR-column strips (worker covers all rows of its column range) or, for
+// narrow-tall outputs, MR-row strips (worker covers all columns of its row
+// range).
+func kGemmPacked(s0, s1 int, ka KernelArgs) {
+	dst, aPack, b := ka.S[0], ka.S[1], ka.S[2]
+	kc, m, n, ldb, ldc := ka.I[0], ka.I[1], ka.I[2], ka.I[3], ka.I[4]
+	bT := ka.I[5]&gemmFlagBT != 0
+	if ka.I[5]&gemmFlagRows != 0 {
+		gemmWorker(dst, aPack, b, kc, n, ldb, ldc, bT, s0*gemmMR, min(s1*gemmMR, m), 0, n)
+		return
+	}
+	gemmWorker(dst, aPack, b, kc, n, ldb, ldc, bT, 0, m, s0*gemmNR, min(s1*gemmNR, n))
+}
+
+// gemmWorker runs one worker's share of a KC block: output rows [i0,i1),
+// columns [j0,j1), with i0 MR-aligned and j0 NR-aligned. It packs the B
+// panels for its column range (at most NC columns at a time) and runs the
+// micro-kernel over every MR x NR tile, streaming the shared packed-A
+// strips against each L1-resident B strip.
+func gemmWorker(dst, aPack, b []float32, kc, n, ldb, ldc int, bT bool, i0, i1, j0, j1 int) {
+	var tile [gemmMR * gemmNR]float32 // C scratch for boundary tiles
+	for jc := j0; jc < j1; jc += gemmNC {
+		nc := min(gemmNC, j1-jc)
+		ncStrips := (nc + gemmNR - 1) / gemmNR
+		pb := packBuf(ncStrips * gemmNR * kc)
+		bPack := (*pb)[:ncStrips*gemmNR*kc]
+		if bT {
+			packBT(bPack, b, jc, nc, kc, ldb)
+		} else {
+			packBN(bPack, b, jc, nc, kc, ldb)
+		}
+		for ic := i0; ic < i1; ic += gemmMC {
+			mc := min(gemmMC, i1-ic)
+			for t := 0; t < ncStrips; t++ {
+				bs := bPack[t*gemmNR*kc:]
+				jt := jc + t*gemmNR
+				nr := min(gemmNR, n-jt)
+				for ir := 0; ir < mc; ir += gemmMR {
+					i := ic + ir
+					mr := min(gemmMR, i1-i)
+					as := aPack[(i/gemmMR)*gemmMR*kc:]
+					if mr == gemmMR && nr == gemmNR {
+						gemmMicro(dst[i*ldc+jt:], as, bs, kc, ldc)
+						continue
+					}
+					// Boundary tile: run the same kernel on an NR-strided
+					// scratch tile holding the valid C region (zero
+					// elsewhere), then copy the valid region back. The
+					// packed panels zero-fill past m and n, so the padded
+					// lanes accumulate zeros and every real element sees
+					// the identical fused-multiply-add chain it would see
+					// in a full tile.
+					clear(tile[:])
+					for r := 0; r < mr; r++ {
+						copy(tile[r*gemmNR:r*gemmNR+nr], dst[(i+r)*ldc+jt:(i+r)*ldc+jt+nr])
+					}
+					gemmMicro(tile[:], as, bs, kc, gemmNR)
+					for r := 0; r < mr; r++ {
+						copy(dst[(i+r)*ldc+jt:(i+r)*ldc+jt+nr], tile[r*gemmNR:r*gemmNR+nr])
+					}
+				}
+			}
+		}
+		packPool.Put(pb)
+	}
+}
+
+// gemmMicro dispatches one MR x NR tile to the assembly micro-kernel when
+// the CPU supports it, and to the bitwise-identical portable kernel
+// otherwise. c starts at the tile's top-left element (row stride ldc); a and
+// b start at the tile's packed A and B strips.
+func gemmMicro(c, a, b []float32, kc, ldc int) {
+	if useFMA {
+		gemmMicro6x16(&c[0], &a[0], &b[0], kc, ldc)
+		return
+	}
+	gemmMicroGeneric(c, a, b, kc, ldc)
+}
+
+// packBN packs a normal (row-major k x n, pre-offset to the KC block) B:
+// strip t holds columns [jc+t*NR, jc+t*NR+NR); columns past n are
+// zero-filled. Source rows are copied contiguously.
+func packBN(dst, b []float32, jc, nc, kc, ldb int) {
+	ns := (nc + gemmNR - 1) / gemmNR
+	for t := 0; t < ns; t++ {
+		strip := dst[t*gemmNR*kc : (t+1)*gemmNR*kc]
+		c0 := jc + t*gemmNR
+		w := min(gemmNR, jc+nc-c0)
+		for l := 0; l < kc; l++ {
+			row := b[l*ldb+c0 : l*ldb+c0+w]
+			out := strip[l*gemmNR : l*gemmNR+gemmNR]
+			copy(out, row)
+			for c := w; c < gemmNR; c++ {
+				out[c] = 0
+			}
+		}
+	}
+}
+
+// packBT packs a transposed B (storage n x k reads as logical k x n, the NT
+// case; pre-offset to the KC block): element (l, j) comes from b[j*ldb+l],
+// so each source row is a contiguous k-run feeding one packed column.
+func packBT(dst, b []float32, jc, nc, kc, ldb int) {
+	ns := (nc + gemmNR - 1) / gemmNR
+	for t := 0; t < ns; t++ {
+		strip := dst[t*gemmNR*kc : (t+1)*gemmNR*kc]
+		c0 := jc + t*gemmNR
+		w := min(gemmNR, jc+nc-c0)
+		for c := 0; c < w; c++ {
+			row := b[(c0+c)*ldb : (c0+c)*ldb+kc]
+			for l, v := range row {
+				strip[l*gemmNR+c] = v
+			}
+		}
+		for c := w; c < gemmNR; c++ {
+			for l := 0; l < kc; l++ {
+				strip[l*gemmNR+c] = 0
+			}
 		}
 	}
 }

@@ -63,6 +63,40 @@ const (
 	opKinds // count; must stay last
 )
 
+// opNames maps each op kind to its histogram label (see Tape.OpHistogram).
+// Completeness is asserted by TestOpNamesComplete.
+var opNames = [opKinds]string{
+	opMatMul:           "MatMul",
+	opMatMulBT:         "MatMulBT",
+	opMatMulBTCat:      "MatMulBTCat",
+	opMatMulBTCols:     "MatMulBTCols",
+	opAdd:              "Add",
+	opAddBias:          "AddBias",
+	opSub:              "Sub",
+	opMul:              "Mul",
+	opScale:            "Scale",
+	opSigmoid:          "Sigmoid",
+	opTanh:             "Tanh",
+	opReLU:             "ReLU",
+	opSoftmaxRows:      "SoftmaxRows",
+	opAttentionSoftmax: "AttentionSoftmax",
+	opConcatCols:       "ConcatCols",
+	opSliceCols:        "SliceCols",
+	opSliceRows:        "SliceRows",
+	opTranspose:        "Transpose",
+	opSum:              "Sum",
+	opLayerNorm:        "LayerNorm",
+	opLSTMGates:        "LSTMGates",
+	opGRUGates:         "GRUGates",
+	opGateCombine:      "GateCombine",
+	opAddBiasInPlace:   "AddBiasInPlace",
+	opSigmoidInPlace:   "SigmoidInPlace",
+	opTanhInPlace:      "TanhInPlace",
+	opReLUInPlace:      "ReLUInPlace",
+	opStackRows:        "StackRows",
+	opConcatRows:       "ConcatRows",
+}
+
 // opRecord is one recorded op: everything its VJP needs, in a fixed-size
 // struct appended by value to the tape's record slice (no per-op heap
 // allocation). Field meaning is per-kind; each vjp* function documents its

@@ -18,6 +18,57 @@ func TestVJPTableComplete(t *testing.T) {
 	}
 }
 
+func TestOpNamesComplete(t *testing.T) {
+	for k := opKind(0); k < opKinds; k++ {
+		if opNames[k] == "" {
+			t.Errorf("opNames[%d] is empty; every op kind needs a histogram label", k)
+		}
+	}
+}
+
+// TestOpHistogramKnownGraph checks the profiling hook against a graph whose
+// op mix is known by construction, and its lifecycle: nil tapes are empty,
+// inference tapes record nothing, Reset clears the counts.
+func TestOpHistogramKnownGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Randn(rng, 0.5, 4, 4)
+	b := Randn(rng, 0.5, 4, 4)
+	tp := NewTape()
+	x := MatMul(tp, a, b)
+	x = Sigmoid(tp, Add(tp, x, MatMul(tp, a, b)))
+	loss := Sum(tp, Mul(tp, x, x))
+	tp.Backward(loss)
+
+	want := map[string]int{"MatMul": 2, "Add": 1, "Sigmoid": 1, "Mul": 1, "Sum": 1}
+	got := tp.OpHistogram()
+	if len(got) != len(want) {
+		t.Fatalf("histogram has %d kinds %v, want %d %v", len(got), got, len(want), want)
+	}
+	total := 0
+	for name, n := range want {
+		if got[name] != n {
+			t.Errorf("histogram[%q] = %d, want %d", name, got[name], n)
+		}
+		total += n
+	}
+	if tp.Len() != total {
+		t.Errorf("tape has %d records but histogram sums to %d", tp.Len(), total)
+	}
+
+	if h := (*Tape)(nil).OpHistogram(); len(h) != 0 {
+		t.Errorf("nil tape histogram = %v, want empty", h)
+	}
+	inf := NewInferenceTape()
+	MatMul(inf, a, b)
+	if h := inf.OpHistogram(); len(h) != 0 {
+		t.Errorf("inference tape histogram = %v, want empty (nothing recorded)", h)
+	}
+	tp.Reset()
+	if h := tp.OpHistogram(); len(h) != 0 {
+		t.Errorf("post-Reset histogram = %v, want empty", h)
+	}
+}
+
 // recordGraph builds a small graph exercising a broad mix of record kinds
 // (GEMMs, elementwise, fused gates, softmax, layernorm, stacking) on tp and
 // returns the scalar loss plus the parameters whose gradients the tests

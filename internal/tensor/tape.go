@@ -113,6 +113,24 @@ func (tp *Tape) RecordStats() (records, grows int) {
 	return len(tp.recs), tp.recGrows
 }
 
+// OpHistogram counts the currently recorded ops by kind name — the
+// record-tape profiling hook: called after a step's forward pass (and
+// before the next Reset) it reports the op mix of the step's graph, which
+// is how graph shape is inspected at paper scale without a debugger (see
+// cmd/perfvec-bench -tape-histogram). Nil and inference tapes return an
+// empty map. The map is freshly allocated; this is a profiling call, not a
+// hot-path one.
+func (tp *Tape) OpHistogram() map[string]int {
+	h := map[string]int{}
+	if tp == nil {
+		return h
+	}
+	for i := range tp.recs {
+		h[opNames[tp.recs[i].kind]]++
+	}
+	return h
+}
+
 // Reset clears the tape for reuse: records are dropped (their tensor refs
 // zeroed, capacity retained) and all arena tensors handed out since the
 // previous Reset are recycled. Records must not outlive Reset — they
