@@ -109,6 +109,41 @@
 // perfvec-trace commands expose the pipeline through -stream and
 // -batch-workers flags.
 //
+// # Invariants and static enforcement
+//
+// The performance invariants above are not only measured — they are enforced
+// at compile time by perfvec-vet (cmd/perfvec-vet), a custom go/analysis
+// suite built on the standard library (internal/analysis) that runs
+// standalone and as a `go vet -vettool`, and is a required CI step. Four
+// analyzers cover the four invariant classes:
+//
+//   - arenalife: a *tensor.Tensor or []*tensor.Tensor slab produced through
+//     a tape or arena is step-lifetime — valid only until the owning
+//     Tape.Reset. The analyzer flows tape-derived values through each
+//     function and flags stores that can outlive the step: package-level
+//     vars, struct fields, channel sends, goroutine captures. Struct types
+//     that are themselves reset with the tape are marked
+//     //perfvec:tapescoped.
+//   - hotalloc: functions annotated //perfvec:hotpath (Trainer.Step,
+//     Trainer.Loss, the GEMM engine, every VJP body, StreamRep,
+//     Dataset.Batch) must contain no heap-allocating construct:
+//     make/new/append, slice/map literals, address-taken composite
+//     literals, capturing closures, go statements, interface boxing.
+//     Every new hot path must carry the annotation so the analyzer guards
+//     it from its first commit.
+//   - kernelcapture: every value used as a tensor.Kernel must be a named
+//     top-level function — func literals and method values heap-allocate
+//     per dispatch, the exact pre-PR-4 bug shape.
+//   - packlife: pack-pool buffers acquired in the GEMM engine must be
+//     returned to the pool on every path out of the acquiring function and
+//     must never escape it.
+//
+// A deliberate exception is waived one line at a time with
+// `//perfvec:allow <analyzer> -- justification`; the justification is
+// mandatory. Each analyzer has golden-fixture tests under
+// internal/analysis/<name>/testdata driven by the x/tools-style
+// analysistest harness in internal/analysis/analysistest.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 package repro

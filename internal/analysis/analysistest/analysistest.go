@@ -1,0 +1,210 @@
+// Package analysistest runs an analyzer over a golden fixture package and
+// compares its findings against expectations written as
+//
+//	// want "regex"
+//
+// trailing comments in the fixture sources — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the standard
+// library. Fixture directories live under each analyzer's testdata/ (ignored
+// by the go tool, so deliberately-invariant-breaking code never enters a
+// build) and may import real repo packages; imports are resolved through the
+// go tool's export data exactly like the standalone driver.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run type-checks the fixture package in dir and applies a, failing t on any
+// mismatch between reported findings and // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a}, true)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, f := range findings {
+		if !consumeWant(wants, f) {
+			t.Errorf("unexpected finding at %s:%d: %s", filepath.Base(f.Posn.Filename), f.Posn.Line, f.Message)
+		}
+	}
+	for _, w := range remaining(wants) {
+		t.Errorf("expected finding matching %q at %s:%d, got none", w.re, filepath.Base(w.file), w.line)
+	}
+}
+
+// want is one expectation: a regex anchored to a file line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`// want (".*"|` + "`.*`" + `)\s*$`)
+
+// collectWants extracts // want "..." expectations from the fixture comments.
+func collectWants(pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						return nil, fmt.Errorf("malformed want comment: %s", c.Text)
+					}
+					continue
+				}
+				lit := m[1]
+				var pat string
+				if lit[0] == '`' {
+					pat = lit[1 : len(lit)-1]
+				} else {
+					var err error
+					pat, err = strconv.Unquote(lit)
+					if err != nil {
+						return nil, fmt.Errorf("want pattern %s: %v", lit, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("want pattern %q: %v", pat, err)
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: posn.Filename, line: posn.Line, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+func consumeWant(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == f.Posn.Filename && w.line == f.Posn.Line && w.re.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+func remaining(wants []*want) []*want {
+	var out []*want
+	for _, w := range wants {
+		if !w.hit {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// loadFixture parses and type-checks the .go files of dir as one package,
+// resolving its imports (standard library and repo packages alike) through
+// `go list -export` exactly like the standalone driver.
+func loadFixture(dir string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				importSet[p] = true
+			}
+		}
+	}
+
+	exports, err := exportData(importSet)
+	if err != nil {
+		return nil, err
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	// The fixture package path is synthetic; it only needs to be stable and
+	// distinct from the packages it imports.
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := analysis.NewTypesInfo()
+	cfg := types.Config{Importer: imp}
+	tpkg, err := cfg.Check("repro/fixture/"+filepath.Base(abs), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", dir, err)
+	}
+	return &analysis.Package{
+		ImportPath: tpkg.Path(),
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// exportData resolves the export-data files for the fixture's imports (and
+// their dependencies) through the go tool.
+func exportData(importSet map[string]bool) (map[string]string, error) {
+	if len(importSet) == 0 {
+		return nil, nil
+	}
+	patterns := make([]string, 0, len(importSet))
+	for p := range importSet {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	pkgs, err := analysis.ListExports(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,328 @@
+// Package arenalife enforces the tensor-arena lifetime invariant of PRs 3-4:
+// a *tensor.Tensor (or []*tensor.Tensor slab) produced through a tape or
+// arena is step-lifetime — valid only until the owning Tape.Reset recycles
+// it. The analyzer flows tape-derived values through each function's locals
+// and reports stores that can let them outlive the step: package-level
+// variables, struct fields, channel sends, and capture by a spawned
+// goroutine.
+//
+// A value is considered tape-derived when it comes from a call that both
+// returns tensors and takes the tape (a method on *tensor.Tape or
+// *tensor.Arena, or any function with a *tensor.Tape parameter — which is
+// every tensor op, tensor.Zeros, Dataset.Batch, Foundation.Forward, ...).
+// Returning such a value to the caller is fine (ownership transfers with the
+// documented step-lifetime contract); parking it anywhere that survives the
+// function is not.
+//
+// Struct types whose instances are themselves step-scoped (reset with the
+// tape) may be marked with a
+//
+//	//perfvec:tapescoped
+//
+// doc-comment directive; stores into their fields are exempt. Individual
+// deliberate stores are waived with `//perfvec:allow arenalife -- reason`.
+package arenalife
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the arenalife pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "arenalife",
+	Doc: "tape/arena-allocated tensors must not escape their Tape.Reset lifetime\n\n" +
+		"Flows tensors produced from a tape or arena through each function and\n" +
+		"flags stores into package-level vars, struct fields (unless the type\n" +
+		"is marked //perfvec:tapescoped), channel sends, and goroutine\n" +
+		"captures.",
+	Run: run,
+}
+
+// TapeScopedDirective marks a struct type whose instances are step-scoped.
+const TapeScopedDirective = "//perfvec:tapescoped"
+
+func run(pass *analysis.Pass) error {
+	scoped := tapeScopedTypes(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFunc(pass, fn, scoped)
+			}
+		}
+	}
+	return nil
+}
+
+// tapeScopedTypes collects the named types in this package whose
+// declarations carry the tapescoped directive.
+func tapeScopedTypes(pass *analysis.Pass) map[string]bool {
+	scoped := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+					if doc == nil {
+						continue
+					}
+					for _, c := range doc.List {
+						if strings.HasPrefix(c.Text, TapeScopedDirective) {
+							scoped[ts.Name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return scoped
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, scoped map[string]bool) {
+	info := pass.TypesInfo
+	tainted := map[*types.Var]bool{}
+
+	// Parameters of step-lifetime tensor type are tape-derived from the
+	// caller's perspective too: storing them durably is the same bug.
+	// Exception: constructors and methods receiving tensors they own (e.g.
+	// parameter registration) are common and legitimate, so parameters are
+	// NOT seeded — only values demonstrably produced from a tape in this
+	// function body are flowed.
+
+	var isTainted func(e ast.Expr) bool
+	isTainted = func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, ok := info.Uses[x].(*types.Var)
+			return ok && tainted[v]
+		case *ast.ParenExpr:
+			return isTainted(x.X)
+		case *ast.IndexExpr:
+			return isTainted(x.X)
+		case *ast.SliceExpr:
+			return isTainted(x.X)
+		case *ast.TypeAssertExpr:
+			return isTainted(x.X)
+		case *ast.CallExpr:
+			return isSourceCall(info, x)
+		}
+		return false
+	}
+	// Taint propagation to a fixpoint: two extra passes cover chains through
+	// locals assigned before their source in textual order (loops).
+	for i := 0; i < 3; i++ {
+		changed := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+					// Tuple assignment from a source call: taint every
+					// tensor-typed result.
+					if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && isSourceCall(info, call) {
+						for _, lhs := range n.Lhs {
+							if isStepTensorType(info.TypeOf(lhs)) {
+								changed = taintLocal(info, lhs, tainted) || changed
+							}
+						}
+					}
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) && isTainted(rhs) {
+						changed = taintLocal(info, n.Lhs[i], tainted) || changed
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if i < len(n.Names) && isTainted(v) {
+						if obj, ok := info.Defs[n.Names[i]].(*types.Var); ok && !tainted[obj] {
+							tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// for _, t := range taintedSlab { ... }
+				if n.Value != nil && isTainted(n.X) {
+					changed = taintLocal(info, n.Value, tainted) || changed
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	// Reporting pass: sinks that outlive the function.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !isTainted(rhs) {
+					continue
+				}
+				reportSink(pass, n.Lhs[i], rhs, scoped)
+			}
+		case *ast.SendStmt:
+			if isTainted(n.Value) {
+				pass.Reportf(n.Value.Pos(), "chan",
+					"tape-allocated tensor sent on a channel: the receiver can outlive Tape.Reset (pooled tensors are step-lifetime; copy out instead)")
+			}
+		case *ast.GoStmt:
+			reportGoCapture(pass, n, tainted)
+		}
+		return true
+	})
+}
+
+// taintLocal marks the variable behind lhs (an ident, or the base of an
+// index/slice of a tainted container) as tainted; it reports whether the set
+// changed. Non-ident LHS forms are handled by the reporting pass.
+func taintLocal(info *types.Info, lhs ast.Expr, tainted map[*types.Var]bool) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	var v *types.Var
+	if d, ok := info.Defs[id].(*types.Var); ok {
+		v = d
+	} else if u, ok := info.Uses[id].(*types.Var); ok {
+		v = u
+	}
+	if v == nil || tainted[v] {
+		return false
+	}
+	// Package-level vars are sinks, not taint carriers; the reporting pass
+	// flags the store itself.
+	if pkg := v.Pkg(); pkg != nil && pkg.Scope().Lookup(v.Name()) == v {
+		return false
+	}
+	tainted[v] = true
+	return true
+}
+
+// reportSink flags an assignment of a tape-derived value to a location that
+// can outlive the step.
+func reportSink(pass *analysis.Pass, lhs, rhs ast.Expr, scoped map[string]bool) {
+	info := pass.TypesInfo
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[l].(*types.Var); ok {
+			if pkg := v.Pkg(); pkg != nil && pkg.Scope().Lookup(v.Name()) == v {
+				pass.Reportf(rhs.Pos(), "global",
+					"tape-allocated tensor stored in package-level var %s: pooled tensors must not outlive Tape.Reset", v.Name())
+			}
+		}
+	case *ast.SelectorExpr:
+		base := info.TypeOf(l.X)
+		if base == nil {
+			return
+		}
+		if p, ok := base.Underlying().(*types.Pointer); ok {
+			base = p.Elem()
+		}
+		if n, ok := types.Unalias(base).(*types.Named); ok {
+			if scoped[n.Obj().Name()] && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == pass.Pkg.Path() {
+				return // step-scoped struct, reset with the tape
+			}
+		}
+		pass.Reportf(rhs.Pos(), "field",
+			"tape-allocated tensor stored in field %s: the struct can outlive Tape.Reset (mark the type //perfvec:tapescoped if it is reset with the tape)",
+			types.ExprString(l))
+	case *ast.IndexExpr:
+		// xs[i] = t where xs is itself a step-lifetime slab is the normal
+		// window-assembly pattern; storing into anything else is a sink.
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				if pkg := v.Pkg(); pkg != nil && pkg.Scope().Lookup(v.Name()) == v {
+					pass.Reportf(rhs.Pos(), "global",
+						"tape-allocated tensor stored in package-level container %s: pooled tensors must not outlive Tape.Reset", v.Name())
+				}
+				return
+			}
+		}
+		if sel, ok := ast.Unparen(l.X).(*ast.SelectorExpr); ok {
+			pass.Reportf(rhs.Pos(), "field",
+				"tape-allocated tensor stored in container field %s: the struct can outlive Tape.Reset",
+				types.ExprString(sel))
+		}
+	}
+}
+
+// reportGoCapture flags goroutines whose function references tape-derived
+// locals: the goroutine's lifetime is unbounded by the step.
+func reportGoCapture(pass *analysis.Pass, g *ast.GoStmt, tainted map[*types.Var]bool) {
+	info := pass.TypesInfo
+	check := func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := info.Uses[id].(*types.Var); ok && tainted[v] {
+				pass.Reportf(id.Pos(), "goroutine",
+					"tape-allocated tensor %s captured by a goroutine: it can outlive Tape.Reset", v.Name())
+			}
+			return true
+		})
+	}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		check(lit.Body)
+	}
+	for _, arg := range g.Call.Args {
+		check(arg)
+	}
+}
+
+// isStepTensorType reports whether t is a type the invariant covers:
+// *tensor.Tensor or a []*tensor.Tensor slab.
+func isStepTensorType(t types.Type) bool {
+	return t != nil && (analysis.IsTensorPtr(t) || analysis.IsTensorSlice(t))
+}
+
+// isSourceCall reports whether call produces step-lifetime tensors: it
+// returns a tensor or slab AND involves a tape or arena (receiver or
+// parameter).
+func isSourceCall(info *types.Info, call *ast.CallExpr) bool {
+	f := analysis.CalleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	returnsTensor := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isStepTensorType(sig.Results().At(i).Type()) {
+			returnsTensor = true
+			break
+		}
+	}
+	if !returnsTensor {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		if analysis.IsTapePtr(recv.Type()) || analysis.IsArenaPtr(recv.Type()) {
+			return true
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if analysis.IsTapePtr(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package arenalife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/arenalife"
+)
+
+func TestArenaLife(t *testing.T) {
+	analysistest.Run(t, "testdata/fix", arenalife.Analyzer)
+}

@@ -1,0 +1,43 @@
+// Clean fixture: the legitimate ways tape-allocated tensors move around — no
+// findings expected in this file.
+package fixture
+
+import "repro/internal/tensor"
+
+// step is reset together with its tape every iteration, so parking
+// step-lifetime tensors in its fields is sound.
+//
+//perfvec:tapescoped
+type step struct {
+	h *tensor.Tensor
+}
+
+func localUse(tp *tensor.Tape) float32 {
+	t := tensor.Zeros(tp, 2, 2)
+	return t.Data[0]
+}
+
+// Returning transfers ownership along with the documented step-lifetime
+// contract; the caller decides what to do before the next Reset.
+func returned(tp *tensor.Tape) *tensor.Tensor {
+	return tensor.Zeros(tp, 2, 2)
+}
+
+// Storing into a slab that is itself step-lifetime is the normal
+// window-assembly pattern.
+func slabAssembly(tp *tensor.Tape) []*tensor.Tensor {
+	xs := tp.Tensors(2)
+	xs[0] = tensor.Zeros(tp, 2, 2)
+	xs[1] = tensor.Zeros(tp, 2, 2)
+	return xs
+}
+
+func scopedStore(tp *tensor.Tape, s *step) {
+	s.h = tensor.Zeros(tp, 2, 2) // tapescoped type: reset with the tape
+}
+
+var debugTensor *tensor.Tensor
+
+func waived(tp *tensor.Tape) {
+	debugTensor = tensor.Zeros(tp, 2, 2) //perfvec:allow arenalife -- fixture: deliberate escape, documented at the store
+}

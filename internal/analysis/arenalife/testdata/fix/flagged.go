@@ -1,0 +1,58 @@
+// Flagged fixture: every sink class that lets a tape-allocated tensor
+// outlive Tape.Reset. leakGlobal reproduces the leaked-arena-tensor bug shape
+// the PR 3 arena invariant exists to prevent: parking a pooled activation in
+// a long-lived location and reading recycled memory a step later.
+package fixture
+
+import "repro/internal/tensor"
+
+var leakedTensor *tensor.Tensor
+var leakedSlab []*tensor.Tensor
+var tensorCache = map[string]*tensor.Tensor{}
+
+type model struct {
+	hidden *tensor.Tensor
+	cache  []*tensor.Tensor
+}
+
+func leakGlobal(tp *tensor.Tape) {
+	leakedTensor = tensor.Zeros(tp, 4, 4) // want `package-level var leakedTensor`
+}
+
+func leakSlab(tp *tensor.Tape) {
+	leakedSlab = tp.Tensors(3) // want `package-level var leakedSlab`
+}
+
+func leakViaAlias(tp *tensor.Tape) {
+	t := tensor.Zeros(tp, 2, 2)
+	u := t
+	leakedTensor = u // want `package-level var leakedTensor`
+}
+
+func leakSlabElement(tp *tensor.Tape) {
+	xs := tp.Tensors(2)
+	leakedTensor = xs[0] // want `package-level var leakedTensor`
+}
+
+func leakField(tp *tensor.Tape, m *model) {
+	t := tensor.Zeros(tp, 2, 2)
+	m.hidden = t // want `stored in field m.hidden`
+}
+
+func leakContainer(tp *tensor.Tape, m *model) {
+	t := tensor.Zeros(tp, 2, 2)
+	m.cache[0] = t      // want `container field m.cache`
+	tensorCache["h"] = t // want `package-level container tensorCache`
+}
+
+func leakChan(tp *tensor.Tape, ch chan *tensor.Tensor) {
+	t := tensor.Zeros(tp, 2, 2)
+	ch <- t // want `sent on a channel`
+}
+
+func leakGoroutine(tp *tensor.Tape) {
+	t := tensor.Zeros(tp, 2, 2)
+	go func() {
+		_ = t.Data // want `captured by a goroutine`
+	}()
+}

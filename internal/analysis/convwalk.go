@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// VisitConversions walks root and calls visit(expr, target) for every
+// expression whose value is implicitly or explicitly converted to a
+// contextually expected type: assignment right-hand sides, declared variable
+// initializers, call arguments (including variadic expansion), return values,
+// composite-literal elements, channel sends, and explicit conversions. It is
+// the shared engine behind the kernelcapture check (values converted to
+// tensor.Kernel) and hotalloc's interface-boxing check (values converted to
+// interface types).
+//
+// Tuple-valued right-hand sides (x, y := f()) are skipped: no representation
+// change can occur there.
+func VisitConversions(info *types.Info, root ast.Node, visit func(e ast.Expr, target types.Type)) {
+	pair := func(e ast.Expr, t types.Type) {
+		if e == nil || t == nil {
+			return
+		}
+		if b, ok := t.(*types.Basic); ok && b.Kind() == types.Invalid {
+			return
+		}
+		visit(e, t)
+	}
+
+	// walk traverses n with sig as the innermost enclosing function signature
+	// (for matching return values); nested function literals recurse with
+	// their own signature.
+	var walk func(n ast.Node, sig *types.Signature)
+	walk = func(root ast.Node, sig *types.Signature) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fsig, _ := info.Defs[n.Name].Type().(*types.Signature)
+					walk(n.Body, fsig)
+				}
+				return false
+			case *ast.FuncLit:
+				lsig, _ := info.TypeOf(n.Type).(*types.Signature)
+				walk(n.Body, lsig)
+				return false
+
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						pair(rhs, info.TypeOf(n.Lhs[i]))
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					t := info.TypeOf(n.Type)
+					for _, v := range n.Values {
+						pair(v, t)
+					}
+				} else if len(n.Names) == len(n.Values) {
+					for i, v := range n.Values {
+						pair(v, info.TypeOf(n.Names[i]))
+					}
+				}
+			case *ast.SendStmt:
+				if ch, ok := info.TypeOf(n.Chan).Underlying().(*types.Chan); ok {
+					pair(n.Value, ch.Elem())
+				}
+			case *ast.ReturnStmt:
+				if sig == nil {
+					break
+				}
+				res := sig.Results()
+				if res.Len() == len(n.Results) {
+					for i, r := range n.Results {
+						pair(r, res.At(i).Type())
+					}
+				}
+			case *ast.CallExpr:
+				visitCallConversions(info, n, pair)
+			case *ast.CompositeLit:
+				visitLitConversions(info, n, pair)
+			}
+			return true
+		})
+	}
+	walk(root, enclosingSig(info, root))
+}
+
+// enclosingSig returns root's own signature when root is itself a function
+// declaration or literal, so walking a lone FuncDecl still matches its
+// returns.
+func enclosingSig(info *types.Info, root ast.Node) *types.Signature {
+	switch n := root.(type) {
+	case *ast.FuncDecl:
+		sig, _ := info.Defs[n.Name].Type().(*types.Signature)
+		return sig
+	case *ast.FuncLit:
+		sig, _ := info.TypeOf(n.Type).(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+func visitCallConversions(info *types.Info, call *ast.CallExpr, pair func(ast.Expr, types.Type)) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Explicit conversion T(x).
+		if len(call.Args) == 1 {
+			pair(call.Args[0], tv.Type)
+		}
+		return
+	}
+	sig, ok := info.TypeOf(call.Fun).Underlying().(*types.Signature)
+	if !ok {
+		return // built-in: no conversions (hotalloc handles these itself)
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var t types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				t = sig.Params().At(np - 1).Type()
+			} else if s, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok {
+				t = s.Elem()
+			}
+		case i < np:
+			t = sig.Params().At(i).Type()
+		}
+		pair(arg, t)
+	}
+}
+
+func visitLitConversions(info *types.Info, lit *ast.CompositeLit, pair func(ast.Expr, types.Type)) {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					if obj, ok := info.Uses[id].(*types.Var); ok {
+						pair(kv.Value, obj.Type())
+					}
+				}
+			} else if i < u.NumFields() {
+				pair(el, u.Field(i).Type())
+			}
+		}
+	case *types.Slice:
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			pair(el, u.Elem())
+		}
+	case *types.Array:
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			pair(el, u.Elem())
+		}
+	case *types.Map:
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				pair(kv.Key, u.Key())
+				pair(kv.Value, u.Elem())
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package kernelcapture verifies the closure-free kernel-dispatch invariant
+// of PR 4: every value used as a tensor.Kernel — the typed loop body a
+// ParallelKernel dispatch copies into the worker pool's task queue — must be
+// a named top-level function (or a method expression, which carries no
+// capture block). A func literal that captures variables, or a method value
+// x.m, is a per-call heap allocation at exactly the call sites the typed
+// kernel mechanism exists to keep allocation-free; that is the precise bug
+// shape PR 4 eliminated by hand across every tensor op.
+package kernelcapture
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the kernelcapture pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "kernelcapture",
+	Doc: "tensor.Kernel values must be top-level functions, not closures or method values\n\n" +
+		"Flags every expression converted to tensor.Kernel (ParallelKernel\n" +
+		"arguments, assignments, struct fields) that is not a reference to a\n" +
+		"package-level function. Values that already have type tensor.Kernel\n" +
+		"are pass-through (checked where they were created).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		analysis.VisitConversions(pass.TypesInfo, f, func(e ast.Expr, target types.Type) {
+			if !analysis.IsNamed(target, analysis.TensorPkg, "Kernel", false) {
+				return
+			}
+			// A value that is already Kernel-typed (a parameter or variable
+			// being forwarded) was vetted at its own creation point.
+			if t := pass.TypesInfo.TypeOf(e); t != nil &&
+				analysis.IsNamed(t, analysis.TensorPkg, "Kernel", false) {
+				return
+			}
+			if isUntypedNil(pass.TypesInfo, e) {
+				return
+			}
+			if analysis.IsPackageLevelFuncRef(pass.TypesInfo, e) {
+				return
+			}
+			switch ast.Unparen(e).(type) {
+			case *ast.FuncLit:
+				pass.Reportf(e.Pos(), "closure",
+					"tensor.Kernel must be a named top-level function, not a func literal (closures heap-allocate per dispatch; see the PR 4 typed-kernel invariant)")
+			default:
+				pass.Reportf(e.Pos(), "value",
+					"tensor.Kernel must be a named top-level function, not a method value or function-typed expression (capture blocks heap-allocate per dispatch)")
+			}
+		})
+	}
+	return nil
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	t, ok := info.Types[e]
+	return ok && t.IsNil()
+}

@@ -1,0 +1,12 @@
+package kernelcapture_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/kernelcapture"
+)
+
+func TestKernelCapture(t *testing.T) {
+	analysistest.Run(t, "testdata/fix", kernelcapture.Analyzer)
+}

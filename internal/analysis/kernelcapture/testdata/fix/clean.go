@@ -1,0 +1,31 @@
+// Clean fixture: the typed-kernel dispatch contract — no findings expected.
+package fixture
+
+import "repro/internal/tensor"
+
+// kScale is the canonical kernel shape: a named top-level function reading
+// its inputs from KernelArgs.
+func kScale(start, end int, a tensor.KernelArgs) {
+	dst, s := a.S[0], a.F[0]
+	for i := start; i < end; i++ {
+		dst[i] *= s
+	}
+}
+
+func dispatchNamed(dst []float32, s float32) {
+	tensor.ParallelKernel(len(dst), 0, kScale,
+		tensor.KernelArgs{S: [8][]float32{0: dst}, F: [6]float32{0: s}})
+}
+
+// Forwarding an existing Kernel value is pass-through: it was checked where
+// it was created.
+func forward(k tensor.Kernel, n int, a tensor.KernelArgs) {
+	tensor.ParallelKernel(n, 0, k, a)
+}
+
+func zeroKernel(n int, a tensor.KernelArgs) {
+	var k tensor.Kernel
+	if k != nil {
+		tensor.ParallelKernel(n, 0, k, a)
+	}
+}

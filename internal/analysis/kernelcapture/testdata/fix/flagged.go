@@ -1,0 +1,34 @@
+// Flagged fixture: the pre-PR-4 dispatch shapes — closures and method values
+// handed to the kernel machinery. dispatchClosure is exactly the escaping
+// ParallelKernel closure pattern PR 4 eliminated op by op.
+package fixture
+
+import "repro/internal/tensor"
+
+type scaler struct{ s float32 }
+
+func (sc *scaler) kernel(start, end int, a tensor.KernelArgs) {
+	dst := a.S[0]
+	for i := start; i < end; i++ {
+		dst[i] *= sc.s
+	}
+}
+
+func dispatchClosure(dst []float32, s float32) {
+	tensor.ParallelKernel(len(dst), 1, func(start, end int, a tensor.KernelArgs) { // want `not a func literal`
+		for i := start; i < end; i++ {
+			dst[i] *= s
+		}
+	}, tensor.KernelArgs{})
+}
+
+func dispatchMethodValue(dst []float32, sc *scaler) {
+	tensor.ParallelKernel(len(dst), 1, sc.kernel, // want `not a method value`
+		tensor.KernelArgs{S: [8][]float32{0: dst}})
+}
+
+func storeClosure() tensor.Kernel {
+	var k tensor.Kernel
+	k = func(start, end int, a tensor.KernelArgs) { _ = a } // want `not a func literal`
+	return k
+}

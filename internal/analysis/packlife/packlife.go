@@ -1,0 +1,303 @@
+// Package packlife verifies the packed-buffer lifetime rule of the PR 5 GEMM
+// engine: a packing buffer acquired from the pack pool (via packBuf or a
+// direct Get on a sync.Pool variable whose name starts with "pack") is owned
+// by the engine only for the duration of the call that took it. Every
+// acquisition must be matched by a Put back to the pool inside the same
+// function — on all return paths, with `defer` counting as all paths — and
+// the buffer must not be handed to other calls, stored into fields, globals,
+// or channels, or returned to the caller.
+package packlife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the packlife pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "packlife",
+	Doc: "pack-pool buffers must be returned on every path and never outlive the engine call\n\n" +
+		"Tracks locals assigned from packBuf(...) or <pack*>.Get() and requires\n" +
+		"a matching <pack*>.Put on all paths out of the function; flags early\n" +
+		"returns that skip a non-deferred Put, and any use that could let the\n" +
+		"buffer outlive the call (passing it to other functions, storing it,\n" +
+		"returning it).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			// packBuf itself is the acquisition wrapper: returning the buffer
+			// is its contract, so it is exempt from the escape rules.
+			if ok && fn.Body != nil && fn.Name.Name != "packBuf" {
+				checkFunc(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// acquisition is one pack-pool buffer acquired in the function under check.
+type acquisition struct {
+	obj *types.Var
+	pos token.Pos
+	// put positions; deferred marks any deferred Put.
+	puts     []token.Pos
+	deferred bool
+	escaped  bool // reported as escaping; skip the missing-Put diagnostic
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var acqs []*acquisition
+	byObj := func(obj types.Object) *acquisition {
+		for _, a := range acqs {
+			if a.obj == obj {
+				return a
+			}
+		}
+		return nil
+	}
+
+	// Pass 1: find acquisitions (x := packBuf(n) / x := packPool.Get().(T)).
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		if !isAcquireExpr(info, as.Rhs[0]) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			pass.Reportf(as.Pos(), "store",
+				"pack-pool buffer stored directly into %s: pack buffers have engine-call lifetime and must stay in a local", types.ExprString(as.Lhs[0]))
+			return true
+		}
+		var obj types.Object
+		if as.Tok == token.DEFINE {
+			obj = info.Defs[id]
+		} else {
+			obj = info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Parent() != nil && v.Parent() == pass.Pkg.Scope() {
+				pass.Reportf(as.Pos(), "store",
+					"pack-pool buffer stored in package-level var %s: pack buffers have engine-call lifetime", v.Name())
+				return true
+			}
+			acqs = append(acqs, &acquisition{obj: v, pos: as.Pos()})
+		}
+		return true
+	})
+	if len(acqs) == 0 {
+		return
+	}
+
+	// Pass 2: classify every other use of each acquired buffer.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if a := putTarget(info, n.Call, byObj); a != nil {
+				a.puts = append(a.puts, n.Pos())
+				a.deferred = true
+				return false
+			}
+		case *ast.CallExpr:
+			if a := putTarget(info, n, byObj); a != nil {
+				a.puts = append(a.puts, n.Pos())
+				return false
+			}
+			if isAcquireExpr(info, n) || isBuiltinCall(info, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if a := escapingRef(info, arg, byObj); a != nil {
+					a.escaped = true
+					pass.Reportf(arg.Pos(), "escape",
+						"pack-pool buffer %s passed to %s: pack buffers must not leave the acquiring function (engine-call lifetime)",
+						a.obj.Name(), types.ExprString(n.Fun))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if a := escapingRef(info, r, byObj); a != nil {
+					a.escaped = true
+					pass.Reportf(r.Pos(), "escape",
+						"pack-pool buffer %s returned to the caller: pack buffers must not outlive the engine call", a.obj.Name())
+				}
+			}
+		case *ast.SendStmt:
+			if a := escapingRef(info, n.Value, byObj); a != nil {
+				a.escaped = true
+				pass.Reportf(n.Value.Pos(), "escape",
+					"pack-pool buffer %s sent on a channel: pack buffers must not outlive the engine call", a.obj.Name())
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				a := escapingRef(info, rhs, byObj)
+				if a == nil || i >= len(n.Lhs) {
+					continue
+				}
+				switch lhs := n.Lhs[i].(type) {
+				case *ast.Ident:
+					if v, ok := info.Uses[lhs].(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+						a.escaped = true
+						pass.Reportf(rhs.Pos(), "escape",
+							"pack-pool buffer %s stored in package-level var %s", a.obj.Name(), v.Name())
+					}
+				case *ast.SelectorExpr:
+					a.escaped = true
+					pass.Reportf(rhs.Pos(), "escape",
+						"pack-pool buffer %s stored in field %s: pack buffers must not outlive the engine call",
+						a.obj.Name(), types.ExprString(lhs))
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: every acquisition needs a Put; without a deferred Put, a return
+	// between the acquisition and its last Put leaks the buffer on that path.
+	for _, a := range acqs {
+		if a.escaped {
+			continue
+		}
+		if len(a.puts) == 0 {
+			pass.Reportf(a.pos, "leak",
+				"pack-pool buffer %s is never returned to the pool (missing Put; use defer to cover panic paths)", a.obj.Name())
+			continue
+		}
+		if a.deferred {
+			continue
+		}
+		last := a.puts[0]
+		for _, p := range a.puts {
+			if p > last {
+				last = p
+			}
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if ok && ret.Pos() > a.pos && ret.Pos() < last {
+				pass.Reportf(ret.Pos(), "leak",
+					"return leaks pack-pool buffer %s acquired above (Put is only reached later; use defer)", a.obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isAcquireExpr reports whether e (possibly behind a type assertion or
+// parens) acquires a pack-pool buffer: a call to a function named packBuf, or
+// to Get on a sync.Pool stored in a variable whose name starts with "pack".
+func isAcquireExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.TypeAssertExpr:
+		return isAcquireExpr(info, e.X)
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			f, ok := info.Uses[fun].(*types.Func)
+			return ok && f.Name() == "packBuf"
+		case *ast.SelectorExpr:
+			f, ok := info.Uses[fun.Sel].(*types.Func)
+			if !ok || f.Name() != "Get" {
+				return false
+			}
+			return isPackPoolExpr(info, fun.X)
+		}
+	}
+	return false
+}
+
+// putTarget returns the acquisition released by call when it is a
+// <pack*>.Put(x) on a tracked buffer, else nil.
+func putTarget(info *types.Info, call *ast.CallExpr, byObj func(types.Object) *acquisition) *acquisition {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Name() != "Put" || !isPackPoolExpr(info, sel.X) {
+		return nil
+	}
+	return referenced(info, call.Args[0], byObj)
+}
+
+// isBuiltinCall reports whether call invokes a built-in (cap, len, clear,
+// ...): built-ins retain nothing, so a buffer passed to one does not escape.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isPackPoolExpr reports whether e denotes a pack pool: a sync.Pool-typed
+// expression whose root identifier starts with "pack".
+func isPackPoolExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil || !analysis.IsNamed(t, "sync", "Pool", true) {
+		return false
+	}
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return strings.HasPrefix(x.Name, "pack")
+		case *ast.SelectorExpr:
+			return strings.HasPrefix(x.Sel.Name, "pack")
+		default:
+			return false
+		}
+	}
+}
+
+// escapingRef is referenced restricted to expressions that can actually carry
+// the buffer's memory out: an element read like (*pa)[i] yields a basic-typed
+// copy and cannot alias the backing array, so it is not an escape (slicing
+// and the pointer itself still are).
+func escapingRef(info *types.Info, e ast.Expr, byObj func(types.Object) *acquisition) *acquisition {
+	a := referenced(info, e, byObj)
+	if a == nil {
+		return nil
+	}
+	if t := info.TypeOf(e); t != nil {
+		if _, basic := t.Underlying().(*types.Basic); basic {
+			return nil
+		}
+	}
+	return a
+}
+
+// referenced returns the tracked acquisition whose variable e references
+// (through parens, derefs, slices, and index expressions), else nil.
+func referenced(info *types.Info, e ast.Expr, byObj func(types.Object) *acquisition) *acquisition {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj, ok := info.Uses[x].(*types.Var); ok {
+				return byObj(obj)
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

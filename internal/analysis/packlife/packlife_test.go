@@ -1,0 +1,12 @@
+package packlife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/packlife"
+)
+
+func TestPackLife(t *testing.T) {
+	analysistest.Run(t, "testdata/fix", packlife.Analyzer)
+}

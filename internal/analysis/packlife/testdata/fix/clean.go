@@ -1,0 +1,49 @@
+// Clean fixture: the pack-pool discipline the GEMM engine follows — no
+// findings expected in this file.
+package fixture
+
+import "sync"
+
+var packPool = sync.Pool{New: func() any { s := make([]float32, 0, 64); return &s }}
+
+// packBuf mirrors the engine's acquisition wrapper; returning the buffer is
+// its contract, so the analyzer exempts it by name.
+func packBuf(n int) *[]float32 {
+	p := packPool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func packClean(n int) float32 {
+	pa := packBuf(n)
+	(*pa)[0] = 2
+	v := (*pa)[0]
+	packPool.Put(pa)
+	return v
+}
+
+func packDeferred(n int, cond bool) float32 {
+	pa := packBuf(n)
+	defer packPool.Put(pa)
+	if cond {
+		return 0 // covered by the deferred Put
+	}
+	return (*pa)[0] // element copy, not the buffer
+}
+
+// The gemmPacked shape: acquire and release once per chunk inside the loop.
+func packLoop(chunks int) {
+	for c := 0; c < chunks; c++ {
+		pb := packBuf(64)
+		(*pb)[0] = float32(c)
+		packPool.Put(pb)
+	}
+}
+
+func packWaived(n int) *[]float32 {
+	pa := packBuf(n)
+	return pa //perfvec:allow packlife -- fixture: ownership hand-off documented at the call site
+}

@@ -1,0 +1,60 @@
+// Flagged fixture: pack-pool buffers that leak or escape the acquiring
+// function. The analyzer keys on the packBuf / pack*-pool naming contract of
+// the GEMM engine, which pool.go reproduces locally.
+package fixture
+
+var global *[]float32
+
+type engine struct{ scratch *[]float32 }
+
+func leakNoPut(n int) {
+	pa := packBuf(n) // want `never returned to the pool`
+	(*pa)[0] = 1
+}
+
+func leakDirectGet() {
+	pb := packPool.Get().(*[]float32) // want `never returned to the pool`
+	_ = pb
+}
+
+func leakEarlyReturn(n int, cond bool) {
+	pa := packBuf(n)
+	if cond {
+		return // want `return leaks pack-pool buffer pa`
+	}
+	(*pa)[0] = 1
+	packPool.Put(pa)
+}
+
+func escapeCall(n int) {
+	pa := packBuf(n)
+	consume(pa) // want `passed to consume`
+	packPool.Put(pa)
+}
+
+func escapeReturn(n int) *[]float32 {
+	pa := packBuf(n)
+	return pa // want `returned to the caller`
+}
+
+func escapeField(e *engine, n int) {
+	pa := packBuf(n)
+	e.scratch = pa // want `stored in field e.scratch`
+	packPool.Put(pa)
+}
+
+func escapeGlobal(n int) {
+	pa := packBuf(n)
+	global = pa // want `stored in package-level var global`
+}
+
+func storeDirect(n int) {
+	global = packBuf(n) // want `stored in package-level var global`
+}
+
+func escapeChan(n int, ch chan *[]float32) {
+	pa := packBuf(n)
+	ch <- pa // want `sent on a channel`
+}
+
+func consume(p *[]float32) { _ = p }

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Finding is one post-suppression diagnostic, resolved to a position.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Posn, f.Analyzer, f.Message)
+}
+
+// RunPackage applies each analyzer to one loaded package and returns the
+// surviving findings: diagnostics on lines carrying a matching
+// //perfvec:allow directive (with a justification) are dropped. Test files
+// are skipped unless includeTests is set — the invariants the suite enforces
+// are production hot-path invariants, and tests legitimately hold tensors in
+// package-level sinks (benchmarks) or build throwaway closures.
+func RunPackage(pkg *Package, analyzers []*Analyzer, includeTests bool) ([]Finding, error) {
+	files := pkg.Files
+	if !includeTests {
+		files = files[:0:0]
+		for _, f := range pkg.Files {
+			if !strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+				files = append(files, f)
+			}
+		}
+	}
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.report = func(d Diagnostic) {
+			if pass.allowsAt(d.Pos, a.Name, d.Category) {
+				return
+			}
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Posn:     pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Posn, fs[j].Posn
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return fs[i].Analyzer < fs[j].Analyzer
+	})
+}

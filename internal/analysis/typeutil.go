@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shared type-matching helpers. Analyzers never compare types.Type values by
+// identity: the same named type is a distinct object depending on whether its
+// package was checked from source (the package under analysis) or imported
+// from export data (a dependency), so all matching is by package path and
+// name.
+
+// TensorPkg is the import path of the tensor package whose invariants the
+// suite enforces.
+const TensorPkg = "repro/internal/tensor"
+
+// IsNamed reports whether t (after unaliasing) is the named type
+// pkgPath.name, looking through pointers when deref is set.
+func IsNamed(t types.Type, pkgPath, name string, deref bool) bool {
+	if deref {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsTensorPtr reports whether t is *tensor.Tensor.
+func IsTensorPtr(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	return ok && IsNamed(p.Elem(), TensorPkg, "Tensor", false)
+}
+
+// IsTensorSlice reports whether t is []*tensor.Tensor (a tensor slab).
+func IsTensorSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && IsTensorPtr(s.Elem())
+}
+
+// IsTapePtr reports whether t is *tensor.Tape.
+func IsTapePtr(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	return ok && IsNamed(p.Elem(), TensorPkg, "Tape", false)
+}
+
+// IsArenaPtr reports whether t is *tensor.Arena.
+func IsArenaPtr(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	return ok && IsNamed(p.Elem(), TensorPkg, "Arena", false)
+}
+
+// CalleeFunc resolves the called function or method of a call expression,
+// looking through parenthesization. It returns nil for calls through
+// function-typed values or built-ins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// FuncQualifiedName renders f as "pkgpath.Name" or "pkgpath.(Recv).Name" for
+// matching against configured function lists.
+func FuncQualifiedName(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := types.Unalias(t).(*types.Named); ok {
+			return f.Pkg().Path() + ".(" + n.Obj().Name() + ")." + f.Name()
+		}
+	}
+	return f.Pkg().Path() + "." + f.Name()
+}
+
+// IsPackageLevelFuncRef reports whether expr statically references a
+// package-level function or a method expression (T.method) — the forms that
+// carry no capture block. Func literals, method values (x.method), and
+// variables of function type all fail.
+func IsPackageLevelFuncRef(info *types.Info, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		f, ok := info.Uses[e].(*types.Func)
+		return ok && isTopLevel(f)
+	case *ast.SelectorExpr:
+		f, ok := info.Uses[e.Sel].(*types.Func)
+		if !ok {
+			return false
+		}
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+			return false // x.method: captures x
+		}
+		// pkg.Func or T.method (method expression).
+		return isTopLevel(f) || f.Type().(*types.Signature).Recv() != nil
+	}
+	return false
+}
+
+// isTopLevel reports whether f is declared at package scope (not a method,
+// not a local closure binding).
+func isTopLevel(f *types.Func) bool {
+	return f.Pkg() != nil && f.Pkg().Scope().Lookup(f.Name()) == f
+}

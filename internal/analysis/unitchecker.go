@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// The `go vet -vettool` unit-checker protocol: cmd/go type-plans the build,
+// then invokes the tool once per package with a JSON config file naming the
+// package's sources and the export-data files of its dependencies. This is
+// the same contract x/tools' unitchecker implements; only the fields the
+// suite needs are decoded.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs the analyzers over one vet compilation unit described by
+// cfgFile and exits through the caller. Diagnostics go to stderr in the
+// file:line:col form vet relays; any finding fails the run.
+func unitcheck(cfgFile string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("%s: %v", cfgFile, err)
+	}
+
+	// go vet caches per-package results through the "vetx" facts file; the
+	// suite exchanges no facts, but the (empty) file must exist for the cache
+	// entry to be recorded.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := NewTypesInfo()
+	tcfg := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	tpkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	pkg := &Package{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	// Test files are filtered here too (go vet hands over test variants of
+	// each package as their own units): the suite's invariants target
+	// production hot paths, and benchmarks legitimately park tensors in sink
+	// variables.
+	findings, err := RunPackage(pkg, analyzers, false)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, progName()+": "+format+"\n", args...)
+	os.Exit(1)
+}

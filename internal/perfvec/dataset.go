@@ -186,6 +186,8 @@ func (d *Dataset) Subsample(frac float64) *Dataset {
 // Shard boundaries depend only on (len(ids), workers) and every output row
 // is an independent copy written by exactly one shard, so the assembled
 // tensors are bitwise identical to the serial path at any worker count.
+//
+//perfvec:hotpath
 func (d *Dataset) Batch(tp *tensor.Tape, ids []int, window int, targetScale float32, workers int) ([]*tensor.Tensor, *tensor.Tensor) {
 	// Locals, not named results: a closure capturing named result variables
 	// forces them into heap boxes on every call, even on the serial path.
@@ -208,7 +210,7 @@ func (d *Dataset) Batch(tp *tensor.Tape, ids []int, window int, targetScale floa
 		return xs, targets
 	}
 	shard := (bsz + workers - 1) / workers
-	tensor.Parallel(workers, func(w0, w1 int) {
+	tensor.Parallel(workers, func(w0, w1 int) { //perfvec:allow hotalloc -- sharded path only; the serial batch path above is the allocation-free one (see the locals comment)
 		for w := w0; w < w1; w++ {
 			from := w * shard
 			to := min(from+shard, bsz)

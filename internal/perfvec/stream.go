@@ -284,10 +284,12 @@ func (w *WindowStream) NextBatch(maxB int) (xs []*tensor.Tensor, n int, err erro
 // buffers are reused by the stream, so the per-chunk encode loop allocates
 // nothing after the first batch. It returns the program representation and
 // the number of instructions consumed.
+//
+//perfvec:hotpath
 func (f *Foundation) StreamRep(rows RowStream) ([]float32, int, error) {
 	ws := NewWindowStream(rows, f.Cfg.Window, f.Cfg.FeatDim)
 	tp := tensor.NewInferenceTape()
-	acc := make([]float64, f.Cfg.RepDim)
+	acc := make([]float64, f.Cfg.RepDim) //perfvec:allow hotalloc -- per-call accumulator setup; the per-chunk encode loop below allocates nothing
 	total := 0
 	for {
 		xs, n, err := ws.NextBatch(streamChunk)
@@ -306,7 +308,7 @@ func (f *Foundation) StreamRep(rows RowStream) ([]float32, int, error) {
 		}
 		total += n
 	}
-	out := make([]float32, len(acc))
+	out := make([]float32, len(acc)) //perfvec:allow hotalloc -- the returned representation is the caller's to keep; copied out once per call
 	for j, v := range acc {
 		out[j] = float32(v)
 	}

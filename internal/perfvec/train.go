@@ -259,6 +259,8 @@ func (t *Trainer) Train(d *Dataset) *TrainResult {
 // Step runs one reuse-form training minibatch (forward, backward, optimizer)
 // and returns its loss. Exported for the benchmark harness: BenchmarkTrainStep
 // and cmd/perfvec-bench time exactly this call.
+//
+//perfvec:hotpath
 func (t *Trainer) Step(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 	return t.stepReuse(d, batch, opt)
 }
@@ -282,6 +284,8 @@ func (t *Trainer) TapeHistogram() map[string]int {
 // reduction accumulates in fixed worker order for run-to-run determinism at
 // a given worker count. All step tensors come from per-tape arenas, so the
 // steady-state step performs no tensor allocation at any worker count.
+//
+//perfvec:hotpath
 func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 	cfg := t.Model.Cfg
 	workers := t.gradWorkers()
@@ -374,6 +378,8 @@ func (t *Trainer) stepReuse(d *Dataset, batch []int, opt nn.Optimizer) float64 {
 // into the master in ascending slot order and zeroed as they are consumed.
 // Per-element updates are independent across the partitioned range, so
 // chunked execution is bitwise-deterministic at any pool size.
+//
+//perfvec:hotpath
 func kGradReduce(s, e int, ka tensor.KernelArgs) {
 	g := ka.S[0]
 	for w := 1; w <= ka.I[0]; w++ {
@@ -415,6 +421,8 @@ func (t *Trainer) stepNaive(d *Dataset, batch []int, opt nn.Optimizer, rng *rand
 // a pooled inference tape (see evalTape), Reset between chunks: peak memory
 // is bounded at up to GOMAXPROCS chunks of pooled activations, and the
 // steady-state evaluation pass — like the training step — allocates nothing.
+//
+//perfvec:hotpath
 func (t *Trainer) Loss(d *Dataset, ids []int) float64 {
 	if len(ids) == 0 {
 		return 0
@@ -424,8 +432,8 @@ func (t *Trainer) Loss(d *Dataset, ids []int) float64 {
 	nChunks := (len(ids) + evalBatch - 1) / evalBatch
 	// Local, not a reused Trainer field: Loss stays safe to call from
 	// concurrent goroutines, at the cost of one small slice per call.
-	losses := make([]float64, nChunks)
-	tensor.Parallel(nChunks, func(c0, c1 int) {
+	losses := make([]float64, nChunks) //perfvec:allow hotalloc -- per-call shard sums, sized by ids, kept local for concurrent Loss calls
+	tensor.Parallel(nChunks, func(c0, c1 int) { //perfvec:allow hotalloc -- one closure per Loss call, not per chunk; chunk loop inside is allocation-free
 		tp := t.evalTapes.get()
 		defer t.evalTapes.put(tp)
 		for c := c0; c < c1; c++ {

@@ -87,6 +87,7 @@ func kLSTMGates(r0, r1 int, ka KernelArgs) {
 
 // vjpLSTMGates: a=pre, b=bias, c=prev cell state, out=h', out2=c',
 // s1=gate activations, s2=tanh(c').
+//perfvec:hotpath
 func vjpLSTMGates(tp *Tape, r *opRecord) {
 	gh, gc := r.out.Grad, r.out2.Grad
 	if gh == nil && gc == nil {
@@ -198,6 +199,7 @@ func kGRUGates(r0, r1 int, ka KernelArgs) {
 }
 
 // vjpGRUGates: a=pre, b=bias, c=h, out=z, out2=r⊙h, s1=reset activations.
+//perfvec:hotpath
 func vjpGRUGates(tp *Tape, r *opRecord) {
 	gz, grh := r.out.Grad, r.out2.Grad
 	if gz == nil && grh == nil {
@@ -290,6 +292,7 @@ func kGateCombine(r0, r1 int, ka KernelArgs) {
 }
 
 // vjpGateCombine: a=z, b=nPre, c=bias, d=h, out, s1=candidate activations.
+//perfvec:hotpath
 func vjpGateCombine(tp *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -379,6 +382,7 @@ func kAddBiasInPlace(r0, r1 int, ka KernelArgs) {
 }
 
 // vjpAddBiasInPlace: a, b=bias.
+//perfvec:hotpath
 func vjpAddBiasInPlace(_ *Tape, r *opRecord) {
 	g := r.a.Grad
 	if g == nil {
@@ -413,6 +417,7 @@ func kSigmoidInPlace(s, e int, ka KernelArgs) {
 }
 
 // vjpSigmoidInPlace: a.
+//perfvec:hotpath
 func vjpSigmoidInPlace(_ *Tape, r *opRecord) {
 	g := r.a.Grad
 	if g == nil {
@@ -448,6 +453,7 @@ func kTanhInPlace(s, e int, ka KernelArgs) {
 }
 
 // vjpTanhInPlace: a.
+//perfvec:hotpath
 func vjpTanhInPlace(_ *Tape, r *opRecord) {
 	g := r.a.Grad
 	if g == nil {
@@ -486,6 +492,7 @@ func kReLUInPlace(s, e int, ka KernelArgs) {
 }
 
 // vjpReLUInPlace: a.
+//perfvec:hotpath
 func vjpReLUInPlace(_ *Tape, r *opRecord) {
 	g := r.a.Grad
 	if g == nil {

@@ -126,6 +126,8 @@ func gemmTN(dst, a, b []float32, m, k, n, lda, ldb, ldc int) {
 // worker packs the B panels for the column range it owns). Dispatch is a
 // typed kernel — see ParallelKernel — because GEMMs run in every op's
 // forward and backward pass.
+//
+//perfvec:hotpath
 func gemmPacked(dst, a, b []float32, m, k, n, lda, ldb, ldc int, aT, bT bool) {
 	if m == 0 || n == 0 {
 		return
@@ -232,6 +234,8 @@ func packAT(dst, a []float32, m, kc, pc, lda int) {
 // NR-column strips (worker covers all rows of its column range) or, for
 // narrow-tall outputs, MR-row strips (worker covers all columns of its row
 // range).
+//
+//perfvec:hotpath
 func kGemmPacked(s0, s1 int, ka KernelArgs) {
 	dst, aPack, b := ka.S[0], ka.S[1], ka.S[2]
 	kc, m, n, ldb, ldc := ka.I[0], ka.I[1], ka.I[2], ka.I[3], ka.I[4]
@@ -248,6 +252,8 @@ func kGemmPacked(s0, s1 int, ka KernelArgs) {
 // panels for its column range (at most NC columns at a time) and runs the
 // micro-kernel over every MR x NR tile, streaming the shared packed-A
 // strips against each L1-resident B strip.
+//
+//perfvec:hotpath
 func gemmWorker(dst, aPack, b []float32, kc, n, ldb, ldc int, bT bool, i0, i1, j0, j1 int) {
 	var tile [gemmMR * gemmNR]float32 // C scratch for boundary tiles
 	for jc := j0; jc < j1; jc += gemmNC {

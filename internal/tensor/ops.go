@@ -40,6 +40,7 @@ func MatMul(tp *Tape, a, b *Tensor) *Tensor {
 }
 
 // vjpMatMul: a, b, out.
+//perfvec:hotpath
 func vjpMatMul(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -68,6 +69,7 @@ func MatMulBT(tp *Tape, a, b *Tensor) *Tensor {
 }
 
 // vjpMatMulBT: a, b, out.
+//perfvec:hotpath
 func vjpMatMulBT(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -101,6 +103,7 @@ func MatMulBTCat(tp *Tape, x, h, w *Tensor) *Tensor {
 }
 
 // vjpMatMulBTCat: a=x, b=h, c=w, out.
+//perfvec:hotpath
 func vjpMatMulBTCat(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -137,6 +140,7 @@ func MatMulBTCols(tp *Tape, a, b *Tensor, from, to int) *Tensor {
 }
 
 // vjpMatMulBTCols: a, b, out; i0=from, i1=to.
+//perfvec:hotpath
 func vjpMatMulBTCols(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -172,6 +176,7 @@ func kAdd(s, e int, ka KernelArgs) {
 }
 
 // vjpAdd: a, b, out.
+//perfvec:hotpath
 func vjpAdd(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -216,6 +221,7 @@ func kAddBias(r0, r1 int, ka KernelArgs) {
 }
 
 // vjpAddBias: a, b=bias, out.
+//perfvec:hotpath
 func vjpAddBias(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -256,6 +262,7 @@ func kSub(s, e int, ka KernelArgs) {
 }
 
 // vjpSub: a, b, out.
+//perfvec:hotpath
 func vjpSub(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -295,6 +302,7 @@ func kMul(s, e int, ka KernelArgs) {
 }
 
 // vjpMul: a, b, out.
+//perfvec:hotpath
 func vjpMul(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -333,6 +341,7 @@ func kScale(s, e int, ka KernelArgs) {
 }
 
 // vjpScale: a, out; f0=s.
+//perfvec:hotpath
 func vjpScale(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -369,6 +378,7 @@ func kSigmoid(s, e int, ka KernelArgs) {
 }
 
 // vjpSigmoid: a, out.
+//perfvec:hotpath
 func vjpSigmoid(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -405,6 +415,7 @@ func kTanh(s, e int, ka KernelArgs) {
 }
 
 // vjpTanh: a, out.
+//perfvec:hotpath
 func vjpTanh(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -443,6 +454,7 @@ func kReLU(s, e int, ka KernelArgs) {
 }
 
 // vjpReLU: a, out.
+//perfvec:hotpath
 func vjpReLU(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -503,6 +515,7 @@ func kSoftmaxRows(r0, r1 int, ka KernelArgs) {
 }
 
 // vjpSoftmaxRows: a, out.
+//perfvec:hotpath
 func vjpSoftmaxRows(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -556,6 +569,7 @@ func AttentionSoftmax(tp *Tape, a *Tensor, scale float32) *Tensor {
 // vjpAttentionSoftmax: a, out; f0=scale. The softmax VJP's per-element
 // product rounds to float32 before the scale factor multiplies it — the
 // exact sequence the unfused SoftmaxRows-then-Scale backward performed.
+//perfvec:hotpath
 func vjpAttentionSoftmax(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -582,6 +596,7 @@ func ConcatCols(tp *Tape, a, b *Tensor) *Tensor {
 }
 
 // vjpConcatCols: a, b, out.
+//perfvec:hotpath
 func vjpConcatCols(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -620,6 +635,7 @@ func SliceCols(tp *Tape, a *Tensor, from, to int) *Tensor {
 }
 
 // vjpSliceCols: a, out; i0=from, i1=to.
+//perfvec:hotpath
 func vjpSliceCols(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -653,6 +669,7 @@ func SliceRows(tp *Tape, a *Tensor, from, to int) *Tensor {
 }
 
 // vjpSliceRows: a, out; i0=from.
+//perfvec:hotpath
 func vjpSliceRows(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -680,6 +697,7 @@ func Transpose(tp *Tape, a *Tensor) *Tensor {
 }
 
 // vjpTranspose: a, out.
+//perfvec:hotpath
 func vjpTranspose(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -708,6 +726,7 @@ func Sum(tp *Tape, a *Tensor) *Tensor {
 }
 
 // vjpSum: a, out.
+//perfvec:hotpath
 func vjpSum(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -779,6 +798,7 @@ func kLayerNorm(r0, r1 int, ka KernelArgs) {
 
 // vjpLayerNorm: a=x, b=gamma, c=beta, out, s1=xhat, s2=invStd. The backward
 // stays serial: gg/gb reduce across rows.
+//perfvec:hotpath
 func vjpLayerNorm(tp *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {

@@ -25,6 +25,7 @@ func StackRows(tp *Tape, xs []*Tensor, row int) *Tensor {
 }
 
 // vjpStackRows: out, ts=xs, i0=row.
+//perfvec:hotpath
 func vjpStackRows(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
@@ -67,6 +68,7 @@ func ConcatRows(tp *Tape, xs ...*Tensor) *Tensor {
 }
 
 // vjpConcatRows: out, ts=xs.
+//perfvec:hotpath
 func vjpConcatRows(_ *Tape, r *opRecord) {
 	g := r.out.Grad
 	if g == nil {
