@@ -216,6 +216,20 @@ func BenchmarkMatMul(b *testing.B) { benchsuite.MatMul(b) }
 // against bench_budget.json.
 func BenchmarkTrainStep(b *testing.B) { benchsuite.TrainStep(b) }
 
+// BenchmarkServe measures batched serving throughput: a 32-client fleet of
+// tiny distinct programs through the coalescing batcher (cache flushed per
+// iteration, so every request takes the miss path). BenchmarkServeNaive is
+// the same trace through the degenerate one-request-per-GEMM configuration;
+// the req/s ratio between the two is the batching win CI smoke-checks.
+func BenchmarkServe(b *testing.B)      { benchsuite.Serve(b) }
+func BenchmarkServeNaive(b *testing.B) { benchsuite.ServeNaive(b) }
+
+// BenchmarkServeSubmitHit and BenchmarkServePredict measure the serving hot
+// path after the cache warms — hash+LRU copy and the cached dot product —
+// both pinned to 0 allocs/op by bench_budget.json.
+func BenchmarkServeSubmitHit(b *testing.B) { benchsuite.ServeSubmitHit(b) }
+func BenchmarkServePredict(b *testing.B)   { benchsuite.ServePredict(b) }
+
 // BenchmarkMatMulModelShape measures the same backend on the trainer's
 // predictor shape (batch x repdim against a uarch table).
 func BenchmarkMatMulModelShape(b *testing.B) {

@@ -1,17 +1,18 @@
 // Command perfvec-bench runs the repo's tracked micro-benchmarks
-// (BenchmarkMatMul, BenchmarkBatch, BenchmarkTrainStep) through
-// testing.Benchmark and writes the results as JSON, so the performance
-// trajectory of the training hot path is recorded across PRs (BENCH_5.json
-// is this PR's snapshot). With -budget it also enforces a checked-in
-// allocation budget: CI fails when a change makes the training step or the
-// GEMM backend allocate more than the recorded bound. With -tape-histogram
+// (BenchmarkMatMul, BenchmarkBatch, BenchmarkTrainStep, and the
+// BenchmarkServe* serving suite) through testing.Benchmark and writes the
+// results as JSON, so the performance trajectory of the training and
+// serving hot paths is recorded across PRs (BENCH_7.json is this PR's
+// snapshot). With -budget it also enforces a checked-in allocation budget:
+// CI fails when a change makes the training step, the GEMM backend, or the
+// serving hot path allocate more than the recorded bound. With -tape-histogram
 // it instead runs one serial training step and prints the op-record kind
 // histogram of its tape — the record-tape profiling hook for inspecting the
 // step graph's op mix.
 //
 // Usage:
 //
-//	perfvec-bench [-o BENCH_5.json] [-budget bench_budget.json] [-tape-histogram]
+//	perfvec-bench [-o BENCH_7.json] [-budget bench_budget.json] [-tape-histogram]
 package main
 
 import (
@@ -86,7 +87,7 @@ type budget map[string]struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_5.json", "output JSON path (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_7.json", "output JSON path (\"-\" for stdout)")
 	budgetPath := flag.String("budget", "", "allocation budget JSON to enforce (exit 1 on regression)")
 	tapeHist := flag.Bool("tape-histogram", false, "print the op-record kind histogram of one training step and exit")
 	flag.Parse()
@@ -103,6 +104,10 @@ func main() {
 		{"MatMul", benchsuite.MatMul},
 		{"Batch", benchsuite.Batch},
 		{"TrainStep", benchsuite.TrainStep},
+		{"Serve", benchsuite.Serve},
+		{"ServeNaive", benchsuite.ServeNaive},
+		{"ServeSubmitHit", benchsuite.ServeSubmitHit},
+		{"ServePredict", benchsuite.ServePredict},
 	}
 	rep := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),

@@ -144,6 +144,22 @@
 // internal/analysis/<name>/testdata driven by the x/tools-style
 // analysistest harness in internal/analysis/analysistest.
 //
+// # Serving
+//
+// internal/serve (cmd/perfvec-serve) is the batched inference service over
+// the pooled tapes: concurrent program submissions are coalesced into
+// batched encoder passes through perfvec.Encoder (the encoder is row-wise
+// batch-invariant, so a coalesced result is bitwise the single-request
+// one), representations land in a bounded LRU keyed by content hash (reps
+// are uarch-independent — one entry answers Predict for every target
+// microarchitecture at the cost of a dot product), and the hot path is
+// protected by per-client token buckets plus a bounded accept queue.
+// Request/batch objects, rep buffers, and encoders are all pooled, so the
+// steady-state serving path allocates nothing: hotalloc guards the
+// annotated handlers, bench_budget.json pins ServeSubmitHit and
+// ServePredict at 0 allocs/op, and a deterministic seeded load harness
+// (serve.Traffic) gates batched-vs-naive throughput at >= 2x in CI.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 package repro

@@ -10,3 +10,11 @@ import (
 func TestHotAlloc(t *testing.T) {
 	analysistest.Run(t, "testdata/fix", hotalloc.Analyzer)
 }
+
+// TestHotAllocServeHandler runs the analyzer over a serving-handler-shaped
+// fixture: the pooled submit idiom internal/serve's annotated hot path uses
+// (clean, with its one waived warm-up allocation) next to the same handler
+// with the pools forgotten (every per-request allocation flagged).
+func TestHotAllocServeHandler(t *testing.T) {
+	analysistest.Run(t, "testdata/serve", hotalloc.Analyzer)
+}

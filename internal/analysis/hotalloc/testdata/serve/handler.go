@@ -1,0 +1,65 @@
+// Serving-handler fixture: the shape of internal/serve's annotated submit
+// path — hash, cache lookup, pooled completion — with the allocation
+// regressions a careless edit would introduce. The clean half shows the
+// pooled idiom the real handler uses; the flagged half is the same handler
+// after someone forgets the pools.
+package fixture
+
+type cacheLine struct {
+	key uint64
+	rep []float32
+}
+
+type server struct {
+	entries map[uint64]*cacheLine
+	free    *request
+	audit   []uint64
+}
+
+type request struct {
+	rep  []float32
+	done chan struct{}
+	next *request
+}
+
+func sink(v any) { _ = v }
+
+// submitPooled is the idiom the real handler follows: reuse the pooled
+// request, copy under the caller's buffer, waive only the documented
+// warm-up allocation.
+//
+//perfvec:hotpath
+func (s *server) submitPooled(key uint64, dst []float32) bool {
+	if e := s.entries[key]; e != nil {
+		copy(dst, e.rep)
+		return true
+	}
+	r := s.free
+	if r == nil {
+		r = &request{rep: make([]float32, len(dst)), done: make(chan struct{}, 1)} //perfvec:allow hotalloc -- pool warm-up only; bounded by peak in-flight requests
+	} else {
+		s.free = r.next
+	}
+	<-r.done
+	copy(dst, r.rep)
+	r.next = s.free
+	s.free = r
+	return true
+}
+
+// submitLeaky is the regressed handler: every construct below allocates per
+// request and must be flagged.
+//
+//perfvec:hotpath
+func (s *server) submitLeaky(key uint64, n int) []float32 {
+	rep := make([]float32, n) // want `make in hot path submitLeaky`
+	done := new(chan struct{}) // want `new in hot path submitLeaky`
+	_ = done
+	s.audit = append(s.audit, key) // want `append in hot path submitLeaky`
+	e := &cacheLine{key: key, rep: rep} // want `address-taken composite literal`
+	s.entries[key] = e
+	notify := func() { s.audit = s.audit[:0] } // want `closure in hot path submitLeaky captures s`
+	go notify() // want `go statement in hot path`
+	sink(key) // want `uint64 value boxed into`
+	return rep
+}

@@ -1,0 +1,203 @@
+package perfvec
+
+import (
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// This file is the batch-inference entry point of the foundation model: the
+// machinery perfvec-serve uses to coalesce many clients' concurrent encode
+// requests into a small number of large encoder GEMM passes. The packed GEMM
+// engine only reaches its throughput on big batches, so a serving layer that
+// ran one Forward per request would waste almost all of it; EncodePrograms
+// concatenates the instruction rows of whole groups of programs and encodes
+// them together, chunked at streamChunk rows — the same chunk size
+// InstructionReps and StreamRep use, so all three inference paths drive the
+// encoder with identically shaped batches.
+//
+// Coalescing is invisible in the output because the encoder is row-wise
+// batch-invariant: every per-sample computation (the window GEMM rows, the
+// recurrent cells, attention over window positions) depends only on that
+// sample's own window, and the GEMM engine computes each output row as the
+// same FMA chain over k regardless of how many other rows share the pass
+// (TestEncodeProgramsBitwise pins this). A program representation produced by
+// a coalesced pass is therefore bitwise identical to ProgramRep on the same
+// program alone.
+
+// Encoder is a reusable batch-inference worker: one arena-backed inference
+// tape plus the float64 accumulation scratch a coalesced pass sums per-program
+// representations in. Encoders are pooled on the Foundation
+// (AcquireEncoder/ReleaseEncoder), and like every arena tape they follow the
+// pooled-tape lifetime rule: tensors drawn during a pass die at the next
+// Reset, so nothing produced inside EncodePrograms may escape it — results
+// leave through the caller-owned dst slices only. An Encoder is confined to
+// one goroutine between Acquire and Release.
+type Encoder struct {
+	f   *Foundation
+	tp  *tensor.Tape
+	acc []float64 // [len(ps) x RepDim] per-program accumulators, reused
+}
+
+// encoderPool is the Foundation's free list of batch-inference encoders,
+// mirroring tapePool: concurrent borrowers are safe, each borrowed encoder is
+// goroutine-confined until released. built counts constructions — the
+// serving steady-state allocation tests watch it.
+type encoderPool struct {
+	mu    sync.Mutex
+	es    []*Encoder
+	built int
+}
+
+// AcquireEncoder borrows a pooled batch-inference encoder, building one on
+// first use. Pair with ReleaseEncoder.
+func (f *Foundation) AcquireEncoder() *Encoder {
+	p := &f.encoders
+	p.mu.Lock()
+	if n := len(p.es); n > 0 {
+		e := p.es[n-1]
+		p.es = p.es[:n-1]
+		p.mu.Unlock()
+		return e
+	}
+	p.built++
+	p.mu.Unlock()
+	return &Encoder{f: f, tp: tensor.NewInferenceTape()}
+}
+
+// ReleaseEncoder returns a borrowed encoder to the pool. The encoder's tape
+// is Reset on release, so any tensors handed out during the last pass are
+// recycled immediately.
+func (f *Foundation) ReleaseEncoder(e *Encoder) {
+	e.tp.Reset()
+	p := &f.encoders
+	p.mu.Lock()
+	p.es = append(p.es, e)
+	p.mu.Unlock()
+}
+
+// EncoderStats reports how many encoders have been built and the total arena
+// misses across the pooled ones — the regression counters for the serving
+// hot path's "pooled tapes, reused buffers" promise.
+func (f *Foundation) EncoderStats() (built, arenaMisses int) {
+	p := &f.encoders
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.es {
+		_, m := e.tp.Arena().Stats()
+		arenaMisses += m
+	}
+	return p.built, arenaMisses
+}
+
+// EncodePrograms runs coalesced encoder passes over the concatenated
+// instruction rows of ps and writes each program's representation into the
+// caller-owned dst[i] (length RepDim). The concatenation is chunked at
+// streamChunk rows — chunks freely span program boundaries — and every chunk
+// is one Forward over window tensors drawn from the encoder's arena, so a
+// batch of many small programs costs a few large GEMM passes instead of one
+// small pass per program. Each dst[i] is bitwise identical to
+// ProgramRep(ps[i]): rows are computed batch-invariantly (see the file
+// comment) and summed per program in row order through the same float64
+// accumulation. Every ps[i].N must be >= 1.
+//
+//perfvec:hotpath
+func (e *Encoder) EncodePrograms(ps []*ProgramData, dst [][]float32) {
+	f := e.f
+	d := f.Cfg.RepDim
+	window := f.Cfg.Window
+	total := 0
+	for _, p := range ps {
+		if p.N < 1 {
+			panic("perfvec: EncodePrograms requires non-empty programs")
+		}
+		total += p.N
+	}
+	if cap(e.acc) < len(ps)*d {
+		e.acc = make([]float64, len(ps)*d) //perfvec:allow hotalloc -- scratch grows only when a batch carries more programs than any before; steady state reuses it
+	}
+	acc := e.acc[:len(ps)*d]
+	clear(acc)
+
+	// (pi, off): the next instruction to accumulate — program index and
+	// offset within it. The fill cursor (fpi, foff) runs one chunk ahead.
+	pi, off := 0, 0
+	fpi, foff := 0, 0
+	for base := 0; base < total; base += streamChunk {
+		bsz := min(streamChunk, total-base)
+		e.tp.Reset()
+		xs := e.tp.Tensors(window)
+		for t := range xs {
+			xs[t] = tensor.Zeros(e.tp, bsz, f.Cfg.FeatDim)
+		}
+		for row := 0; row < bsz; {
+			p := ps[fpi]
+			k := min(bsz-row, p.N-foff)
+			fillWindowRows(xs, p, foff, foff+k, window, row)
+			row += k
+			foff += k
+			if foff == p.N {
+				fpi++
+				foff = 0
+			}
+		}
+		reps := f.Forward(e.tp, xs)
+		for row := 0; row < bsz; {
+			p := ps[pi]
+			k := min(bsz-row, p.N-off)
+			a := acc[pi*d : (pi+1)*d]
+			for i := 0; i < k; i++ {
+				r := reps.Row(row + i)
+				for j, v := range r {
+					a[j] += float64(v)
+				}
+			}
+			row += k
+			off += k
+			if off == p.N {
+				pi++
+				off = 0
+			}
+		}
+	}
+	for i := range ps {
+		a := acc[i*d : (i+1)*d]
+		out := dst[i]
+		for j, v := range a {
+			out[j] = float32(v)
+		}
+	}
+}
+
+// fillWindowRows copies the input windows of instructions [from, to) of p
+// into rows [rowOff, rowOff+(to-from)) of the window tensors xs, zero-padding
+// positions before the program start exactly like WindowsFor (the xs tensors
+// arrive zeroed from the arena, so padding is a skip, not a write).
+//
+//perfvec:hotpath
+func fillWindowRows(xs []*tensor.Tensor, p *ProgramData, from, to, window, rowOff int) {
+	for b := from; b < to; b++ {
+		row := rowOff + b - from
+		for t := 0; t < window; t++ {
+			src := b - (window - 1) + t
+			if src < 0 {
+				continue
+			}
+			copy(xs[t].Row(row), p.Features[src*p.FeatDim:(src+1)*p.FeatDim])
+		}
+	}
+}
+
+// ProgramReps is the convenience form of EncodePrograms: it borrows a pooled
+// encoder, encodes ps in one coalesced pass, and returns freshly allocated
+// representations the caller owns.
+func (f *Foundation) ProgramReps(ps []*ProgramData) [][]float32 {
+	dst := make([][]float32, len(ps))
+	for i := range dst {
+		dst[i] = make([]float32, f.Cfg.RepDim)
+	}
+	e := f.AcquireEncoder()
+	e.EncodePrograms(ps, dst)
+	f.ReleaseEncoder(e)
+	return dst
+}

@@ -25,6 +25,10 @@ type Foundation struct {
 	// (analysis, fine-tuning, eval) stops allocating window slices and
 	// activations per chunk; see tapePool.
 	repTapes tapePool
+
+	// encoders pools the batch-inference workers perfvec-serve's coalesced
+	// encode passes borrow; see Encoder and encoderPool in encode.go.
+	encoders encoderPool
 }
 
 // NewFoundation builds a randomly initialized foundation model.

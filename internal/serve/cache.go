@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"math"
+	"sync"
+)
+
+// HashProgram returns the cache key of a program submission: word-wise
+// FNV-1a over the feature dimensionality, the element count, and the raw
+// IEEE-754 bit pattern of every feature value. Representations are
+// microarchitecture-independent, so this one key serves predictions for
+// every target uarch; it is stable across processes (no per-process seed).
+//
+//perfvec:hotpath
+func HashProgram(features []float32, featDim int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(featDim)
+	h *= prime64
+	h ^= uint64(len(features))
+	h *= prime64
+	for _, v := range features {
+		h ^= uint64(math.Float32bits(v))
+		h *= prime64
+	}
+	return h
+}
+
+// cacheEntry is one cached representation, linked into the LRU ring. Evicted
+// entries move to the cache's free list and are reused — rep buffers
+// included — so a full cache inserts without allocating.
+type cacheEntry struct {
+	key        uint64
+	rep        []float32
+	prev, next *cacheEntry
+}
+
+// RepCache is a bounded LRU of program representations keyed by program
+// hash. All methods are safe for concurrent use; Get and Dot copy or consume
+// the representation under the lock, so callers never hold a reference into
+// an entry that a concurrent insert could evict and recycle.
+type RepCache struct {
+	mu      sync.Mutex
+	cap     int
+	repDim  int
+	entries map[uint64]*cacheEntry
+	root    cacheEntry // sentinel: root.next is MRU, root.prev is LRU
+	free    *cacheEntry
+}
+
+// NewRepCache returns an empty cache bounded to capacity representations of
+// length repDim.
+func NewRepCache(capacity, repDim int) *RepCache {
+	if capacity < 1 {
+		panic("serve: RepCache capacity must be >= 1")
+	}
+	c := &RepCache{cap: capacity, repDim: repDim, entries: make(map[uint64]*cacheEntry, capacity)}
+	c.root.prev = &c.root
+	c.root.next = &c.root
+	return c
+}
+
+// unlink removes e from the LRU ring.
+func (c *RepCache) unlink(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+// pushFront inserts e at the MRU position.
+func (c *RepCache) pushFront(e *cacheEntry) {
+	e.prev = &c.root
+	e.next = c.root.next
+	c.root.next.prev = e
+	c.root.next = e
+}
+
+// Get copies the representation of key into dst (length repDim) and marks
+// the entry most recently used, reporting whether it was present.
+//
+//perfvec:hotpath
+func (c *RepCache) Get(key uint64, dst []float32) bool {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		c.mu.Unlock()
+		return false
+	}
+	c.unlink(e)
+	c.pushFront(e)
+	copy(dst, e.rep)
+	c.mu.Unlock()
+	return true
+}
+
+// Dot returns the dot product of the cached representation of key with v —
+// the predictor pass, computed under the lock so the entry cannot be evicted
+// and recycled mid-read. The accumulation (float64, in index order) matches
+// Foundation.PredictTotalNs bit for bit.
+//
+//perfvec:hotpath
+func (c *RepCache) Dot(key uint64, v []float32) (float64, bool) {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		c.mu.Unlock()
+		return 0, false
+	}
+	c.unlink(e)
+	c.pushFront(e)
+	var dot float64
+	for i, r := range e.rep {
+		dot += float64(r) * float64(v[i])
+	}
+	c.mu.Unlock()
+	return dot, true
+}
+
+// Put inserts (or refreshes) the representation of key, copying rep into the
+// entry's own storage. At capacity the LRU entry is evicted and reused in
+// place — entry struct and rep buffer both — so a warm full cache inserts
+// allocation-free.
+//
+//perfvec:hotpath
+func (c *RepCache) Put(key uint64, rep []float32) {
+	c.mu.Lock()
+	if e := c.entries[key]; e != nil {
+		copy(e.rep, rep)
+		c.unlink(e)
+		c.pushFront(e)
+		c.mu.Unlock()
+		return
+	}
+	var e *cacheEntry
+	switch {
+	case len(c.entries) >= c.cap:
+		e = c.root.prev // evict the LRU entry and reuse it
+		c.unlink(e)
+		delete(c.entries, e.key)
+	case c.free != nil:
+		e = c.free
+		c.free = e.next
+	default:
+		e = &cacheEntry{rep: make([]float32, c.repDim)} //perfvec:allow hotalloc -- cold until the cache fills; every insert beyond capacity reuses the evicted entry
+	}
+	e.key = key
+	copy(e.rep, rep)
+	c.entries[key] = e
+	c.pushFront(e)
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached representations.
+func (c *RepCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Flush drops every cached representation, retaining the entries on the free
+// list so refilling the cache allocates nothing. The operational cache-clear
+// knob, and how the benchmarks re-run the miss path over fixed traffic.
+func (c *RepCache) Flush() {
+	c.mu.Lock()
+	for e := c.root.next; e != &c.root; {
+		next := e.next
+		e.next = c.free
+		c.free = e
+		e = next
+	}
+	c.root.prev = &c.root
+	c.root.next = &c.root
+	clear(c.entries)
+	c.mu.Unlock()
+}

@@ -1,0 +1,99 @@
+package serve
+
+import "testing"
+
+func repOf(v float32, dim int) []float32 {
+	r := make([]float32, dim)
+	for i := range r {
+		r[i] = v
+	}
+	return r
+}
+
+// TestRepCacheLRU pins eviction order, recency updates, and entry reuse.
+func TestRepCacheLRU(t *testing.T) {
+	const dim = 4
+	c := NewRepCache(2, dim)
+	dst := make([]float32, dim)
+
+	c.Put(1, repOf(1, dim))
+	c.Put(2, repOf(2, dim))
+	if !c.Get(1, dst) { // touch 1: now 2 is LRU
+		t.Fatal("key 1 missing")
+	}
+	c.Put(3, repOf(3, dim)) // evicts 2
+	if c.Get(2, dst) {
+		t.Fatal("key 2 survived eviction")
+	}
+	if !c.Get(1, dst) || dst[0] != 1 {
+		t.Fatal("key 1 lost or corrupted by eviction reuse")
+	}
+	if !c.Get(3, dst) || dst[0] != 3 {
+		t.Fatal("key 3 missing after insert")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+
+	c.Put(1, repOf(9, dim)) // refresh in place
+	if !c.Get(1, dst) || dst[0] != 9 {
+		t.Fatal("refresh did not overwrite the cached representation")
+	}
+
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Flush = %d", c.Len())
+	}
+	if c.Get(1, dst) {
+		t.Fatal("flushed key still present")
+	}
+	c.Put(7, repOf(7, dim)) // must come off the free list
+	if !c.Get(7, dst) || dst[0] != 7 {
+		t.Fatal("insert after Flush failed")
+	}
+}
+
+// TestRepCacheDot checks the locked dot product against a plain float64
+// accumulation in index order — the exact arithmetic PredictTotalNs uses.
+func TestRepCacheDot(t *testing.T) {
+	const dim = 6
+	c := NewRepCache(2, dim)
+	rep := []float32{0.5, -1.25, 3, 0.0625, -7, 2}
+	v := []float32{1, 2, 3, 4, 5, 6}
+	c.Put(1, rep)
+
+	var want float64
+	for i := range rep {
+		want += float64(rep[i]) * float64(v[i])
+	}
+	got, ok := c.Dot(1, v)
+	if !ok || got != want {
+		t.Fatalf("Dot = %v,%v want %v,true", got, ok, want)
+	}
+	if _, ok := c.Dot(2, v); ok {
+		t.Fatal("Dot of a missing key reported ok")
+	}
+}
+
+// TestHashProgram pins the key function: sensitive to every bit of the
+// feature matrix and to the shape header, and stable across processes — the
+// golden value below must never change, or persisted client keys break.
+func TestHashProgram(t *testing.T) {
+	fs := []float32{1, 2, 3, 4, 5, 6}
+	h := HashProgram(fs, 3)
+	if h2 := HashProgram(fs, 2); h2 == h {
+		t.Fatal("featDim not folded into the key")
+	}
+	fs2 := append([]float32(nil), fs...)
+	fs2[5] = 6.0000005
+	if HashProgram(fs2, 3) == h {
+		t.Fatal("single-ulp feature change did not change the key")
+	}
+	if HashProgram(fs, 3) != h {
+		t.Fatal("hash not deterministic")
+	}
+	const golden = 0x06314eddf911299c
+	if h != golden {
+		t.Fatalf("HashProgram = %#x, want pinned %#x (keys must be stable across processes)", h, golden)
+	}
+}

@@ -1,0 +1,96 @@
+// Package serve is the batched inference service around the foundation
+// model: perfvec-serve. Program representations are
+// microarchitecture-independent summaries (§III) that many clients —
+// compilers, CI perf bots, design-space sweeps — query concurrently, and the
+// packed GEMM engine only reaches its throughput on large batches, so the
+// service's job is to turn a stream of small independent requests into a
+// small number of large encoder passes while protecting the hot path from
+// overload.
+//
+// # Service API
+//
+// The core is Service, which is HTTP-independent (the handlers in http.go
+// and the load-test harness in loadgen.go both drive it in-process):
+//
+//   - Submit(client, features, n, dst) hashes the program, consults the
+//     representation cache, and on a miss routes the request through
+//     admission control and the batcher; dst receives the d-dimensional
+//     program representation and the returned key addresses it in later
+//     Predict calls.
+//   - Predict(key, uarch) is the cheap predictor pass: one dot product
+//     between the cached representation and a learned microarchitecture
+//     representation. Because representations are uarch-independent, one
+//     cached entry serves every target microarchitecture a client asks
+//     about — after the first Submit, sweeping thousands of uarchs costs
+//     thousands of dot products and zero encoder work.
+//
+// Over HTTP (Service.Handler): POST /v1/submit takes a little-endian binary
+// body (uint32 n, uint32 featDim, then n*featDim float32 feature rows) and
+// returns the key, optionally the representation (?rep=1) and predictions
+// (?uarch=0,3,...); GET /v1/predict?key=<hex>&uarch=<idx> predicts from the
+// cache alone; GET /metrics exposes the counter set in Prometheus text
+// format; GET /healthz is the liveness probe.
+//
+// # Batching window semantics
+//
+// The batcher coalesces concurrent cache-miss submissions into batched
+// encoder passes (perfvec.Encoder.EncodePrograms). A batch opens when the
+// first queued request is dequeued and closes when either bound is hit:
+//
+//   - size: the batch's total instruction rows reach Config.MaxBatchRows
+//     (requests already queued are drained greedily first — "natural
+//     batching": while one batch encodes, the next one fills);
+//   - time: Config.BatchWindow elapses after the batch opened. The window
+//     bounds the latency a lone request pays waiting for company; it is an
+//     upper bound, not a delay — a full batch flushes immediately, and
+//     BatchWindow=0 flushes as soon as the queue has no more requests to
+//     drain.
+//
+// MaxBatchRows=1 (with BatchWindow=0) degenerates to the naive
+// one-request-per-GEMM service and is the baseline the load-test suite
+// measures batching against.
+//
+// Duplicate keys inside one batch are coalesced: one program is encoded and
+// every duplicate request receives the same representation (counted by the
+// coalesced metric).
+//
+// # Admission control
+//
+// Two gates protect the encode path, in order:
+//
+//   - a per-client token bucket (Config.Rate tokens/sec, Config.Burst burst)
+//     rejects chatty clients before any work happens (HTTP 429 with
+//     Retry-After);
+//   - a bounded accept queue (Config.QueueDepth) rejects excess load when
+//     the batcher cannot keep up (HTTP 503 with Retry-After). Submits never
+//     block on a full queue — overload is signalled immediately.
+//
+// Cache hits bypass both the queue and the encoder entirely; only misses
+// consume encode capacity.
+//
+// # Cache key
+//
+// The representation cache is a bounded LRU keyed by program hash:
+// HashProgram folds the feature dimensionality, the row count, and the raw
+// IEEE-754 bit pattern of every feature value through FNV-1a (word-wise).
+// Two submissions hash equal exactly when their feature matrices are
+// bit-identical, and since the encoder is deterministic the cached
+// representation is bitwise the one a fresh encode would produce. Keys are
+// stable across processes and restarts (no per-process seed) so clients may
+// persist them.
+//
+// # Pooled-tape lifetime rule in request handling
+//
+// Encode passes run on pooled inference tapes (perfvec.Encoder); every
+// tensor drawn during a pass is recycled by the tape's Reset when the
+// encoder is released. Request handling therefore never retains anything
+// produced inside a pass: representations leave the encoder only by being
+// copied into per-request buffers (req.rep), into the cache's own entry
+// storage, and finally into the caller's dst. The request's feature slice is
+// borrowed in the other direction — it must stay valid (and unmodified)
+// until Submit returns, which is why Submit blocks for the batch rather
+// than returning a future. Request and batch objects themselves are pooled
+// on free lists, so the steady-state serving path allocates nothing; the
+// hotalloc analyzer guards the annotated hot functions and
+// bench_budget.json gates the measured allocs/op.
+package serve

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxBody bounds submission bodies: header plus 64k feature rows of the
+// widest feature vector we ship.
+const maxBody = 8 + 4*64*1024*64
+
+// submitResponse is the JSON body of POST /v1/submit.
+type submitResponse struct {
+	Key string    `json:"key"`
+	Rep []float32 `json:"rep,omitempty"`
+	Ns  []float64 `json:"ns,omitempty"`
+}
+
+// predictResponse is the JSON body of GET /v1/predict.
+type predictResponse struct {
+	Key string  `json:"key"`
+	Ns  float64 `json:"ns"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// httpScratch pools the per-request decode buffers the HTTP layer needs
+// (the service core itself is allocation-free; the HTTP shell reuses its
+// scratch the same way).
+type httpScratch struct {
+	body  []byte
+	feats []float32
+	rep   []float32
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/submit            binary feature matrix in, key (+rep/+ns) out
+//	GET  /v1/predict           ?key=<hex>&uarch=<idx>, cache-only predict
+//	GET  /metrics              Prometheus text exposition
+//	GET  /healthz              liveness
+func (s *Service) Handler() http.Handler {
+	scratch := &sync.Pool{New: func() any {
+		return &httpScratch{rep: make([]float32, s.f.Cfg.RepDim)}
+	}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/submit", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmit(w, r, scratch)
+	})
+	mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.m.WriteTo(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// clientID identifies the submitter for rate limiting: the X-Client header
+// when present, else the remote address.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	return r.RemoteAddr
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// retryAfterSeconds rounds d up to the whole seconds Retry-After requires,
+// never below 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// handleSubmit decodes the binary body (uint32 n, uint32 featDim, then
+// n*featDim little-endian float32s), runs Submit, and answers with the key
+// plus optional representation (?rep=1) and predictions (?uarch=0,3,...).
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request, scratch *sync.Pool) {
+	sc := scratch.Get().(*httpScratch)
+	defer scratch.Put(sc)
+
+	body, err := readBody(r, sc.body[:0])
+	sc.body = body[:0:cap(body)]
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if len(body) < 8 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body shorter than the 8-byte header"})
+		return
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	fd := int(binary.LittleEndian.Uint32(body[4:]))
+	if fd != s.f.Cfg.FeatDim {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "feature dim mismatch: body says " + strconv.Itoa(fd) + ", model wants " + strconv.Itoa(s.f.Cfg.FeatDim)})
+		return
+	}
+	if n < 1 || len(body) != 8+4*n*fd {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body length does not match n*featDim float32 rows"})
+		return
+	}
+	if cap(sc.feats) < n*fd {
+		sc.feats = make([]float32, n*fd)
+	}
+	feats := sc.feats[:n*fd]
+	for i := range feats {
+		feats[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[8+4*i:]))
+	}
+
+	key, err := s.Submit(clientID(r), feats, n, sc.rep)
+	switch {
+	case errors.Is(err, ErrRateLimited):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.RetryAfter()))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	resp := submitResponse{Key: strconv.FormatUint(key, 16)}
+	if r.URL.Query().Get("rep") == "1" {
+		resp.Rep = sc.rep
+	}
+	if list := r.URL.Query().Get("uarch"); list != "" {
+		for _, tok := range strings.Split(list, ",") {
+			j, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || j < 0 || j >= s.Uarchs() {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad uarch index " + strconv.Quote(tok)})
+				return
+			}
+			ns, ok := s.Predict(key, j)
+			if !ok {
+				// The entry was evicted between Submit and Predict; the rep
+				// is still in hand, so predict directly.
+				ns = s.f.PredictTotalNs(sc.rep, s.table.Rep(j))
+			}
+			resp.Ns = append(resp.Ns, ns)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// readBody reads the request body into buf (reused across requests),
+// enforcing maxBody.
+func readBody(r *http.Request, buf []byte) ([]byte, error) {
+	lr := io.LimitReader(r.Body, maxBody+1)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+	if len(buf) > maxBody {
+		return buf, errors.New("body exceeds the submission size limit")
+	}
+	return buf, nil
+}
+
+// handlePredict answers GET /v1/predict?key=<hex>&uarch=<idx> from the cache
+// alone: 404 means the key is not cached and the program must be resubmitted.
+func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	key, err := strconv.ParseUint(q.Get("key"), 16, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "key must be the hex key a submit returned"})
+		return
+	}
+	j, err := strconv.Atoi(q.Get("uarch"))
+	if err != nil || j < 0 || j >= s.Uarchs() {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "uarch must be an index below " + strconv.Itoa(s.Uarchs())})
+		return
+	}
+	ns, ok := s.Predict(key, j)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "key not cached; resubmit the program"})
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{Key: q.Get("key"), Ns: ns})
+}

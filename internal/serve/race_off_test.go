@@ -1,0 +1,9 @@
+//go:build !race
+
+package serve
+
+// raceEnabled mirrors the race detector's build state: the detector's
+// instrumentation allocates on its own, so the strict AllocsPerRun
+// assertions only hold on uninstrumented builds. Everything else — the
+// bitwise, determinism, and fleet tests — runs under race too.
+const raceEnabled = false

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/perfvec"
+	"repro/internal/sim"
+)
+
+// Sentinel errors returned by Submit. Sentinels (not wrapped dynamic errors)
+// keep the rejection paths allocation-free.
+var (
+	// ErrBadRequest means the submission was malformed (non-positive length
+	// or a feature slice that does not match n*FeatDim).
+	ErrBadRequest = errors.New("serve: bad request")
+	// ErrRateLimited means the client's token bucket was empty (HTTP 429).
+	ErrRateLimited = errors.New("serve: rate limited")
+	// ErrOverloaded means the bounded accept queue was full (HTTP 503).
+	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrClosed means the service has been closed.
+	ErrClosed = errors.New("serve: closed")
+)
+
+// errOverloaded is what the batcher returns internally; Submit translates it
+// so the metric is bumped in exactly one place.
+var errOverloaded = ErrOverloaded
+
+// Config parameterizes a Service. The zero value of every field selects a
+// sensible default (see DefaultConfig); Model is the only required field.
+type Config struct {
+	// Model is the trained (or freshly initialized) foundation model whose
+	// encoder serves submissions. Required.
+	Model *perfvec.Foundation
+	// Table holds the learned microarchitecture representations Predict dots
+	// cached program representations against. Optional: without it Submit
+	// still works but Predict always misses.
+	Table *perfvec.Table
+
+	// CacheSize bounds the representation LRU (entries). Default 4096.
+	CacheSize int
+	// BatchWindow is the time bound on an open batch: the longest a lone
+	// request waits for company. 0 means flush as soon as the queue drains.
+	// Default 200µs.
+	BatchWindow time.Duration
+	// MaxBatchRows is the size bound on a batch, in instruction rows.
+	// MaxBatchRows=1 (with BatchWindow=0) is the naive one-request-per-GEMM
+	// degenerate service. Default 1024.
+	MaxBatchRows int
+	// QueueDepth bounds the accept queue; a full queue rejects with
+	// ErrOverloaded. Default 256.
+	QueueDepth int
+	// EncodeWorkers is the number of concurrent encode workers (each holding
+	// a pooled encoder while running a batch). Default 2.
+	EncodeWorkers int
+
+	// Rate and Burst configure the per-client token buckets. Rate<=0
+	// disables rate limiting. Default: disabled.
+	Rate  float64
+	Burst float64
+	// Clock overrides the limiter's clock; nil means time.Now. Tests inject
+	// a virtual clock here.
+	Clock func() time.Time
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 200 * time.Microsecond
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.MaxBatchRows == 0 {
+		c.MaxBatchRows = 1024
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.EncodeWorkers == 0 {
+		c.EncodeWorkers = 2
+	}
+	return c
+}
+
+// Service is the batched inference service: cache in front, admission
+// control at the door, batcher behind. Safe for concurrent use; see the
+// package comment for the full request lifecycle.
+type Service struct {
+	cfg     Config
+	f       *perfvec.Foundation
+	table   *perfvec.Table
+	cache   *RepCache
+	limiter *Limiter
+	batcher *batcher
+	m       Metrics
+
+	closeMu sync.RWMutex // held shared across in-flight encodes; Close excludes them
+	closed  bool
+}
+
+// NewService builds and starts a service (its collector and encode workers
+// run until Close).
+func NewService(cfg Config) (*Service, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("serve: Config.Model is required")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Table != nil && cfg.Table.M.Cols() != cfg.Model.Cfg.RepDim {
+		return nil, fmt.Errorf("serve: table rep dim %d != model rep dim %d", cfg.Table.M.Cols(), cfg.Model.Cfg.RepDim)
+	}
+	s := &Service{
+		cfg:     cfg,
+		f:       cfg.Model,
+		table:   cfg.Table,
+		cache:   NewRepCache(cfg.CacheSize, cfg.Model.Cfg.RepDim),
+		limiter: NewLimiter(cfg.Rate, cfg.Burst, cfg.Clock),
+	}
+	s.batcher = newBatcher(s.f, s.cache, &s.m, cfg.BatchWindow, cfg.MaxBatchRows, cfg.QueueDepth, cfg.EncodeWorkers)
+	return s, nil
+}
+
+// Close drains in-flight submissions and stops the batcher. Submits arriving
+// after Close return ErrClosed.
+func (s *Service) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	s.batcher.close()
+}
+
+// Submit serves one program submission: features is the n x FeatDim feature
+// matrix (row-major), dst (length >= RepDim) receives the program
+// representation, and the returned key addresses the cached representation
+// in Predict. Cache hits return immediately; misses block until the
+// coalesced batch carrying them completes. The result is bitwise identical
+// to Foundation.ProgramRep on the same features regardless of what else is
+// in the batch.
+//
+//perfvec:hotpath
+func (s *Service) Submit(client string, features []float32, n int, dst []float32) (uint64, error) {
+	fd := s.f.Cfg.FeatDim
+	if n < 1 || len(features) != n*fd || len(dst) < s.f.Cfg.RepDim {
+		return 0, ErrBadRequest
+	}
+	if !s.limiter.Allow(client) {
+		s.m.RejectedRate.Add(1)
+		return 0, ErrRateLimited
+	}
+	s.m.Submits.Add(1)
+	key := HashProgram(features, fd)
+	if s.cache.Get(key, dst) {
+		s.m.CacheHits.Add(1)
+		return key, nil
+	}
+	s.m.CacheMisses.Add(1)
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return 0, ErrClosed
+	}
+	err := s.batcher.encode(features, n, key, dst)
+	s.closeMu.RUnlock()
+	if err != nil {
+		s.m.RejectedQueue.Add(1)
+		return 0, err
+	}
+	return key, nil
+}
+
+// Predict returns the predicted wall-clock nanoseconds of the cached program
+// key on microarchitecture uarch — one dot product, no encoder work. ok is
+// false when the key is not cached (the client must resubmit the program) or
+// uarch is out of range. Bitwise identical to Foundation.PredictTotalNs on
+// the same program and table row.
+//
+//perfvec:hotpath
+func (s *Service) Predict(key uint64, uarch int) (float64, bool) {
+	if s.table == nil || uarch < 0 || uarch >= s.table.K() {
+		return 0, false
+	}
+	s.m.Predicts.Add(1)
+	dot, ok := s.cache.Dot(key, s.table.Rep(uarch))
+	if !ok {
+		s.m.PredictMisses.Add(1)
+		return 0, false
+	}
+	return dot / float64(s.f.Cfg.TargetScale) / sim.TickPerNs, true
+}
+
+// Uarchs returns how many microarchitectures Predict can target (0 without a
+// table).
+func (s *Service) Uarchs() int {
+	if s.table == nil {
+		return 0
+	}
+	return s.table.K()
+}
+
+// Metrics returns the service's live counter set.
+func (s *Service) Metrics() *Metrics { return &s.m }
+
+// Cache returns the representation cache (exposed for the load-test harness
+// and the operational flush knob).
+func (s *Service) Cache() *RepCache { return s.cache }
+
+// Model returns the foundation model the service encodes with.
+func (s *Service) Model() *perfvec.Foundation { return s.f }
+
+// PoolStats reports how many request and batch objects the batcher has ever
+// built; a steady state that keeps building objects is a pooling regression.
+func (s *Service) PoolStats() (reqs, batches int) { return s.batcher.poolStats() }
+
+// RetryAfter is the limiter's suggested backoff for 429 responses.
+func (s *Service) RetryAfter() time.Duration { return s.limiter.RetryAfter() }
