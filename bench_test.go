@@ -230,6 +230,25 @@ func BenchmarkServeNaive(b *testing.B) { benchsuite.ServeNaive(b) }
 func BenchmarkServeSubmitHit(b *testing.B) { benchsuite.ServeSubmitHit(b) }
 func BenchmarkServePredict(b *testing.B)   { benchsuite.ServePredict(b) }
 
+// BenchmarkMatMul32 measures the forward-only float32 GEMM entry point on
+// the MatMul shape with the output drawn from a reused slab; the delta from
+// BenchmarkMatMul is the tape/arena overhead, since both share one packed
+// engine.
+func BenchmarkMatMul32(b *testing.B) { benchsuite.MatMul32(b) }
+
+// BenchmarkEncodeF32 and BenchmarkEncodeF64 are the recorded precision
+// comparison pair: the identical 1024-row coalesced batch encoded through
+// the float32 serving fast path and through the float64 oracle. The rows/s
+// ratio is the f32 speedup the acceptance floor (>= 1.7x on amd64/AVX2)
+// gates in BENCH_8.json.
+func BenchmarkEncodeF32(b *testing.B) { benchsuite.EncodeF32(b) }
+func BenchmarkEncodeF64(b *testing.B) { benchsuite.EncodeF64(b) }
+
+// BenchmarkServeF32 is BenchmarkServe with the float32 fast path pinned
+// explicitly in the config (the budget entry's stable name for the
+// production serving configuration).
+func BenchmarkServeF32(b *testing.B) { benchsuite.ServeF32(b) }
+
 // BenchmarkMatMulModelShape measures the same backend on the trainer's
 // predictor shape (batch x repdim against a uarch table).
 func BenchmarkMatMulModelShape(b *testing.B) {

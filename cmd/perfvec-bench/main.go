@@ -1,18 +1,21 @@
 // Command perfvec-bench runs the repo's tracked micro-benchmarks
-// (BenchmarkMatMul, BenchmarkBatch, BenchmarkTrainStep, and the
+// (BenchmarkMatMul/MatMul32, BenchmarkBatch, BenchmarkTrainStep, the
+// BenchmarkEncodeF32/EncodeF64 precision comparison pair, and the
 // BenchmarkServe* serving suite) through testing.Benchmark and writes the
 // results as JSON, so the performance trajectory of the training and
-// serving hot paths is recorded across PRs (BENCH_7.json is this PR's
-// snapshot). With -budget it also enforces a checked-in allocation budget:
-// CI fails when a change makes the training step, the GEMM backend, or the
-// serving hot path allocate more than the recorded bound. With -tape-histogram
-// it instead runs one serial training step and prints the op-record kind
+// serving hot paths is recorded across PRs (BENCH_8.json is this PR's
+// snapshot). The header line logs the runtime-tuned GEMM blocking
+// parameters and the CPUID-detected cache geometry they were derived from.
+// With -budget it also enforces a checked-in allocation budget: CI fails
+// when a change makes the training step, the GEMM backend, or the serving
+// hot path allocate more than the recorded bound. With -tape-histogram it
+// instead runs one serial training step and prints the op-record kind
 // histogram of its tape — the record-tape profiling hook for inspecting the
 // step graph's op mix.
 //
 // Usage:
 //
-//	perfvec-bench [-o BENCH_7.json] [-budget bench_budget.json] [-tape-histogram]
+//	perfvec-bench [-o BENCH_8.json] [-budget bench_budget.json] [-tape-histogram]
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/benchsuite"
+	"repro/internal/tensor"
 )
 
 // result is one benchmark's record: the three numbers `go test -benchmem`
@@ -87,7 +91,7 @@ type budget map[string]struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_7.json", "output JSON path (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_8.json", "output JSON path (\"-\" for stdout)")
 	budgetPath := flag.String("budget", "", "allocation budget JSON to enforce (exit 1 on regression)")
 	tapeHist := flag.Bool("tape-histogram", false, "print the op-record kind histogram of one training step and exit")
 	flag.Parse()
@@ -97,14 +101,30 @@ func main() {
 		return
 	}
 
+	// The GEMM blocking header: both numeric engines run under these
+	// parameters, tuned at init from the detected cache geometry (or the
+	// compile-time defaults when detection is unavailable).
+	mr, nr, kc, mc, nc := tensor.BlockingParams()
+	if l1d, l2, ok := tensor.CacheSizes(); ok {
+		fmt.Fprintf(os.Stderr, "gemm blocking: %dx%d tile, KC=%d MC=%d NC=%d (L1d %d KiB, L2 %d KiB detected)\n",
+			mr, nr, kc, mc, nc, l1d>>10, l2>>10)
+	} else {
+		fmt.Fprintf(os.Stderr, "gemm blocking: %dx%d tile, KC=%d MC=%d NC=%d (cache detection unavailable; compile-time defaults)\n",
+			mr, nr, kc, mc, nc)
+	}
+
 	benches := []struct {
 		name string
 		fn   func(*testing.B)
 	}{
 		{"MatMul", benchsuite.MatMul},
+		{"MatMul32", benchsuite.MatMul32},
 		{"Batch", benchsuite.Batch},
 		{"TrainStep", benchsuite.TrainStep},
+		{"EncodeF32", benchsuite.EncodeF32},
+		{"EncodeF64", benchsuite.EncodeF64},
 		{"Serve", benchsuite.Serve},
+		{"ServeF32", benchsuite.ServeF32},
 		{"ServeNaive", benchsuite.ServeNaive},
 		{"ServeSubmitHit", benchsuite.ServeSubmitHit},
 		{"ServePredict", benchsuite.ServePredict},

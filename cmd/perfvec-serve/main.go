@@ -46,8 +46,14 @@ func main() {
 		workers   = flag.Int("workers", 2, "concurrent encode workers")
 		rate      = flag.Float64("rate", 0, "per-client tokens/sec (0: no rate limiting)")
 		burst     = flag.Float64("burst", 8, "per-client token bucket burst")
+		precision = flag.String("precision", "f32", "encode engine: f32 (fast path) or f64 (oracle audit mode)")
 	)
 	flag.Parse()
+
+	prec, err := serve.ParsePrecision(*precision)
+	if err != nil {
+		fatal(err)
+	}
 
 	mcfg := perfvec.DefaultConfig()
 	mcfg.Model = perfvec.ModelKind(*arch)
@@ -73,7 +79,8 @@ func main() {
 		CacheSize:   *cacheSize,
 		BatchWindow: *window, MaxBatchRows: *maxRows,
 		QueueDepth: *queue, EncodeWorkers: *workers,
-		Rate: *rate, Burst: *burst,
+		Precision: prec,
+		Rate:      *rate, Burst: *burst,
 	})
 	if err != nil {
 		fatal(err)

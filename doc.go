@@ -160,6 +160,42 @@
 // ServePredict at 0 allocs/op, and a deterministic seeded load harness
 // (serve.Traffic) gates batched-vs-naive throughput at >= 2x in CI.
 //
+// # Precision policy
+//
+// The numeric substrate is float32 end to end: training, the tape forward,
+// and serving all run on the same f32 packed GEMM engine, and every bitwise
+// contract above (fusion, parallelism, batch invariance) is stated at f32.
+// Two additional engines exist for serving, selected by serve.Config's
+// Precision (cmd/perfvec-serve -precision):
+//
+//   - The forward-only float32 fast path (the default): tensor.Slab32
+//     arenas, tensor's *32 entry points, and nn.ForwardSeq32 replay the
+//     inference graph without tape records, VJP scratch stores, or backward
+//     bookkeeping. Its kernels are twins of the tape kernels minus the
+//     backward-only stores, so its output is bitwise identical to the tape
+//     forward (pinned per-op, per-architecture, and end-to-end through
+//     perfvec.Encoder.EncodePrograms32) — switching the serving default to
+//     it changed no bit of any served representation. Slab32 follows the
+//     pooled-tape lifetime rule: tensors drawn from a slab die at its next
+//     Reset, and results leave a pass only by copy.
+//   - The float64 oracle (serve.PrecisionF64): nn.Oracle64 widens the
+//     frozen weights exactly and replays the graph with every GEMM
+//     accumulation, transcendental, and reduction in float64 (gemm64 uses
+//     deterministic math.FMA chains, invariant to blocking and
+//     parallelism). It is the audit mode and the reference of the epsilon
+//     drift harness, which holds the f32 path to relative error <= 1e-4
+//     element-wise (mixed bound: |f32-f64| / max(|f64|, 1e-2*maxAbs(rep)))
+//     across cell types, seeds, batch compositions, denormal-adjacent
+//     weights and features, all-zero windows, and chunk-boundary row
+//     counts, under both the AVX2 and portable kernels.
+//
+// GEMM cache-blocking parameters (KC/MC/NC) are tuned once at init from
+// CPUID-detected L1d/L2 geometry (tensor.BlockingParams / CacheSizes;
+// compile-time defaults when detection is unavailable). Tuning is
+// bitwise-safe by construction — each output element is the same ascending-k
+// FMA chain under any blocking — so runtime-sized blocks never perturb
+// training or serving results (pinned by TestBlockingValueInvariance).
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 package repro

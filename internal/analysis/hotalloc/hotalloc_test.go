@@ -18,3 +18,12 @@ func TestHotAlloc(t *testing.T) {
 func TestHotAllocServeHandler(t *testing.T) {
 	analysistest.Run(t, "testdata/serve", hotalloc.Analyzer)
 }
+
+// TestHotAllocInferSlab runs the analyzer over the forward-only float32
+// encode fixture: the pooled-slab idiom EncodePrograms32 and Slab32 use
+// (growth only at high-water marks, each growth waived) next to the same
+// encode with the slab forgotten (per-pass window, header, and output
+// allocations all flagged).
+func TestHotAllocInferSlab(t *testing.T) {
+	analysistest.Run(t, "testdata/infer", hotalloc.Analyzer)
+}

@@ -1,0 +1,80 @@
+// Forward-only float32 encode fixture: the pooled-slab idiom
+// internal/tensor's Slab32 and the EncodePrograms32 fast path follow — an
+// arena that grows only on high-water marks (each growth carrying its
+// waiver) and hands out sub-slices until Reset — next to the same encode
+// written without the slab, where every pass allocates its windows and
+// outputs from the heap.
+package fixture
+
+type slab struct {
+	buf []float32
+	off int
+}
+
+type mat struct {
+	data []float32
+	r, c int
+}
+
+type enc struct {
+	slab slab
+	acc  []float64
+}
+
+// take is the slab idiom: sub-slice the retained buffer, grow only past the
+// high-water mark, waive exactly that growth.
+//
+//perfvec:hotpath
+func (s *slab) take(n int) []float32 {
+	if s.off+n > len(s.buf) {
+		sz := 2 * len(s.buf)
+		if sz < n {
+			sz = n
+		}
+		s.buf = make([]float32, sz) //perfvec:allow hotalloc -- slab growth on a new high-water mark only; steady state re-slices the retained buffer
+		s.off = 0
+	}
+	out := s.buf[s.off : s.off+n : s.off+n]
+	s.off += n
+	return out
+}
+
+// encodePooled is the EncodePrograms32 shape: windows and the output drawn
+// from the slab, the per-program accumulator grown once at its own
+// high-water mark, nothing else allocating.
+//
+//perfvec:hotpath
+func (e *enc) encodePooled(rows, dim int, dst []float32) {
+	if cap(e.acc) < dim {
+		e.acc = make([]float64, dim) //perfvec:allow hotalloc -- scratch grows only when a batch is wider than any before; steady state reuses it
+	}
+	acc := e.acc[:dim]
+	e.slab.off = 0
+	for i := 0; i < rows; i++ {
+		w := e.slab.take(dim)
+		for j := range w {
+			acc[j] += float64(w[j])
+		}
+	}
+	for j, v := range acc {
+		dst[j] = float32(v)
+	}
+}
+
+// encodeLeaky is the regressed encode: the slab forgotten, every pass
+// allocating windows, headers, and output from the heap.
+//
+//perfvec:hotpath
+func (e *enc) encodeLeaky(rows, dim int) []float32 {
+	out := make([]float32, dim) // want `make in hot path encodeLeaky`
+	var ws []mat
+	for i := 0; i < rows; i++ {
+		w := mat{data: make([]float32, dim), r: 1, c: dim} // want `make in hot path encodeLeaky`
+		ws = append(ws, w)                                 // want `append in hot path encodeLeaky`
+	}
+	h := &mat{data: out, r: 1, c: dim} // want `address-taken composite literal`
+	sink(*h)                          // want `mat value boxed into`
+	return out
+}
+
+func sink(v any) { _ = v }

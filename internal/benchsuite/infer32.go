@@ -1,0 +1,102 @@
+package benchsuite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/perfvec"
+	"repro/internal/tensor"
+)
+
+// MatMul32 measures the forward-only float32 GEMM entry point on the same
+// 256x256x256 product as MatMul, with the output drawn from a reused slab —
+// the serving fast path's shape. MatMul and MatMul32 share one packed
+// engine, so the delta between them is the tape/arena overhead, not the
+// kernels.
+func MatMul32(b *testing.B) {
+	x := tensor.Tensor32{Data: make([]float32, 256*256), R: 256, C: 256}
+	w := tensor.Tensor32{Data: make([]float32, 256*256), R: 256, C: 256}
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) + 0.25
+	}
+	for i := range w.Data {
+		w.Data[i] = float32(i%5) + 0.5
+	}
+	var s tensor.Slab32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		tensor.MatMul32(&s, x, w)
+	}
+	flops := 2.0 * 256 * 256 * 256
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// encodePrograms builds the fixed batch the encode benchmarks run: a few
+// medium programs plus a tail of small ones, totalling 1024 instruction
+// rows — four full streamChunk encode chunks spanning program boundaries.
+func encodePrograms(cfg perfvec.Config) []*perfvec.ProgramData {
+	rng := rand.New(rand.NewSource(71))
+	sizes := []int{300, 256, 200, 100, 64, 33, 30, 20, 14, 7}
+	ps := make([]*perfvec.ProgramData, len(sizes))
+	for i, n := range sizes {
+		p := &perfvec.ProgramData{Name: "bench", N: n, FeatDim: cfg.FeatDim,
+			Features: make([]float32, n*cfg.FeatDim)}
+		for j := range p.Features {
+			p.Features[j] = rng.Float32()*2 - 1
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+// EncodeF32 measures the float32 batched encode — the serving fast path —
+// over the fixed 1024-row batch. Paired with EncodeF64 below, this is the
+// recorded f32-vs-f64 throughput comparison (the acceptance floor is
+// f32 >= 1.7x f64 batched encode on amd64/AVX2).
+func EncodeF32(b *testing.B) {
+	cfg := perfvec.DefaultConfig()
+	f := perfvec.NewFoundation(cfg)
+	ps := encodePrograms(cfg)
+	rows := 0
+	for _, p := range ps {
+		rows += p.N
+	}
+	dst := make([][]float32, len(ps))
+	for i := range dst {
+		dst[i] = make([]float32, cfg.RepDim)
+	}
+	e := f.AcquireEncoder()
+	defer f.ReleaseEncoder(e)
+	e.EncodePrograms32(ps, dst) // warm the slab and pack pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EncodePrograms32(ps, dst)
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// EncodeF64 measures the float64 oracle encode over the identical batch: the
+// audit-mode denominator of the f32 speedup ratio.
+func EncodeF64(b *testing.B) {
+	cfg := perfvec.DefaultConfig()
+	f := perfvec.NewFoundation(cfg)
+	ps := encodePrograms(cfg)
+	rows := 0
+	for _, p := range ps {
+		rows += p.N
+	}
+	dst := make([][]float64, len(ps))
+	for i := range dst {
+		dst[i] = make([]float64, cfg.RepDim)
+	}
+	f.EncodePrograms64(ps, dst) // build the oracle outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.EncodePrograms64(ps, dst)
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}

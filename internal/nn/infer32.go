@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Forward-only float32 inference path. Each model's forwardSeq32 replays its
+// ForwardSeq graph on a Slab32 with the forward-only tensor twins: the same
+// GEMM entry points and the same per-element kernel expressions, with no
+// tape records, no gradient buffers, and no backward-only scratch. The
+// outputs are bitwise identical to ForwardSeq on an inference tape
+// (TestForwardSeq32Bitwise pins this per architecture), so serving can run
+// this path by default without perturbing a single cached representation.
+//
+// Weights are shared, not copied: t32 wraps the trained float32 parameters
+// in Tensor32 headers in place. The path assumes weights are frozen while
+// inference runs — the same assumption the serving layer already makes.
+
+// t32 wraps a trained parameter tensor as a forward-only view.
+//
+//perfvec:hotpath
+func t32(t *tensor.Tensor) tensor.Tensor32 {
+	return tensor.Tensor32{Data: t.Data, R: t.Rows(), C: t.Cols()}
+}
+
+// ForwardSeq32 encodes a sequence of [batch, features] tensors on the slab,
+// dispatching to the model's forward-only implementation. Every SeqEncoder
+// in this package is supported; an unknown implementation panics (the
+// serving layer validates the model kind at construction).
+//
+//perfvec:hotpath
+func ForwardSeq32(enc SeqEncoder, s *tensor.Slab32, xs []tensor.Tensor32) tensor.Tensor32 {
+	switch m := enc.(type) {
+	case *LSTM:
+		return m.forwardSeq32(s, xs)
+	case *GRU:
+		return m.forwardSeq32(s, xs)
+	case *Transformer:
+		return m.forwardSeq32(s, xs)
+	case *LinearSeq:
+		return m.Proj.Forward32(s, tensor.FlattenSeq32(s, xs))
+	case *MLPSeq:
+		return m.Net.Forward32(s, tensor.FlattenSeq32(s, xs))
+	}
+	panic("nn: encoder has no forward-only float32 path")
+}
+
+// Forward32 applies the layer on the slab; the bias broadcast runs in place
+// on the GEMM output, exactly as Forward does.
+//
+//perfvec:hotpath
+func (l *Linear) Forward32(s *tensor.Slab32, x tensor.Tensor32) tensor.Tensor32 {
+	y := tensor.MatMulBT32(s, x, t32(l.W))
+	if l.bias {
+		y = tensor.AddBiasInPlace32(y, l.B.Data)
+	}
+	return y
+}
+
+// Forward32 applies all layers with the activation between them.
+//
+//perfvec:hotpath
+func (m *MLP) Forward32(s *tensor.Slab32, x tensor.Tensor32) tensor.Tensor32 {
+	for i, l := range m.Layers {
+		x = l.Forward32(s, x)
+		if i+1 < len(m.Layers) {
+			x = applyAct32(m.Act, x)
+		}
+	}
+	return x
+}
+
+//perfvec:hotpath
+func applyAct32(a Activation, x tensor.Tensor32) tensor.Tensor32 {
+	switch a {
+	case ActReLU:
+		return tensor.ReLUInPlace32(x)
+	case ActTanh:
+		return tensor.TanhInPlace32(x)
+	case ActSigmoid:
+		return tensor.SigmoidInPlace32(x)
+	}
+	panic("nn: unknown activation")
+}
+
+//perfvec:hotpath
+func (l *lstmLayer) runSeq32(s *tensor.Slab32, xs []tensor.Tensor32) []tensor.Tensor32 {
+	batch := xs[0].R
+	h := s.Mat(batch, l.hidden)
+	c := s.Mat(batch, l.hidden)
+	hs := s.Mats(len(xs))
+	for t, x := range xs {
+		h, c = tensor.LSTMGates32(s, tensor.MatMulBTCat32(s, x, h, t32(l.W)), l.B.Data, c)
+		hs[t] = h
+	}
+	return hs
+}
+
+//perfvec:hotpath
+func (m *LSTM) forwardSeq32(s *tensor.Slab32, xs []tensor.Tensor32) tensor.Tensor32 {
+	hs := xs
+	for _, l := range m.fwd {
+		hs = l.runSeq32(s, hs)
+	}
+	out := hs[len(hs)-1]
+	if m.bwd == nil {
+		return out
+	}
+	rev := s.Mats(len(xs))
+	for i, x := range xs {
+		rev[len(xs)-1-i] = x
+	}
+	for _, l := range m.bwd {
+		rev = l.runSeq32(s, rev)
+	}
+	return tensor.ConcatCols32(s, out, rev[len(rev)-1])
+}
+
+//perfvec:hotpath
+func (l *gruLayer) runSeq32(s *tensor.Slab32, xs []tensor.Tensor32) []tensor.Tensor32 {
+	batch := xs[0].R
+	h := s.Mat(batch, l.hidden)
+	hs := s.Mats(len(xs))
+	for t, x := range xs {
+		z, rh := tensor.GRUGates32(s, tensor.MatMulBTCat32(s, x, h, t32(l.Wzr)), l.Bzr.Data, h)
+		h = tensor.GateCombine32(s, z, tensor.MatMulBTCat32(s, x, rh, t32(l.Wn)), l.Bn.Data, h)
+		hs[t] = h
+	}
+	return hs
+}
+
+//perfvec:hotpath
+func (m *GRU) forwardSeq32(s *tensor.Slab32, xs []tensor.Tensor32) tensor.Tensor32 {
+	hs := xs
+	for _, l := range m.layers {
+		hs = l.runSeq32(s, hs)
+	}
+	return hs[len(hs)-1]
+}
+
+// forward32 processes one sample's sequence x[T, D]. The only structural
+// difference from forward: per-head outputs are written straight into their
+// column range of headsOut (AttentionValue32), which fuses the tape path's
+// SliceCols/MatMul/ConcatCols into leading-dimension-aware GEMM calls with
+// bitwise-identical values.
+//
+//perfvec:hotpath
+func (b *encoderBlock) forward32(s *tensor.Slab32, x tensor.Tensor32) tensor.Tensor32 {
+	q := tensor.MatMulBT32(s, x, t32(b.Wq))
+	k := tensor.MatMulBT32(s, x, t32(b.Wk))
+	v := tensor.MatMulBT32(s, x, t32(b.Wv))
+	dk := b.dim / b.heads
+	scale := float32(1 / math.Sqrt(float64(dk)))
+	headsOut := s.Mat(x.R, b.dim)
+	for h := 0; h < b.heads; h++ {
+		att := tensor.AttentionSoftmax32(s, tensor.MatMulBTCols32(s, q, k, h*dk, (h+1)*dk), scale)
+		tensor.AttentionValue32(headsOut, att, v, h*dk, (h+1)*dk)
+	}
+	attOut := tensor.MatMulBT32(s, headsOut, t32(b.Wo))
+	x = tensor.LayerNorm32(s, tensor.Add32(s, x, attOut), b.G1.Data, b.B1.Data, 1e-5)
+	ff := b.FF2.Forward32(s, tensor.ReLUInPlace32(b.FF1.Forward32(s, x)))
+	return tensor.LayerNorm32(s, tensor.Add32(s, x, ff), b.G2.Data, b.B2.Data, 1e-5)
+}
+
+//perfvec:hotpath
+func (t *Transformer) forwardSeq32(s *tensor.Slab32, xs []tensor.Tensor32) tensor.Tensor32 {
+	if len(xs) > len(t.pos) {
+		panic("nn: transformer sequence longer than configured seqLen")
+	}
+	emb := s.Mats(len(xs))
+	for i, x := range xs {
+		// Embed's own bias and the positional encoding both run as in-place
+		// epilogues on the fresh GEMM output: the same additions in the same
+		// order as the tape path's AddBias, without its output tensor.
+		emb[i] = tensor.AddBiasInPlace32(t.Embed.Forward32(s, x), t.pos[i].Data)
+	}
+	batch := xs[0].R
+	T := len(xs)
+	out := s.Mat(batch, t.dim)
+	for smp := 0; smp < batch; smp++ {
+		seq := tensor.StackRows32(s, emb, smp)
+		for _, blk := range t.blocks {
+			seq = blk.forward32(s, seq)
+		}
+		copy(out.Row(smp), seq.Row(T-1))
+	}
+	return out
+}

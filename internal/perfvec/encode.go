@@ -37,6 +37,11 @@ type Encoder struct {
 	f   *Foundation
 	tp  *tensor.Tape
 	acc []float64 // [len(ps) x RepDim] per-program accumulators, reused
+
+	// slab is the forward-only float32 arena EncodePrograms32 runs on
+	// (encode32.go); it follows the same lifetime rule as the tape — reset
+	// at the start of every chunk, nothing escapes a pass.
+	slab tensor.Slab32
 }
 
 // encoderPool is the Foundation's free list of batch-inference encoders,

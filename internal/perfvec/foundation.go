@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"repro/internal/nn"
 	"repro/internal/sim"
@@ -29,6 +30,13 @@ type Foundation struct {
 	// encoders pools the batch-inference workers perfvec-serve's coalesced
 	// encode passes borrow; see Encoder and encoderPool in encode.go.
 	encoders encoderPool
+
+	// The float64 oracle image of the model (widened weights, float64
+	// forward graph) is built lazily on first use — it assumes frozen
+	// weights, the assumption serving already makes; see encode32.go.
+	oracleOnce sync.Once
+	oracleEnc  *nn.Oracle64
+	oracleHead *nn.Linear64
 }
 
 // NewFoundation builds a randomly initialized foundation model.

@@ -30,8 +30,14 @@ type batch struct {
 	ps   []*perfvec.ProgramData
 	keys []uint64
 	dst  [][]float32
-	uniq map[uint64]int
-	next *batch
+	// dst64 backs PrecisionF64 batches: the float64 oracle writes here and
+	// the worker converts into dst at the batch boundary, so the request
+	// and cache layout is precision-independent. Grown to the high-water
+	// unique-program count and reused; unused (and empty) under
+	// PrecisionF32.
+	dst64 [][]float64
+	uniq  map[uint64]int
+	next  *batch
 }
 
 // batcher coalesces cache-miss submissions into batched encoder passes: a
@@ -39,12 +45,13 @@ type batch struct {
 // batches (see "Batching window semantics" in the package comment) and
 // encode workers run each batch on a pooled perfvec.Encoder.
 type batcher struct {
-	f       *perfvec.Foundation
-	cache   *RepCache
-	m       *Metrics
-	window  time.Duration
-	maxRows int
-	repDim  int
+	f         *perfvec.Foundation
+	cache     *RepCache
+	m         *Metrics
+	window    time.Duration
+	maxRows   int
+	repDim    int
+	precision Precision
 
 	queue   chan *encodeReq // the bounded accept queue
 	batches chan *batch
@@ -59,10 +66,11 @@ type batcher struct {
 }
 
 // newBatcher starts the collector and workers encode-worker goroutines.
-func newBatcher(f *perfvec.Foundation, cache *RepCache, m *Metrics, window time.Duration, maxRows, queueDepth, workers int) *batcher {
+func newBatcher(f *perfvec.Foundation, cache *RepCache, m *Metrics, window time.Duration, maxRows, queueDepth, workers int, precision Precision) *batcher {
 	b := &batcher{
 		f: f, cache: cache, m: m,
 		window: window, maxRows: maxRows, repDim: f.Cfg.RepDim,
+		precision: precision,
 		queue:   make(chan *encodeReq, queueDepth),
 		batches: make(chan *batch, workers),
 	}
@@ -185,15 +193,32 @@ func (b *batcher) add(bt *batch, r *encodeReq) int {
 	return r.pd.N
 }
 
-// encodeWorker runs batches on pooled encoders: one coalesced
-// EncodePrograms pass, cache fills for every unique program, then each
-// request's representation is copied out and its submitter signalled.
+// encodeWorker runs batches through the configured numeric engine — one
+// coalesced pass per batch — then fills the cache for every unique program
+// and signals each submitter with its representation. PrecisionF32 is the
+// hot path: the forward-only float32 engine on a pooled encoder, bitwise
+// identical to the tape encode. PrecisionF64 runs the float64 oracle into
+// the batch's dst64 scratch and converts at the batch boundary, so
+// everything downstream (cache, request reps) sees float32 either way.
 func (b *batcher) encodeWorker() {
 	defer b.wg.Done()
 	for bt := range b.batches {
-		e := b.f.AcquireEncoder()
-		e.EncodePrograms(bt.ps, bt.dst)
-		b.f.ReleaseEncoder(e)
+		if b.precision == PrecisionF64 {
+			for len(bt.dst64) < len(bt.ps) {
+				bt.dst64 = append(bt.dst64, make([]float64, b.repDim))
+			}
+			d64 := bt.dst64[:len(bt.ps)]
+			b.f.EncodePrograms64(bt.ps, d64)
+			for i := range bt.ps {
+				for j, v := range d64[i] {
+					bt.dst[i][j] = float32(v)
+				}
+			}
+		} else {
+			e := b.f.AcquireEncoder()
+			e.EncodePrograms32(bt.ps, bt.dst)
+			b.f.ReleaseEncoder(e)
+		}
 		for i, key := range bt.keys {
 			b.cache.Put(key, bt.dst[i])
 		}

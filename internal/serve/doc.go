@@ -93,4 +93,29 @@
 // on free lists, so the steady-state serving path allocates nothing; the
 // hotalloc analyzer guards the annotated hot functions and
 // bench_budget.json gates the measured allocs/op.
+//
+// # Precision policy
+//
+// Config.Precision selects the numeric engine encode batches run on; the
+// request wire format, cache layout, and admission path are identical
+// under both:
+//
+//   - PrecisionF32 (default): the forward-only float32 engine
+//     (perfvec.Encoder.EncodePrograms32) — packed f32 GEMM on pooled
+//     Slab32 arenas, no tape bookkeeping, zero steady-state allocations.
+//     Its output is bitwise identical to the tape-based encode, so
+//     everything the paragraphs above promise about cached representations
+//     ("bitwise the one a fresh encode would produce") holds unchanged.
+//   - PrecisionF64: the float64 oracle (perfvec.Foundation.EncodePrograms64)
+//     — widened weights, float64 forward graph — with each representation
+//     converted to float32 exactly once, at the batch boundary, before it
+//     reaches the cache or any request buffer. This is the audit mode the
+//     serving epsilon is stated against: the f32 fast path drifts from the
+//     oracle by at most 1e-4 relative error element-wise (the drift
+//     harness in internal/perfvec pins this across cell types, batch
+//     compositions, and numeric edge cases). The oracle allocates per
+//     batch; it is for audits, not throughput.
+//
+// The oracle image of the model is built lazily on first use and assumes
+// frozen weights — the assumption serving already makes everywhere.
 package serve

@@ -56,6 +56,11 @@ type Config struct {
 	// a pooled encoder while running a batch). Default 2.
 	EncodeWorkers int
 
+	// Precision selects the numeric engine batches run on: PrecisionF32
+	// (the default) is the forward-only float32 fast path, PrecisionF64 the
+	// float64 oracle audit mode. See the Precision doc.
+	Precision Precision
+
 	// Rate and Burst configure the per-client token buckets. Rate<=0
 	// disables rate limiting. Default: disabled.
 	Rate  float64
@@ -121,7 +126,7 @@ func NewService(cfg Config) (*Service, error) {
 		cache:   NewRepCache(cfg.CacheSize, cfg.Model.Cfg.RepDim),
 		limiter: NewLimiter(cfg.Rate, cfg.Burst, cfg.Clock),
 	}
-	s.batcher = newBatcher(s.f, s.cache, &s.m, cfg.BatchWindow, cfg.MaxBatchRows, cfg.QueueDepth, cfg.EncodeWorkers)
+	s.batcher = newBatcher(s.f, s.cache, &s.m, cfg.BatchWindow, cfg.MaxBatchRows, cfg.QueueDepth, cfg.EncodeWorkers, cfg.Precision)
 	return s, nil
 }
 
@@ -142,9 +147,11 @@ func (s *Service) Close() {
 // matrix (row-major), dst (length >= RepDim) receives the program
 // representation, and the returned key addresses the cached representation
 // in Predict. Cache hits return immediately; misses block until the
-// coalesced batch carrying them completes. The result is bitwise identical
-// to Foundation.ProgramRep on the same features regardless of what else is
-// in the batch.
+// coalesced batch carrying them completes. Under PrecisionF32 (the default)
+// the result is bitwise identical to Foundation.ProgramRep on the same
+// features regardless of what else is in the batch; under PrecisionF64 it is
+// the float64 oracle representation converted to float32, equally
+// batch-composition-independent.
 //
 //perfvec:hotpath
 func (s *Service) Submit(client string, features []float32, n int, dst []float32) (uint64, error) {
@@ -215,6 +222,9 @@ func (s *Service) Cache() *RepCache { return s.cache }
 
 // Model returns the foundation model the service encodes with.
 func (s *Service) Model() *perfvec.Foundation { return s.f }
+
+// Precision returns the numeric engine the service's batches run on.
+func (s *Service) Precision() Precision { return s.cfg.Precision }
 
 // PoolStats reports how many request and batch objects the batcher has ever
 // built; a steady state that keeps building objects is a pooling regression.

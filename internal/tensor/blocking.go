@@ -1,0 +1,83 @@
+package tensor
+
+// Cache-blocking parameters for the packed GEMM engine, runtime-tuned at
+// init from the CPUID-detected L1d/L2 sizes (cpuid_amd64.s). The
+// compile-time defaults below — the PR 5 constants, sized for a 32 KiB L1d
+// and a 512 KiB L2 — remain the fallback whenever detection is unavailable
+// (non-amd64, the noasm build, or a CPU whose cache leaves we don't parse).
+//
+// Determinism note: tuning these is bitwise-safe. Every output element of
+// gemmPacked (and of the float64 oracle engine in gemm64.go) is produced by
+// one FMA chain ascending in k regardless of how the loops are blocked: the
+// C tile is loaded and stored between KC blocks exactly (a float32/float64
+// value round-trips through memory losslessly), packing only relocates the
+// same logical A/B elements, and MC/NC only partition independent output
+// regions. Changing KC/MC/NC therefore changes cache behavior, never values
+// — pinned by TestBlockingValueInvariance.
+var (
+	// gemmKC is the reduction-block depth: one packed B strip (KC x NR
+	// float32s) is tuned to fill half of L1d, so it stays resident while
+	// the A block streams against it; the C tile round-trips through
+	// memory only once per KC block.
+	gemmKC = 256
+	// gemmMC is the row-block height (a multiple of MR): the packed
+	// MC x KC A block is tuned to a quarter of L2, leaving room for the B
+	// strips streaming past it.
+	gemmMC = 72
+	// gemmNC is the column-panel width (a multiple of NR) bounding each
+	// worker's packed B panel at 512 KiB (an L3-resident working set).
+	gemmNC = 512
+)
+
+// Detected data-cache sizes in bytes; zero when detection fell back to the
+// compile-time blocking defaults.
+var cacheL1d, cacheL2 int
+
+func init() {
+	if l1d, l2, ok := cpuCacheSizes(); ok {
+		cacheL1d, cacheL2 = l1d, l2
+		gemmKC, gemmMC, gemmNC = tuneBlocking(l1d, l2)
+	}
+}
+
+// tuneBlocking derives KC/MC/NC from the data-cache sizes using the same
+// sizing rules the compile-time defaults encode (half of L1d for a B strip,
+// a quarter of L2 for the A block, 512 KiB per worker B panel). Results are
+// clamped to a sane range and rounded to the register-tile granularity so a
+// bogus CPUID answer can't produce a degenerate blocking.
+func tuneBlocking(l1d, l2 int) (kc, mc, nc int) {
+	const f32 = 4 // element size in bytes
+	kc = roundDown(l1d/2/(gemmNR*f32), 8)
+	kc = clamp(kc, 128, 512)
+	mc = roundDown(l2/4/(kc*f32), gemmMR)
+	mc = clamp(mc, 6*gemmMR, 288)
+	nc = roundDown((512<<10)/(kc*f32), gemmNR)
+	nc = clamp(nc, 128, 2048)
+	return kc, mc, nc
+}
+
+func roundDown(v, mult int) int { return v / mult * mult }
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// BlockingParams reports the GEMM engine's register-tile and cache-blocking
+// parameters (MRxNR micro-tile; KC/MC/NC blocking, runtime-tuned when cache
+// detection succeeded). perfvec-bench logs these alongside its results.
+func BlockingParams() (mr, nr, kc, mc, nc int) {
+	return gemmMR, gemmNR, gemmKC, gemmMC, gemmNC
+}
+
+// CacheSizes reports the CPUID-detected L1d and L2 data-cache sizes in
+// bytes. ok is false when detection was unavailable and the engine is
+// running on the compile-time blocking defaults.
+func CacheSizes() (l1d, l2 int, ok bool) {
+	return cacheL1d, cacheL2, cacheL1d > 0 && cacheL2 > 0
+}

@@ -1,0 +1,53 @@
+//go:build amd64 && !noasm
+
+package tensor
+
+// cpuidRaw executes the CPUID instruction with the given leaf in EAX and
+// sub-leaf in ECX. Implemented in cpuid_amd64.s.
+func cpuidRaw(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// cpuCacheSizes detects the L1 data cache and L2 cache sizes via the
+// deterministic cache parameters leaves: leaf 4 (Intel) first, then
+// 0x8000001D (AMD, advertised by the topology-extensions ecosystem but
+// safe to probe after checking the max extended leaf). Each sub-leaf
+// describes one cache level; size = ways * partitions * lineSize * sets
+// with each field stored off-by-one.
+func cpuCacheSizes() (l1d, l2 int, ok bool) {
+	maxStd, _, _, _ := cpuidRaw(0, 0)
+	maxExt, _, _, _ := cpuidRaw(0x80000000, 0)
+	leaves := []uint32{}
+	if maxStd >= 4 {
+		leaves = append(leaves, 4)
+	}
+	if maxExt >= 0x8000001d {
+		leaves = append(leaves, 0x8000001d)
+	}
+	for _, leaf := range leaves {
+		for sub := uint32(0); sub < 16; sub++ {
+			a, b, c, _ := cpuidRaw(leaf, sub)
+			typ := a & 0xf
+			if typ == 0 {
+				break // no more caches on this leaf
+			}
+			if typ != 1 && typ != 3 {
+				continue // instruction cache
+			}
+			level := (a >> 5) & 0x7
+			ways := int(b>>22&0x3ff) + 1
+			parts := int(b>>12&0x3ff) + 1
+			line := int(b&0xfff) + 1
+			sets := int(c) + 1
+			size := ways * parts * line * sets
+			switch {
+			case level == 1 && l1d == 0:
+				l1d = size
+			case level == 2 && l2 == 0:
+				l2 = size
+			}
+		}
+		if l1d > 0 && l2 > 0 {
+			return l1d, l2, true
+		}
+	}
+	return 0, 0, false
+}

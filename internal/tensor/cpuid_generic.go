@@ -1,0 +1,8 @@
+//go:build !amd64 || noasm
+
+package tensor
+
+// cpuCacheSizes reports no cache information on platforms without the CPUID
+// probe (or under -tags noasm, where the portable build must not depend on
+// assembly): the engine runs on the compile-time blocking defaults.
+func cpuCacheSizes() (l1d, l2 int, ok bool) { return 0, 0, false }

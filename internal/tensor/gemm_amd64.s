@@ -10,6 +10,8 @@
 // identical operation per element (emulated single-rounding FMA), so the
 // two paths agree bitwise.
 
+//go:build !noasm
+
 #include "textflag.h"
 
 // func cpuHasAVX2FMA() bool

@@ -1,12 +1,13 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package tensor
 
-// Non-amd64 builds run the portable packed engine with the generic
-// micro-kernel in gemm_generic.go — bitwise identical to the assembly path,
-// so results are reproducible across platforms. The stub below is never
-// reached (gemmMicro checks useFMA first). useFMA is a var, not a const, so
-// tests can exercise both dispatch paths uniformly.
+// Non-amd64 builds — and amd64 builds under -tags noasm, which CI uses to
+// exercise the portable path on the same hardware — run the packed engine
+// with the generic micro-kernel in gemm_generic.go, bitwise identical to
+// the assembly path, so results are reproducible across platforms. The stub
+// below is never reached (gemmMicro checks useFMA first). useFMA is a var,
+// not a const, so tests can exercise both dispatch paths uniformly.
 var useFMA = false
 
 func gemmMicro6x16(c, a, b *float32, kc, ldc int) {

@@ -1,0 +1,313 @@
+package tensor
+
+import "math"
+
+// Float64 oracle tensor ops. Tensor64 mirrors Tensor32's forward-only shape
+// (no tape, no gradients) but allocates freely and computes every
+// transcendental and reduction directly in float64: this is the reference
+// the epsilon drift harness holds the float32 fast path against, not a hot
+// path. Widening float32 weights and features to float64 is exact, so the
+// oracle sees bit-for-bit the same inputs the fast path does.
+
+// Tensor64 is a row-major float64 matrix with value semantics.
+type Tensor64 struct {
+	Data []float64
+	R, C int
+}
+
+// NewTensor64 returns a zeroed r x c matrix.
+func NewTensor64(r, c int) Tensor64 {
+	return Tensor64{Data: make([]float64, r*c), R: r, C: c}
+}
+
+// Widen converts a float32 tensor to its exact float64 image.
+func Widen(t *Tensor) Tensor64 {
+	out := Tensor64{Data: make([]float64, len(t.Data)), R: t.Rows(), C: t.Cols()}
+	for i, v := range t.Data {
+		out.Data[i] = float64(v)
+	}
+	return out
+}
+
+// WidenSlice converts a float32 slice to its exact float64 image.
+func WidenSlice(s []float32) []float64 {
+	out := make([]float64, len(s))
+	for i, v := range s {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Rows returns the number of rows.
+func (t Tensor64) Rows() int { return t.R }
+
+// Cols returns the number of columns.
+func (t Tensor64) Cols() int { return t.C }
+
+// Row returns row i as a slice aliasing the tensor's storage.
+func (t Tensor64) Row(i int) []float64 { return t.Data[i*t.C : (i+1)*t.C] }
+
+func sigmoid64(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// MatMul64 returns a[m,k] * b[k,n].
+func MatMul64(a, b Tensor64) Tensor64 {
+	if a.C != b.R {
+		panic("tensor: MatMul64 shape mismatch")
+	}
+	out := NewTensor64(a.R, b.C)
+	gemm64NN(out.Data, a.Data, b.Data, a.R, a.C, b.C, a.C, b.C, b.C)
+	return out
+}
+
+// MatMulBT64 returns a[m,k] * b[n,k]^T.
+func MatMulBT64(a, b Tensor64) Tensor64 {
+	if a.C != b.C {
+		panic("tensor: MatMulBT64 shape mismatch")
+	}
+	out := NewTensor64(a.R, b.R)
+	gemm64NT(out.Data, a.Data, b.Data, a.R, a.C, b.R, a.C, b.C, b.R)
+	return out
+}
+
+// MatMulBTCat64 returns [x|h] * w^T without materializing the concatenation.
+func MatMulBTCat64(x, h, w Tensor64) Tensor64 {
+	if x.R != h.R || w.C != x.C+h.C {
+		panic("tensor: MatMulBTCat64 shape mismatch")
+	}
+	out := NewTensor64(x.R, w.R)
+	gemm64NT(out.Data, x.Data, w.Data, x.R, x.C, w.R, x.C, w.C, w.R)
+	gemm64NT(out.Data, h.Data, w.Data[x.C:], h.R, h.C, w.R, h.C, w.C, w.R)
+	return out
+}
+
+// MatMulBTCols64 returns a[:, from:to] * b[:, from:to]^T.
+func MatMulBTCols64(a, b Tensor64, from, to int) Tensor64 {
+	if from < 0 || to > a.C || to > b.C || from >= to {
+		panic("tensor: MatMulBTCols64 column range out of range")
+	}
+	out := NewTensor64(a.R, b.R)
+	gemm64NT(out.Data, a.Data[from:], b.Data[from:], a.R, to-from, b.R, a.C, b.C, b.R)
+	return out
+}
+
+// AttentionValue64 computes att * v[:, from:to] into columns [from, to) of
+// dst (which must be zeroed there).
+func AttentionValue64(dst Tensor64, att, v Tensor64, from, to int) {
+	if from < 0 || to > v.C || to > dst.C || from >= to || att.C != v.R || dst.R != att.R {
+		panic("tensor: AttentionValue64 shape mismatch")
+	}
+	gemm64NN(dst.Data[from:], att.Data, v.Data[from:], att.R, att.C, to-from, att.C, v.C, dst.C)
+}
+
+// Add64 returns a + b.
+func Add64(a, b Tensor64) Tensor64 {
+	if a.R != b.R || a.C != b.C {
+		panic("tensor: Add64 shape mismatch")
+	}
+	out := NewTensor64(a.R, a.C)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// AddBiasInPlace64 adds bias[n] into each row of a in place and returns a.
+func AddBiasInPlace64(a Tensor64, bias []float64) Tensor64 {
+	if len(bias) != a.C {
+		panic("tensor: AddBiasInPlace64 bias length mismatch")
+	}
+	for i := 0; i < a.R; i++ {
+		ar := a.Row(i)
+		for j := range ar {
+			ar[j] += bias[j]
+		}
+	}
+	return a
+}
+
+// SigmoidInPlace64 applies σ elementwise in place and returns a.
+func SigmoidInPlace64(a Tensor64) Tensor64 {
+	for i, v := range a.Data {
+		a.Data[i] = sigmoid64(v)
+	}
+	return a
+}
+
+// TanhInPlace64 applies tanh elementwise in place and returns a.
+func TanhInPlace64(a Tensor64) Tensor64 {
+	for i, v := range a.Data {
+		a.Data[i] = math.Tanh(v)
+	}
+	return a
+}
+
+// ReLUInPlace64 applies max(·,0) elementwise in place and returns a.
+func ReLUInPlace64(a Tensor64) Tensor64 {
+	for i, v := range a.Data {
+		if !(v > 0) {
+			a.Data[i] = 0
+		}
+	}
+	return a
+}
+
+// LSTMGates64 computes the LSTM gate block in float64.
+func LSTMGates64(pre Tensor64, bias []float64, c Tensor64) (h, cNew Tensor64) {
+	m, H := c.R, c.C
+	if pre.R != m || pre.C != 4*H || len(bias) != 4*H {
+		panic("tensor: LSTMGates64 shape mismatch")
+	}
+	h = NewTensor64(m, H)
+	cNew = NewTensor64(m, H)
+	for r := 0; r < m; r++ {
+		zr := pre.Row(r)
+		cr := c.Row(r)
+		cn := cNew.Row(r)
+		hn := h.Row(r)
+		for j := 0; j < H; j++ {
+			i := sigmoid64(zr[j] + bias[j])
+			f := sigmoid64(zr[H+j] + bias[H+j])
+			g := math.Tanh(zr[2*H+j] + bias[2*H+j])
+			o := sigmoid64(zr[3*H+j] + bias[3*H+j])
+			cv := f*cr[j] + i*g
+			cn[j] = cv
+			hn[j] = o * math.Tanh(cv)
+		}
+	}
+	return h, cNew
+}
+
+// GRUGates64 computes the GRU update/reset gate block in float64.
+func GRUGates64(pre Tensor64, bias []float64, h Tensor64) (z, rh Tensor64) {
+	m, H := h.R, h.C
+	if pre.R != m || pre.C != 2*H || len(bias) != 2*H {
+		panic("tensor: GRUGates64 shape mismatch")
+	}
+	z = NewTensor64(m, H)
+	rh = NewTensor64(m, H)
+	for r := 0; r < m; r++ {
+		pr := pre.Row(r)
+		hr := h.Row(r)
+		zr := z.Row(r)
+		rhr := rh.Row(r)
+		for j := 0; j < H; j++ {
+			zr[j] = sigmoid64(pr[j] + bias[j])
+			rhr[j] = sigmoid64(pr[H+j]+bias[H+j]) * hr[j]
+		}
+	}
+	return z, rh
+}
+
+// GateCombine64 computes h' = (n - z⊙n) + z⊙h with n = tanh(nPre + bias).
+func GateCombine64(z, nPre Tensor64, bias []float64, h Tensor64) Tensor64 {
+	m, H := h.R, h.C
+	if z.R != m || z.C != H || nPre.R != m || nPre.C != H || len(bias) != H {
+		panic("tensor: GateCombine64 shape mismatch")
+	}
+	out := NewTensor64(m, H)
+	for r := 0; r < m; r++ {
+		pr := nPre.Row(r)
+		zr := z.Row(r)
+		hr := h.Row(r)
+		or := out.Row(r)
+		for j := 0; j < H; j++ {
+			nv := math.Tanh(pr[j] + bias[j])
+			zv := zr[j]
+			or[j] = (nv - zv*nv) + zv*hr[j]
+		}
+	}
+	return out
+}
+
+// AttentionSoftmax64 applies the scaled row-wise softmax.
+func AttentionSoftmax64(a Tensor64, scale float64) Tensor64 {
+	out := NewTensor64(a.R, a.C)
+	for i := 0; i < a.R; i++ {
+		ar, or := a.Row(i), out.Row(i)
+		maxv := ar[0] * scale
+		for _, v := range ar[1:] {
+			if sv := v * scale; sv > maxv {
+				maxv = sv
+			}
+		}
+		var sum float64
+		for j, v := range ar {
+			e := math.Exp(v*scale - maxv)
+			or[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range or {
+			or[j] *= inv
+		}
+	}
+	return out
+}
+
+// LayerNorm64 normalizes each row to zero mean and unit variance, then
+// applies the per-column gain and bias.
+func LayerNorm64(x Tensor64, gamma, beta []float64, eps float64) Tensor64 {
+	m, n := x.R, x.C
+	if len(gamma) != n || len(beta) != n {
+		panic("tensor: LayerNorm64 gain/bias length mismatch")
+	}
+	out := NewTensor64(m, n)
+	for i := 0; i < m; i++ {
+		xr := x.Row(i)
+		var mean float64
+		for _, v := range xr {
+			mean += v
+		}
+		mean /= float64(n)
+		var varc float64
+		for _, v := range xr {
+			d := v - mean
+			varc += d * d
+		}
+		varc /= float64(n)
+		is := 1 / math.Sqrt(varc+eps)
+		or := out.Row(i)
+		for j, v := range xr {
+			or[j] = gamma[j]*(v-mean)*is + beta[j]
+		}
+	}
+	return out
+}
+
+// StackRows64 gathers row `row` of each timestep tensor into one [T, C]
+// matrix.
+func StackRows64(xs []Tensor64, row int) Tensor64 {
+	cols := xs[0].C
+	out := NewTensor64(len(xs), cols)
+	for t, x := range xs {
+		copy(out.Row(t), x.Row(row))
+	}
+	return out
+}
+
+// FlattenSeq64 lays the timesteps of xs side by side per row.
+func FlattenSeq64(xs []Tensor64) Tensor64 {
+	rows, cols := xs[0].R, xs[0].C
+	out := NewTensor64(rows, cols*len(xs))
+	for i := 0; i < rows; i++ {
+		or := out.Row(i)
+		for t, x := range xs {
+			copy(or[t*cols:(t+1)*cols], x.Row(i))
+		}
+	}
+	return out
+}
+
+// ConcatCols64 returns [a|b].
+func ConcatCols64(a, b Tensor64) Tensor64 {
+	if a.R != b.R {
+		panic("tensor: ConcatCols64 row mismatch")
+	}
+	out := NewTensor64(a.R, a.C+b.C)
+	for i := 0; i < a.R; i++ {
+		or := out.Row(i)
+		copy(or[:a.C], a.Row(i))
+		copy(or[a.C:], b.Row(i))
+	}
+	return out
+}

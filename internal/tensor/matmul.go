@@ -52,21 +52,17 @@ const (
 	// gemmMR x gemmNR is the micro-kernel tile: 6 rows x 16 columns = twelve
 	// 8-wide YMM accumulators, register-resident across the k-loop (plus two
 	// registers for the B vectors and two rotating broadcast registers —
-	// all sixteen YMM names).
+	// all sixteen YMM names). 6x16 is the widest tile AVX2's sixteen YMM
+	// names admit: a 6x32 or 8x16 tile would need 24 or 16 accumulators
+	// plus B/broadcast registers and spill every k-step.
 	gemmMR = 6
 	gemmNR = 16
-	// gemmKC is the reduction-block depth: one packed B strip (KC x NR) is
-	// 16 KiB — half of a 32 KiB L1d — and the C tile round-trips through
-	// memory only once per KC block.
-	gemmKC = 256
-	// gemmMC is the row-block height (a multiple of MR): a packed MC x KC A
-	// block is 72 KiB, sized to sit in L2 while B strips stream past it.
-	gemmMC = 72
-	// gemmNC is the column-panel width (a multiple of NR) bounding each
-	// worker's packed B panel (KC x NC = 512 KiB, an L3-resident working
-	// set).
-	gemmNC = 512
 )
+
+// The cache-blocking parameters gemmKC/gemmMC/gemmNC live in blocking.go:
+// they are runtime-tuned from the CPUID-detected L1d/L2 sizes at init, with
+// the compile-time defaults there as the fallback. Tuning is bitwise-safe —
+// see the determinism note in blocking.go.
 
 // packPool recycles the engine's packing buffers: one shared A panel per KC
 // block plus one B panel per worker per column range. GEMMs run in every
