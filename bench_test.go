@@ -249,6 +249,15 @@ func BenchmarkEncodeF64(b *testing.B) { benchsuite.EncodeF64(b) }
 // production serving configuration).
 func BenchmarkServeF32(b *testing.B) { benchsuite.ServeF32(b) }
 
+// BenchmarkSweep measures the batched design-space sweep (candidates
+// embedded once, one GEMM per program over a 2048-config space) and
+// BenchmarkSweepNaive the same prediction matrix via per-config re-embedding
+// and K=1 GEMMs. The configs/s ratio between them is the fleet-scale DSE
+// amortization win (acceptance floor: >= 10x at >= 1024 configs), and
+// bench_budget.json pins the batched path at 0 allocs/op.
+func BenchmarkSweep(b *testing.B)      { benchsuite.Sweep(b) }
+func BenchmarkSweepNaive(b *testing.B) { benchsuite.SweepNaive(b) }
+
 // BenchmarkMatMulModelShape measures the same backend on the trainer's
 // predictor shape (batch x repdim against a uarch table).
 func BenchmarkMatMulModelShape(b *testing.B) {

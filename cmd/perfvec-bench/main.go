@@ -1,9 +1,10 @@
 // Command perfvec-bench runs the repo's tracked micro-benchmarks
 // (BenchmarkMatMul/MatMul32, BenchmarkBatch, BenchmarkTrainStep, the
-// BenchmarkEncodeF32/EncodeF64 precision comparison pair, and the
-// BenchmarkServe* serving suite) through testing.Benchmark and writes the
+// BenchmarkEncodeF32/EncodeF64 precision comparison pair, the
+// BenchmarkServe* serving suite, and the BenchmarkSweep/SweepNaive
+// design-space sweep pair) through testing.Benchmark and writes the
 // results as JSON, so the performance trajectory of the training and
-// serving hot paths is recorded across PRs (BENCH_8.json is this PR's
+// serving hot paths is recorded across PRs (BENCH_9.json is this PR's
 // snapshot). The header line logs the runtime-tuned GEMM blocking
 // parameters and the CPUID-detected cache geometry they were derived from.
 // With -budget it also enforces a checked-in allocation budget: CI fails
@@ -15,7 +16,7 @@
 //
 // Usage:
 //
-//	perfvec-bench [-o BENCH_8.json] [-budget bench_budget.json] [-tape-histogram]
+//	perfvec-bench [-o BENCH_9.json] [-budget bench_budget.json] [-tape-histogram]
 package main
 
 import (
@@ -91,7 +92,7 @@ type budget map[string]struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_8.json", "output JSON path (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_9.json", "output JSON path (\"-\" for stdout)")
 	budgetPath := flag.String("budget", "", "allocation budget JSON to enforce (exit 1 on regression)")
 	tapeHist := flag.Bool("tape-histogram", false, "print the op-record kind histogram of one training step and exit")
 	flag.Parse()
@@ -128,6 +129,8 @@ func main() {
 		{"ServeNaive", benchsuite.ServeNaive},
 		{"ServeSubmitHit", benchsuite.ServeSubmitHit},
 		{"ServePredict", benchsuite.ServePredict},
+		{"Sweep", benchsuite.Sweep},
+		{"SweepNaive", benchsuite.SweepNaive},
 	}
 	rep := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),

@@ -4,9 +4,13 @@
 // model, predict the whole space with dot products) and validated against
 // exhaustive simulation.
 //
+// After the paper's 36-design study it runs a fleet-scale sweep: a generated
+// candidate space of -space-size configurations ranked with the batched
+// predictor across -workers workers, reporting configs/s.
+//
 // Usage:
 //
-//	perfvec-dse -epochs 8 -maxinsts 15000
+//	perfvec-dse -epochs 8 -maxinsts 15000 -space-size 4096 -workers 8
 package main
 
 import (
@@ -30,6 +34,8 @@ func main() {
 		samples  = flag.Int("samples", 80000, "samples per epoch")
 		tuneN    = flag.Int("tune-designs", 18, "designs simulated for tuning (paper: 18 of 36)")
 		seed     = flag.Int64("seed", 1, "seed")
+		spaceN   = flag.Int("space-size", 2048, "generated candidate configs for the fleet-scale sweep (0: skip)")
+		workers  = flag.Int("workers", 0, "sweep workers (0: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -67,12 +73,14 @@ func main() {
 		targets = append(targets, pd)
 	}
 	start := time.Now()
-	res, err := dse.RunPerfVec(f, space, bench.Training()[:3], targets, *tuneN, 1, *maxInsts, *seed)
+	res, err := dse.RunPerfVecWorkers(f, space, bench.Training()[:3], targets, *tuneN, 1, *maxInsts, *seed, *workers)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("PerfVec DSE done in %s using %d simulations (exhaustive: %d)\n",
 		time.Since(start).Round(time.Millisecond), res.SimsUsed, len(space)*len(programs))
+	fmt.Printf("sweep: %d (program, design) predictions in %s (%s configs/s)\n",
+		res.SweepConfigs, res.SweepTime.Round(time.Microsecond), configsPerSec(res.SweepConfigs, res.SweepTime))
 
 	// 3. Validate against exhaustive simulation.
 	truth, _, err := dse.GroundTruth(space, programs, 1, *maxInsts)
@@ -91,6 +99,37 @@ func main() {
 	fmt.Print(tb.String())
 	fmt.Printf("average quality: %s (fraction of designs beating the selection; paper: 3.6%%)\n",
 		stats.Pct(avgQ/float64(len(programs))))
+
+	// 4. Fleet-scale sweep: reuse the tuned microarchitecture model to rank a
+	// generated candidate space of thousands of configurations — the batched
+	// predictor's throughput case. No simulations are spent here.
+	if *spaceN > 0 {
+		gen := uarch.GenerateSpace(uarch.SpaceSpec{Size: *spaceN, Seed: uint64(*seed)})
+		sw := perfvec.NewSweeper(f, res.Uarch)
+		sw.SetSpace(gen)
+		progReps := make([][]float32, len(targets))
+		out := make([][]float64, len(targets))
+		for i := range targets {
+			progReps[i] = make([]float32, f.Cfg.RepDim)
+			out[i] = make([]float64, sw.K())
+		}
+		e := f.AcquireEncoder()
+		e.EncodePrograms32(targets, progReps)
+		f.ReleaseEncoder(e)
+		start = time.Now()
+		n := dse.SweepPrograms(sw, progReps, out, *workers)
+		el := time.Since(start)
+		fmt.Printf("fleet sweep: %d candidate configs x %d programs = %d predictions in %s (%s configs/s)\n",
+			sw.K(), len(targets), n, el.Round(time.Microsecond), configsPerSec(n, el))
+	}
+}
+
+// configsPerSec formats a predictions-per-second rate.
+func configsPerSec(n int, d time.Duration) string {
+	if d <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f", float64(n)/d.Seconds())
 }
 
 func fatal(err error) {

@@ -11,8 +11,9 @@
 //
 //	perfvec-serve -addr :8923 -model perfvec-model.gob -table perfvec-table.gob
 //
-// Endpoints: POST /v1/submit, GET /v1/predict, GET /metrics, GET /healthz
-// (see the internal/serve package documentation for wire formats).
+// Endpoints: POST /v1/submit, POST /v1/sweep, GET /v1/predict, GET /metrics,
+// GET /healthz (see the internal/serve package documentation for wire
+// formats).
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/perfvec"
 	"repro/internal/serve"
+	"repro/internal/uarch"
 )
 
 func main() {
@@ -47,6 +49,7 @@ func main() {
 		rate      = flag.Float64("rate", 0, "per-client tokens/sec (0: no rate limiting)")
 		burst     = flag.Float64("burst", 8, "per-client token bucket burst")
 		precision = flag.String("precision", "f32", "encode engine: f32 (fast path) or f64 (oracle audit mode)")
+		sweepMax  = flag.Int("sweep-max", 8192, "largest candidate space one /v1/sweep may request (0: disable sweeps)")
 	)
 	flag.Parse()
 
@@ -74,13 +77,24 @@ func main() {
 		}
 	}
 
+	// The /v1/sweep endpoint needs a calibrated microarchitecture model. A
+	// fresh model calibrated on a generated space serves throughput and API
+	// testing; serving trained sweep predictions means training it with
+	// perfvec.TrainUarchModel (see internal/dse) against this foundation.
+	var um *perfvec.UarchModel
+	if *sweepMax > 0 {
+		um = perfvec.NewUarchModel(mcfg.RepDim, 32, 0)
+		um.Calibrate(uarch.GenerateSpace(uarch.SpaceSpec{Size: 512, Seed: 1}))
+	}
+
 	s, err := serve.NewService(serve.Config{
-		Model: f, Table: table,
+		Model: f, Table: table, Uarch: um,
 		CacheSize:   *cacheSize,
 		BatchWindow: *window, MaxBatchRows: *maxRows,
 		QueueDepth: *queue, EncodeWorkers: *workers,
 		Precision: prec,
 		Rate:      *rate, Burst: *burst,
+		MaxSweepConfigs: *sweepMax,
 	})
 	if err != nil {
 		fatal(err)

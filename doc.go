@@ -92,8 +92,8 @@
 // -tape-histogram printing one step's op-record kind histogram for graph
 // profiling), and CI fails any change whose training step or GEMM exceeds
 // the allocation budgets in bench_budget.json (TrainStep 10 allocs/op — the
-// steady-state step measures 0 — and MatMul 4, the pooled engine measures
-// 3, all in the output tensor).
+// steady-state step measures 0 — and MatMul 0: pack panels come from the
+// pool and the output tensor from a reused inference tape's arena).
 //
 // The data path is streaming end to end: emu.Stepper executes programs one
 // pulled instruction at a time (trace.Stream), features.StreamExtractor
@@ -159,6 +159,33 @@
 // annotated handlers, bench_budget.json pins ServeSubmitHit and
 // ServePredict at 0 allocs/op, and a deterministic seeded load harness
 // (serve.Traffic) gates batched-vs-naive throughput at >= 2x in CI.
+//
+// # Design-space sweeps
+//
+// The paper's payoff is design-space exploration at prediction cost, and
+// internal/perfvec, internal/uarch, internal/dse, and internal/serve carry
+// it to fleet scale. uarch.GenerateSpace expands a seeded SpaceSpec into
+// thousands of deduplicated candidate configurations (a deterministic
+// grid-stratified PCG draw: the spec is a complete cache key, so the same
+// spec names the same space everywhere). perfvec.Sweeper embeds the whole
+// space once into a packed candidate matrix (UarchModel.Reps32, row-for-row
+// bitwise the single-config Rep) and then ranks all K candidates for a
+// program with one GEMM per sweep (PredictSweep32) — and because each GEMM
+// output element is the same ascending-k FMA chain regardless of batch
+// composition, every batched prediction is bit-for-bit the single-uarch
+// one. The sweep hot path is //perfvec:hotpath-annotated, draws scratch
+// from a pooled slab free list (zero steady-state allocations, pinned by
+// bench_budget.json), and dse.SweepPrograms fans programs across workers
+// with bitwise-invariant results at any worker count. Amortizing the
+// embedding and batching the predictor makes the batched sweep two orders
+// of magnitude faster than per-config re-embedding in configs/s
+// (BenchmarkSweep vs BenchmarkSweepNaive in BENCH_9.json; the CI floor is
+// 10x at >= 1024 configs). dse.RunPerfVec encodes each target program once
+// through the f32 fast path and sweeps the paper's §VI-A space through the
+// same engine; cmd/perfvec-dse adds a generated fleet-scale space on top
+// (-space-size, -workers), and serve exposes the whole path as the
+// POST /v1/sweep batch endpoint, where a cached program representation
+// makes a thousands-of-candidates sweep cost zero encoder passes.
 //
 // # Precision policy
 //

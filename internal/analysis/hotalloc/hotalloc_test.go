@@ -19,6 +19,15 @@ func TestHotAllocServeHandler(t *testing.T) {
 	analysistest.Run(t, "testdata/serve", hotalloc.Analyzer)
 }
 
+// TestHotAllocSweep runs the analyzer over the batched design-space sweep
+// fixture: the Sweeper idiom — packed candidates embedded once, per-sweep
+// scratch from a slab free list with the warm-up growth waived — next to
+// the same sweep with the pool forgotten (per-call scratch, output, audit
+// growth, and boxing all flagged).
+func TestHotAllocSweep(t *testing.T) {
+	analysistest.Run(t, "testdata/sweep", hotalloc.Analyzer)
+}
+
 // TestHotAllocInferSlab runs the analyzer over the forward-only float32
 // encode fixture: the pooled-slab idiom EncodePrograms32 and Slab32 use
 // (growth only at high-water marks, each growth waived) next to the same

@@ -1,0 +1,77 @@
+// Batched design-space sweep fixture: the shape of internal/perfvec's
+// Sweeper hot path — a packed candidate matrix embedded once, per-sweep
+// scratch drawn from a slab free list, one GEMM-like pass ranking every
+// candidate — next to the same sweep written without the pool, where each
+// call allocates its scratch, grows a results slice, and boxes its stats.
+package fixture
+
+type slab32 struct {
+	buf []float32
+	off int
+}
+
+type sweeper struct {
+	cands []float32 // packed k x d candidate rows, embedded once by SetSpace
+	k, d  int
+	free  []*slab32
+	audit []int
+}
+
+func sink(v any) { _ = v }
+
+// sweepPooled is the Sweeper.Sweep idiom: scratch comes from the free list
+// (growth waived — it is bounded by peak concurrency), the candidate matrix
+// is reused across calls, and results land in the caller's buffer.
+//
+//perfvec:hotpath
+func (s *sweeper) sweepPooled(progRep []float32, out []float64) {
+	var sl *slab32
+	if n := len(s.free); n > 0 {
+		sl = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		sl = &slab32{buf: make([]float32, s.k)} //perfvec:allow hotalloc -- slab pool warm-up only; bounded by peak concurrent sweeps
+	}
+	dots := sl.buf[:s.k]
+	for i := 0; i < s.k; i++ {
+		var acc float32
+		row := s.cands[i*s.d : (i+1)*s.d]
+		for j, v := range progRep {
+			acc += v * row[j]
+		}
+		dots[i] = acc
+	}
+	for i, v := range dots {
+		out[i] = float64(v)
+	}
+	s.free = s.free[:len(s.free)+1]
+	s.free[len(s.free)-1] = sl
+}
+
+// sweepLeaky is the regressed sweep: the pool forgotten, every call
+// allocating scratch and output, growing an audit trail, and boxing its
+// count — each one flagged.
+//
+//perfvec:hotpath
+func (s *sweeper) sweepLeaky(progRep []float32) []float64 {
+	dots := make([]float32, s.k) // want `make in hot path sweepLeaky`
+	out := make([]float64, s.k)  // want `make in hot path sweepLeaky`
+	for i := 0; i < s.k; i++ {
+		var acc float32
+		row := s.cands[i*s.d : (i+1)*s.d]
+		for j, v := range progRep {
+			acc += v * row[j]
+		}
+		dots[i] = acc
+	}
+	for i, v := range dots {
+		out[i] = float64(v)
+	}
+	s.audit = append(s.audit, s.k)   // want `append in hot path sweepLeaky`
+	sl := &slab32{buf: dots, off: 0} // want `address-taken composite literal`
+	_ = sl
+	done := func() { s.audit = s.audit[:0] } // want `closure in hot path sweepLeaky captures s`
+	go done()                                // want `go statement in hot path`
+	sink(s.k)                                // want `int value boxed into`
+	return out
+}

@@ -1,0 +1,77 @@
+package benchsuite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dse"
+	"repro/internal/perfvec"
+	"repro/internal/uarch"
+)
+
+// sweepBenchK is the candidate space size of the sweep benchmark pair —
+// above the >= 1024-config floor the batched-vs-naive speedup target is
+// stated at.
+const sweepBenchK = 2048
+
+// sweepBenchRig builds the fleet-sweep benchmark fixture: a fresh default
+// foundation, a calibrated microarchitecture model, a generated candidate
+// space of sweepBenchK configurations, and four pseudorandom program
+// representations with output rows. The predictor is pure linear algebra
+// over representations, so random reps measure exactly what encoded ones
+// would.
+func sweepBenchRig() (*perfvec.Foundation, *perfvec.UarchModel, []*uarch.Config, [][]float32, [][]float64) {
+	cfg := perfvec.DefaultConfig()
+	f := perfvec.NewFoundation(cfg)
+	um := perfvec.NewUarchModel(cfg.RepDim, 24, 5)
+	cfgs := uarch.GenerateSpace(uarch.SpaceSpec{Size: sweepBenchK, Seed: 13})
+	um.Calibrate(cfgs)
+	rng := rand.New(rand.NewSource(31))
+	const nProgs = 4
+	progReps := make([][]float32, nProgs)
+	out := make([][]float64, nProgs)
+	for i := range progReps {
+		progReps[i] = make([]float32, cfg.RepDim)
+		for j := range progReps[i] {
+			progReps[i][j] = rng.Float32()*2 - 1
+		}
+		out[i] = make([]float64, sweepBenchK)
+	}
+	return f, um, cfgs, progReps, out
+}
+
+// Sweep measures the batched design-space sweep: candidates embedded once
+// into a packed matrix, then one GEMM per program ranks all sweepBenchK
+// configurations. Steady state is allocation-free (bench_budget.json pins
+// 0); the configs/s metric against SweepNaive is the amortization win the
+// acceptance floor (>= 10x at >= 1024 configs) gates.
+func Sweep(b *testing.B) {
+	f, um, cfgs, progReps, out := sweepBenchRig()
+	sw := perfvec.NewSweeper(f, um)
+	sw.SetSpace(cfgs)
+	dse.SweepPrograms(sw, progReps, out, 1) // warm the slab pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += dse.SweepPrograms(sw, progReps, out, 1)
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "configs/s")
+}
+
+// SweepNaive measures the same (program, candidate) prediction matrix the
+// pre-batching way: re-embed every configuration for every program and
+// predict with a K=1 GEMM each time. This is the denominator of the
+// batched-sweep speedup ratio; its results are the bitwise oracle the sweep
+// tests pin against.
+func SweepNaive(b *testing.B) {
+	f, um, cfgs, progReps, out := sweepBenchRig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		dse.SweepNaive(f, um, cfgs, progReps, out)
+		n += len(progReps) * len(cfgs)
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "configs/s")
+}

@@ -170,6 +170,12 @@ func TestRunPerfVecEndToEnd(t *testing.T) {
 	if res.SimsUsed >= len(space)*len(targets) {
 		t.Fatal("PerfVec used as many simulations as exhaustive search")
 	}
+	if res.SweepConfigs != len(targets)*len(space) {
+		t.Fatalf("sweep covered %d (program, design) pairs, want %d", res.SweepConfigs, len(targets)*len(space))
+	}
+	if res.Uarch == nil {
+		t.Fatal("result must carry the trained uarch model for reuse")
+	}
 	for pi := range targets {
 		objs := ObjectiveSurface(space, times[pi])
 		q := Quality(objs, res.Selected[pi])

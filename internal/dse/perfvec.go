@@ -21,6 +21,14 @@ type PerfVecResult struct {
 	// TrainTime is the wall-clock cost of training the microarchitecture
 	// representation model.
 	TrainTime time.Duration
+	// Uarch is the trained microarchitecture representation model; callers
+	// can reuse it to sweep further candidate spaces without re-tuning.
+	Uarch *perfvec.UarchModel
+	// SweepTime is the wall-clock cost of the prediction phase: one coalesced
+	// program encode plus the batched sweeps.
+	SweepTime time.Duration
+	// SweepConfigs counts (program, design) predictions made in the sweep.
+	SweepConfigs int
 }
 
 // RunPerfVec executes the three-step DSE workflow of §VI-A:
@@ -28,9 +36,31 @@ type PerfVecResult struct {
 //     programs on them to obtain a tuning dataset;
 //  2. train a microarchitecture representation model (MLP over config
 //     parameters) with the foundation model frozen;
-//  3. predict every (program, design) pair with a dot product and select
-//     the objective-minimizing design per program.
+//  3. predict every (program, design) pair and select the
+//     objective-minimizing design per program.
+//
+// The prediction phase runs the batched sweep engine at GOMAXPROCS; see
+// RunPerfVecWorkers for explicit worker control.
 func RunPerfVec(
+	f *perfvec.Foundation,
+	space []Design,
+	tuneBenches []bench.Benchmark,
+	targets []*perfvec.ProgramData,
+	sampleDesigns int,
+	scale, maxInsts int,
+	seed int64,
+) (*PerfVecResult, error) {
+	return RunPerfVecWorkers(f, space, tuneBenches, targets, sampleDesigns, scale, maxInsts, seed, 0)
+}
+
+// RunPerfVecWorkers is RunPerfVec with an explicit sweep worker count
+// (workers <= 0 means GOMAXPROCS). Tuning (steps 1-2) is unchanged; the
+// prediction phase is the fleet-scale path: the design space is embedded once
+// as a candidate matrix, every target program is encoded once through the
+// coalesced float32 encoder, and each program's predictions come from a
+// single batched GEMM over the candidate matrix, fanned across workers.
+// Results are identical at any worker count.
+func RunPerfVecWorkers(
 	f *perfvec.Foundation,
 	space []Design,
 	tuneBenches []bench.Benchmark, // programs used for tuning data (§VI-A: "not necessarily the target programs")
@@ -38,6 +68,7 @@ func RunPerfVec(
 	sampleDesigns int, // how many designs to simulate for tuning (paper: 18 of 36)
 	scale, maxInsts int,
 	seed int64,
+	workers int,
 ) (*PerfVecResult, error) {
 	rng := rand.New(rand.NewSource(seed))
 
@@ -59,29 +90,37 @@ func RunPerfVec(
 	perfvec.TrainUarchModel(f, um, tuneData, tuneCfgs, 120, 0.005, seed)
 	trainTime := time.Since(start)
 
-	// Step 3: predict all pairs and select per-program optima.
+	// Step 3: embed the space once, encode every target once, and predict all
+	// pairs with batched sweeps fanned across workers.
+	sweepStart := time.Now()
 	res := &PerfVecResult{
 		Selected:    make([]int, len(targets)),
 		PredictedNs: make([][]float64, len(targets)),
 		SimsUsed:    simsUsed,
 		TrainTime:   trainTime,
+		Uarch:       um,
 	}
-	reps := make([][]float32, len(space))
-	for di, d := range space {
-		reps[di] = um.Rep(d.Config)
+	sw := perfvec.NewSweeper(f, um)
+	sw.SetSpace(Configs(space))
+
+	progReps := make([][]float32, len(targets))
+	for i := range progReps {
+		progReps[i] = make([]float32, f.Cfg.RepDim)
 	}
-	for pi, p := range targets {
-		progRep := f.ProgramRep(p)
-		pred := make([]float64, len(space))
-		obj := make([]float64, len(space))
-		for di := range space {
-			pred[di] = f.PredictTotalNs(progRep, reps[di])
-			obj[di] = Objective(space[di], pred[di])
-		}
-		res.PredictedNs[pi] = pred
+	e := f.AcquireEncoder()
+	e.EncodePrograms32(targets, progReps)
+	f.ReleaseEncoder(e)
+
+	for pi := range targets {
+		res.PredictedNs[pi] = make([]float64, len(space))
+	}
+	res.SweepConfigs = SweepPrograms(sw, progReps, res.PredictedNs, workers)
+	res.SweepTime = time.Since(sweepStart)
+
+	for pi := range targets {
 		best := 0
-		for di, v := range obj {
-			if v < obj[best] {
+		for di, ns := range res.PredictedNs[pi] {
+			if Objective(space[di], ns) < Objective(space[best], res.PredictedNs[pi][best]) {
 				best = di
 			}
 		}

@@ -1,0 +1,82 @@
+package dse
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/perfvec"
+	"repro/internal/tensor"
+	"repro/internal/uarch"
+)
+
+// Fleet-scale sweep execution: programs fan out across workers, each worker
+// evaluating its program against the sweeper's embedded candidate space in
+// one predictor GEMM. The per-config path (SweepNaive) is kept as the bitwise
+// oracle and the throughput baseline the batched engine is benchmarked
+// against.
+
+// SweepPrograms evaluates every program representation against the sweeper's
+// embedded candidate space, writing out[p][j] = predicted ns of program p on
+// candidate j. Programs are claimed by an atomic counter across workers
+// (workers <= 0 means GOMAXPROCS); per-row results are identical at any
+// worker count because each sweep row is an independent GEMM on a pooled
+// slab. Returns the number of (program, candidate) predictions made.
+func SweepPrograms(sw *perfvec.Sweeper, progReps [][]float32, out [][]float64, workers int) int {
+	k := sw.K()
+	if len(out) != len(progReps) {
+		panic("dse: SweepPrograms out length mismatch")
+	}
+	for _, row := range out {
+		if len(row) < k {
+			panic("dse: SweepPrograms out row shorter than space")
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(progReps) {
+		workers = len(progReps)
+	}
+	if workers <= 1 {
+		for i, pr := range progReps {
+			sw.Sweep(pr, out[i])
+		}
+		return len(progReps) * k
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(progReps) {
+					return
+				}
+				sw.Sweep(progReps[i], out[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return len(progReps) * k
+}
+
+// SweepNaive is the per-config oracle the batched sweep is pinned against:
+// every candidate is embedded individually through the tape-based Rep and
+// predicted with the single-uarch K=1 predictor — no batching, no
+// amortization, no reuse of the embedded space across programs. Each
+// out[p][j] is bitwise identical to the batched SweepPrograms result; the
+// throughput gap between the two is the benchmark suite's Sweep-vs-naive
+// ratio.
+func SweepNaive(f *perfvec.Foundation, um *perfvec.UarchModel, cfgs []*uarch.Config, progReps [][]float32, out [][]float64) {
+	var s tensor.Slab32
+	for pi, pr := range progReps {
+		for di, c := range cfgs {
+			rep := um.Rep(c)
+			s.Reset()
+			out[pi][di] = f.PredictTotalNs32(&s, pr, rep)
+		}
+	}
+}

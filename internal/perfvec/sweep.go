@@ -1,0 +1,143 @@
+package perfvec
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/uarch"
+)
+
+// Batched design-space prediction: the representation-reuse economics of the
+// paper turned into one GEMM. A sweep evaluates one program representation
+// against K candidate microarchitecture representations; instead of K
+// predictor calls it runs a single [1 x D] x [K x D]^T product on the packed
+// engine. Because every output element of the engine is the same ascending-k
+// FMA chain regardless of how many columns share the pass, each sweep row is
+// bitwise identical to the K=1 product — PredictTotalNs32, the single-uarch
+// form of the same predictor — which the sweep tests pin against the
+// per-config oracle at space sizes 1/7/256/4096.
+
+// PredictSweep32 evaluates progRep against every row of the candidate
+// representation matrix cands ([K x RepDim]) in a single GEMM on the slab,
+// writing predicted execution nanoseconds into out[:K]. out[j] is bitwise
+// identical to PredictTotalNs32(s, progRep, cands.Row(j)).
+//
+//perfvec:hotpath
+func (f *Foundation) PredictSweep32(s *tensor.Slab32, progRep []float32, cands tensor.Tensor32, out []float64) {
+	if len(progRep) != cands.C || len(out) < cands.R {
+		panic("perfvec: PredictSweep32 shape mismatch")
+	}
+	a := tensor.Tensor32{Data: progRep, R: 1, C: cands.C}
+	dots := tensor.MatMulBT32(s, a, cands) // [1 x K]
+	for j, v := range dots.Data {
+		// Undo target scaling, then convert ticks to ns — the same op
+		// sequence as PredictTotalNs, applied to the f32 dot.
+		out[j] = float64(v) / float64(f.Cfg.TargetScale) / sim.TickPerNs
+	}
+}
+
+// PredictTotalNs32 is the float32 single-uarch predictor: the K=1 form of
+// PredictSweep32, sharing its GEMM entry point so sweep rows and single
+// predictions agree bitwise. It differs from PredictTotalNs only in the dot
+// accumulation (a float32 FMA chain instead of a float64 loop); the drift
+// between the two is pinned by the epsilon harness in sweep_test.go.
+//
+//perfvec:hotpath
+func (f *Foundation) PredictTotalNs32(s *tensor.Slab32, progRep, uarchRep []float32) float64 {
+	var out [1]float64
+	f.PredictSweep32(s, progRep, tensor.Tensor32{Data: uarchRep, R: 1, C: len(uarchRep)}, out[:])
+	return out[0]
+}
+
+// Sweeper is the reusable fleet-sweep engine: it embeds a candidate space
+// once (one batched uarch-model forward) and then serves each program sweep
+// as a single predictor GEMM over the shared candidate matrix. Sweep is safe
+// for concurrent use — every call borrows a pooled GEMM slab — but SetSpace
+// must not run concurrently with Sweep: the candidate matrix lives on the
+// sweeper's own slab and SetSpace recycles it. Callers that switch spaces
+// under traffic (the serve layer) hold a writer lock across SetSpace.
+type Sweeper struct {
+	f  *Foundation
+	um *UarchModel
+
+	candSlab tensor.Slab32   // owns the candidate matrix between SetSpace calls
+	cands    tensor.Tensor32 // [K x RepDim] candidate representations
+
+	mu    sync.Mutex
+	slabs []*tensor.Slab32 // free list of per-sweep GEMM slabs
+	built int              // slab constructions; steady state stops growing
+}
+
+// NewSweeper builds a sweeper over the foundation's predictor and the given
+// microarchitecture representation model (which must share the foundation's
+// RepDim and be calibrated before SetSpace).
+func NewSweeper(f *Foundation, um *UarchModel) *Sweeper {
+	if um.RepDim != f.Cfg.RepDim {
+		panic("perfvec: Sweeper rep dims differ")
+	}
+	return &Sweeper{f: f, um: um}
+}
+
+// SetSpace embeds cfgs as the sweeper's candidate space in one batched
+// forward-only pass. The previous space's matrix is recycled, so SetSpace is
+// exclusive with concurrent Sweep calls.
+func (sw *Sweeper) SetSpace(cfgs []*uarch.Config) {
+	if len(cfgs) == 0 {
+		panic("perfvec: SetSpace requires a non-empty space")
+	}
+	sw.candSlab.Reset()
+	sw.cands = sw.um.Reps32(&sw.candSlab, cfgs)
+}
+
+// K returns the number of candidates in the embedded space (0 before the
+// first SetSpace).
+func (sw *Sweeper) K() int { return sw.cands.R }
+
+// Cands exposes the embedded candidate matrix (tests compare its rows to the
+// per-config oracle). It aliases the sweeper's slab: valid until the next
+// SetSpace.
+func (sw *Sweeper) Cands() tensor.Tensor32 { return sw.cands }
+
+// Sweep evaluates progRep against the embedded space, writing per-candidate
+// predicted nanoseconds into out[:K] — one predictor GEMM on a pooled slab,
+// allocation-free once the pool is warm.
+//
+//perfvec:hotpath
+func (sw *Sweeper) Sweep(progRep []float32, out []float64) {
+	s := sw.acquireSlab()
+	sw.f.PredictSweep32(s, progRep, sw.cands, out)
+	sw.releaseSlab(s)
+}
+
+// acquireSlab borrows a pooled GEMM slab, building one on first use; the
+// pool grows to the peak number of concurrent sweeps and then stops.
+func (sw *Sweeper) acquireSlab() *tensor.Slab32 {
+	sw.mu.Lock()
+	if n := len(sw.slabs); n > 0 {
+		s := sw.slabs[n-1]
+		sw.slabs = sw.slabs[:n-1]
+		sw.mu.Unlock()
+		return s
+	}
+	sw.built++
+	sw.mu.Unlock()
+	return new(tensor.Slab32)
+}
+
+// releaseSlab returns a borrowed slab to the pool, reset.
+func (sw *Sweeper) releaseSlab(s *tensor.Slab32) {
+	s.Reset()
+	sw.mu.Lock()
+	sw.slabs = append(sw.slabs, s)
+	sw.mu.Unlock()
+}
+
+// SlabStats reports how many GEMM slabs the sweeper has ever built — the
+// pooling regression counter: a steady state that keeps building slabs is a
+// leak in the borrow/release pairing.
+func (sw *Sweeper) SlabStats() int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.built
+}

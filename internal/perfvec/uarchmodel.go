@@ -76,6 +76,40 @@ func (u *UarchModel) Rep(cfg *uarch.Config) []float32 {
 	return out.Row(0)
 }
 
+// Calibrate fits the input normalization on cfgs without training — what an
+// untrained (or separately loaded) model needs before Rep/Reps32 can embed
+// anything. TrainUarchModel calls the same fit internally.
+func (u *UarchModel) Calibrate(cfgs []*uarch.Config) { u.fitNorm(cfgs) }
+
+// Calibrated reports whether the input normalization has been fit (by
+// Calibrate or TrainUarchModel) — the precondition of Rep and Reps32.
+func (u *UarchModel) Calibrated() bool { return len(u.mean) == uarch.NumParams }
+
+// Reps32 embeds every configuration in one batched forward-only pass on the
+// slab and returns the [K x RepDim] candidate representation matrix — the
+// batched twin of K Rep calls. Row i is bitwise identical to Rep(cfgs[i]):
+// the normalization applies the same float32 expression per element, and the
+// forward-only MLP computes each output row as the same FMA chains
+// regardless of how many other rows share the pass (the GEMM engine's
+// row-invariance contract). The matrix lives on the slab: valid until its
+// next Reset, like every Slab32 tensor.
+//
+//perfvec:hotpath
+func (u *UarchModel) Reps32(s *tensor.Slab32, cfgs []*uarch.Config) tensor.Tensor32 {
+	if len(u.mean) != uarch.NumParams {
+		panic("perfvec: UarchModel not calibrated")
+	}
+	in := s.Mat(len(cfgs), uarch.NumParams)
+	uarch.Features(cfgs, in.Data)
+	for i := 0; i < in.R; i++ {
+		row := in.Row(i)
+		for j, m := range u.mean {
+			row[j] = (row[j] - m) / u.std[j]
+		}
+	}
+	return u.Net.Forward32(s, in)
+}
+
 // TrainUarchModel fits the model on tuning data gathered from trainCfgs
 // (which must be the K microarchitectures of the tuning ProgramData, in
 // order). The foundation model stays frozen; instruction representations are

@@ -24,12 +24,34 @@
 //     about — after the first Submit, sweeping thousands of uarchs costs
 //     thousands of dot products and zero encoder work.
 //
+// When Config.Uarch carries a calibrated perfvec.UarchModel, the service
+// also runs design-space sweeps:
+//
+//   - SweepSubmit(client, features, n, spec, rep, out) submits (or cache-hits)
+//     the program exactly like Submit, then ranks every candidate of the
+//     uarch.SpaceSpec-described space in one batched predictor GEMM
+//     (perfvec.Sweeper), filling out with one predicted total-ns per
+//     candidate — bit-for-bit the single-uarch predictions.
+//   - SweepCached(key, spec, rep, out) is the amortized form: the program
+//     representation comes from the cache (ErrNotCached when absent), so a
+//     sweep over thousands of candidates costs zero encoder passes. The
+//     sweeper embeds a space once and reuses the packed candidate matrix
+//     until a different spec arrives; specs are complete cache keys, so
+//     clients alternating a handful of spaces pay the embedding once each.
+//
 // Over HTTP (Service.Handler): POST /v1/submit takes a little-endian binary
 // body (uint32 n, uint32 featDim, then n*featDim float32 feature rows) and
 // returns the key, optionally the representation (?rep=1) and predictions
-// (?uarch=0,3,...); GET /v1/predict?key=<hex>&uarch=<idx> predicts from the
-// cache alone; GET /metrics exposes the counter set in Prometheus text
-// format; GET /healthz is the liveness probe.
+// (?uarch=0,3,...); POST /v1/sweep?size=<K>&seed=<s>[&grid=1] takes either
+// the same binary program body or an empty body with ?key=<hex> (a previous
+// submit's key — the zero-encode path; 404 when the key is not cached) and
+// streams {"key":..,"n":K,"ns":[..]} with one prediction per candidate
+// (501 when the service has no uarch model, 400 on a size outside
+// [1, MaxSweepConfigs]); GET /v1/predict?key=<hex>&uarch=<idx> predicts
+// from the cache alone; GET /metrics exposes the counter set in Prometheus
+// text format (sweeps add sweep_requests_total, sweep_configs_total, and
+// sweep_rep_cache_hits_total — the last counts sweeps served without any
+// encoder pass); GET /healthz is the liveness probe.
 //
 // # Batching window semantics
 //

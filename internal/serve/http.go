@@ -7,10 +7,13 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/uarch"
 )
 
 // maxBody bounds submission bodies: header plus 64k feature rows of the
@@ -42,11 +45,13 @@ type httpScratch struct {
 	body  []byte
 	feats []float32
 	rep   []float32
+	ns    []float64
 }
 
 // Handler returns the service's HTTP mux:
 //
 //	POST /v1/submit            binary feature matrix in, key (+rep/+ns) out
+//	POST /v1/sweep             batch DSE sweep: program (or cached key) + space spec in, per-candidate ns out
 //	GET  /v1/predict           ?key=<hex>&uarch=<idx>, cache-only predict
 //	GET  /metrics              Prometheus text exposition
 //	GET  /healthz              liveness
@@ -57,6 +62,9 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/submit", func(w http.ResponseWriter, r *http.Request) {
 		s.handleSubmit(w, r, scratch)
+	})
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSweep(w, r, scratch)
 	})
 	mux.HandleFunc("GET /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -107,27 +115,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request, scratch *
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	if len(body) < 8 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body shorter than the 8-byte header"})
+	n, msg := s.decodeProgram(body, sc)
+	if msg != "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
 		return
 	}
-	n := int(binary.LittleEndian.Uint32(body))
-	fd := int(binary.LittleEndian.Uint32(body[4:]))
-	if fd != s.f.Cfg.FeatDim {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "feature dim mismatch: body says " + strconv.Itoa(fd) + ", model wants " + strconv.Itoa(s.f.Cfg.FeatDim)})
-		return
-	}
-	if n < 1 || len(body) != 8+4*n*fd {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body length does not match n*featDim float32 rows"})
-		return
-	}
-	if cap(sc.feats) < n*fd {
-		sc.feats = make([]float32, n*fd)
-	}
-	feats := sc.feats[:n*fd]
-	for i := range feats {
-		feats[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[8+4*i:]))
-	}
+	feats := sc.feats[:n*s.f.Cfg.FeatDim]
 
 	key, err := s.Submit(clientID(r), feats, n, sc.rep)
 	switch {
@@ -166,6 +159,146 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request, scratch *
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
+
+// decodeProgram parses the binary submission body (uint32 n, uint32 featDim,
+// then n*featDim little-endian float32s) into sc.feats, returning the row
+// count, or a non-empty error message for a 400 response.
+func (s *Service) decodeProgram(body []byte, sc *httpScratch) (int, string) {
+	if len(body) < 8 {
+		return 0, "body shorter than the 8-byte header"
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	fd := int(binary.LittleEndian.Uint32(body[4:]))
+	if fd != s.f.Cfg.FeatDim {
+		return 0, "feature dim mismatch: body says " + strconv.Itoa(fd) + ", model wants " + strconv.Itoa(s.f.Cfg.FeatDim)
+	}
+	if n < 1 || len(body) != 8+4*n*fd {
+		return 0, "body length does not match n*featDim float32 rows"
+	}
+	if cap(sc.feats) < n*fd {
+		sc.feats = make([]float32, n*fd)
+	}
+	feats := sc.feats[:n*fd]
+	for i := range feats {
+		feats[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[8+4*i:]))
+	}
+	return n, ""
+}
+
+// parseSpaceSpec reads the candidate-space spec from the sweep query
+// parameters: size (required), seed, and grid=1 for grid-only spaces.
+func (s *Service) parseSpaceSpec(q url.Values) (uarch.SpaceSpec, string) {
+	size, err := strconv.Atoi(q.Get("size"))
+	if err != nil || size < 1 || size > s.cfg.MaxSweepConfigs {
+		return uarch.SpaceSpec{}, "size must be an integer in [1, " + strconv.Itoa(s.cfg.MaxSweepConfigs) + "]"
+	}
+	spec := uarch.SpaceSpec{Size: size, GridOnly: q.Get("grid") == "1"}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return spec, "seed must be an unsigned integer"
+		}
+		spec.Seed = seed
+	}
+	return spec, ""
+}
+
+// handleSweep answers POST /v1/sweep: the candidate-space spec rides in the
+// query (?size=&seed=&grid=), the program either as a binary submission body
+// (encoded on a cache miss, exactly like /v1/submit) or — with an empty body
+// — as ?key=<hex> referencing an already-cached representation, which costs
+// zero encoder passes. The response streams the per-candidate predictions as
+// JSON, flushed in bounded chunks so multi-thousand-candidate sweeps never
+// build the whole body in memory.
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request, scratch *sync.Pool) {
+	sc := scratch.Get().(*httpScratch)
+	defer scratch.Put(sc)
+
+	q := r.URL.Query()
+	spec, msg := s.parseSpaceSpec(q)
+	if msg != "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
+		return
+	}
+	if cap(sc.ns) < spec.Size {
+		sc.ns = make([]float64, spec.Size)
+	}
+	out := sc.ns[:spec.Size]
+
+	body, err := readBody(r, sc.body[:0])
+	sc.body = body[:0:cap(body)]
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	var key uint64
+	var k int
+	if len(body) == 0 {
+		key, err = strconv.ParseUint(q.Get("key"), 16, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty body: pass the program as a binary body or ?key=<hex> of a cached submission"})
+			return
+		}
+		k, err = s.SweepCached(key, spec, sc.rep, out)
+	} else {
+		var n int
+		n, msg = s.decodeProgram(body, sc)
+		if msg != "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
+			return
+		}
+		key, k, err = s.SweepSubmit(clientID(r), sc.feats[:n*s.f.Cfg.FeatDim], n, spec, sc.rep, out)
+	}
+	switch {
+	case errors.Is(err, ErrNoSweep):
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrNotCached):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "key not cached; resubmit the program"})
+		return
+	case errors.Is(err, ErrRateLimited):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.RetryAfter()))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	// Stream {"key":..,"n":..,"ns":[..]} through the pooled body buffer,
+	// flushing whenever it tops sweepFlushBytes.
+	w.Header().Set("Content-Type", "application/json")
+	buf := sc.body[:0]
+	buf = append(buf, `{"key":"`...)
+	buf = strconv.AppendUint(buf, key, 16)
+	buf = append(buf, `","n":`...)
+	buf = strconv.AppendInt(buf, int64(k), 10)
+	buf = append(buf, `,"ns":[`...)
+	for i, v := range out[:k] {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		if len(buf) >= sweepFlushBytes {
+			if _, err := w.Write(buf); err != nil {
+				sc.body = buf[:0:cap(buf)]
+				return
+			}
+			buf = buf[:0]
+		}
+	}
+	buf = append(buf, "]}\n"...)
+	w.Write(buf)
+	sc.body = buf[:0:cap(buf)]
+}
+
+// sweepFlushBytes is the streaming threshold of /v1/sweep responses.
+const sweepFlushBytes = 32 << 10
 
 // readBody reads the request body into buf (reused across requests),
 // enforcing maxBody.

@@ -26,6 +26,11 @@ type Metrics struct {
 	// Predict path.
 	Predicts       atomic.Uint64 // predictor passes served
 	PredictMisses  atomic.Uint64 // predicts whose key was not cached
+
+	// Sweep path.
+	SweepRequests     atomic.Uint64 // design-space sweep requests received
+	SweepConfigs      atomic.Uint64 // candidate predictions served across all sweeps
+	SweepRepCacheHits atomic.Uint64 // sweeps whose program representation came from the cache (zero encodes)
 }
 
 // metricHelp pairs each exposed series with its help string, in exposition
@@ -41,6 +46,9 @@ var metricHelp = []struct{ name, help string }{
 	{"coalesced_total", "Duplicate-key requests folded into another request's encode."},
 	{"predicts_total", "Predictor passes served."},
 	{"predict_misses_total", "Predict requests whose key was not cached."},
+	{"sweep_requests_total", "Design-space sweep requests received."},
+	{"sweep_configs_total", "Candidate predictions served across all sweeps."},
+	{"sweep_rep_cache_hits_total", "Sweeps served from a cached program representation (zero encoder passes)."},
 }
 
 // WriteTo writes the counters in Prometheus text exposition format.
@@ -50,6 +58,7 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		m.RejectedRate.Load(), m.RejectedQueue.Load(),
 		m.Batches.Load(), m.BatchedRows.Load(), m.Coalesced.Load(),
 		m.Predicts.Load(), m.PredictMisses.Load(),
+		m.SweepRequests.Load(), m.SweepConfigs.Load(), m.SweepRepCacheHits.Load(),
 	}
 	var total int64
 	for i, mh := range metricHelp {

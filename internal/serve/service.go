@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/perfvec"
 	"repro/internal/sim"
+	"repro/internal/uarch"
 )
 
 // Sentinel errors returned by Submit. Sentinels (not wrapped dynamic errors)
@@ -22,6 +23,12 @@ var (
 	ErrOverloaded = errors.New("serve: overloaded")
 	// ErrClosed means the service has been closed.
 	ErrClosed = errors.New("serve: closed")
+	// ErrNoSweep means the service was built without a microarchitecture
+	// model (Config.Uarch), so /v1/sweep is not available (HTTP 501).
+	ErrNoSweep = errors.New("serve: sweeps not configured")
+	// ErrNotCached means a key-only sweep referenced a program whose
+	// representation is no longer cached (HTTP 404): resubmit the program.
+	ErrNotCached = errors.New("serve: program not cached")
 )
 
 // errOverloaded is what the batcher returns internally; Submit translates it
@@ -38,6 +45,13 @@ type Config struct {
 	// cached program representations against. Optional: without it Submit
 	// still works but Predict always misses.
 	Table *perfvec.Table
+	// Uarch is the calibrated microarchitecture representation model
+	// /v1/sweep embeds candidate spaces with. Optional: without it sweeps
+	// return ErrNoSweep.
+	Uarch *perfvec.UarchModel
+	// MaxSweepConfigs bounds the candidate-space size one sweep may request.
+	// Default 8192.
+	MaxSweepConfigs int
 
 	// CacheSize bounds the representation LRU (entries). Default 4096.
 	CacheSize int
@@ -90,6 +104,9 @@ func (c Config) withDefaults() Config {
 	if c.EncodeWorkers == 0 {
 		c.EncodeWorkers = 2
 	}
+	if c.MaxSweepConfigs == 0 {
+		c.MaxSweepConfigs = 8192
+	}
 	return c
 }
 
@@ -105,6 +122,15 @@ type Service struct {
 	batcher *batcher
 	m       Metrics
 
+	// Sweep state: the embedded candidate space, shared by every sweep until
+	// a request names a different spec. Readers sweep under the read lock;
+	// embedding a new space takes the write lock because SetSpace recycles
+	// the candidate matrix in place.
+	sweepMu    sync.RWMutex
+	sweeper    *perfvec.Sweeper
+	sweepSpec  uarch.SpaceSpec
+	sweepReady bool
+
 	closeMu sync.RWMutex // held shared across in-flight encodes; Close excludes them
 	closed  bool
 }
@@ -119,6 +145,14 @@ func NewService(cfg Config) (*Service, error) {
 	if cfg.Table != nil && cfg.Table.M.Cols() != cfg.Model.Cfg.RepDim {
 		return nil, fmt.Errorf("serve: table rep dim %d != model rep dim %d", cfg.Table.M.Cols(), cfg.Model.Cfg.RepDim)
 	}
+	if cfg.Uarch != nil {
+		if cfg.Uarch.RepDim != cfg.Model.Cfg.RepDim {
+			return nil, fmt.Errorf("serve: uarch model rep dim %d != model rep dim %d", cfg.Uarch.RepDim, cfg.Model.Cfg.RepDim)
+		}
+		if !cfg.Uarch.Calibrated() {
+			return nil, errors.New("serve: Config.Uarch must be calibrated (or trained) before serving sweeps")
+		}
+	}
 	s := &Service{
 		cfg:     cfg,
 		f:       cfg.Model,
@@ -127,6 +161,9 @@ func NewService(cfg Config) (*Service, error) {
 		limiter: NewLimiter(cfg.Rate, cfg.Burst, cfg.Clock),
 	}
 	s.batcher = newBatcher(s.f, s.cache, &s.m, cfg.BatchWindow, cfg.MaxBatchRows, cfg.QueueDepth, cfg.EncodeWorkers, cfg.Precision)
+	if cfg.Uarch != nil {
+		s.sweeper = perfvec.NewSweeper(s.f, cfg.Uarch)
+	}
 	return s, nil
 }
 
@@ -155,33 +192,43 @@ func (s *Service) Close() {
 //
 //perfvec:hotpath
 func (s *Service) Submit(client string, features []float32, n int, dst []float32) (uint64, error) {
+	key, _, err := s.submit(client, features, n, dst)
+	return key, err
+}
+
+// submit is the shared submission core behind Submit and SweepSubmit; hit
+// reports whether the representation came straight from the cache (no
+// encoder pass).
+//
+//perfvec:hotpath
+func (s *Service) submit(client string, features []float32, n int, dst []float32) (uint64, bool, error) {
 	fd := s.f.Cfg.FeatDim
 	if n < 1 || len(features) != n*fd || len(dst) < s.f.Cfg.RepDim {
-		return 0, ErrBadRequest
+		return 0, false, ErrBadRequest
 	}
 	if !s.limiter.Allow(client) {
 		s.m.RejectedRate.Add(1)
-		return 0, ErrRateLimited
+		return 0, false, ErrRateLimited
 	}
 	s.m.Submits.Add(1)
 	key := HashProgram(features, fd)
 	if s.cache.Get(key, dst) {
 		s.m.CacheHits.Add(1)
-		return key, nil
+		return key, true, nil
 	}
 	s.m.CacheMisses.Add(1)
 	s.closeMu.RLock()
 	if s.closed {
 		s.closeMu.RUnlock()
-		return 0, ErrClosed
+		return 0, false, ErrClosed
 	}
 	err := s.batcher.encode(features, n, key, dst)
 	s.closeMu.RUnlock()
 	if err != nil {
 		s.m.RejectedQueue.Add(1)
-		return 0, err
+		return 0, false, err
 	}
-	return key, nil
+	return key, false, nil
 }
 
 // Predict returns the predicted wall-clock nanoseconds of the cached program
@@ -202,6 +249,98 @@ func (s *Service) Predict(key uint64, uarch int) (float64, bool) {
 		return 0, false
 	}
 	return dot / float64(s.f.Cfg.TargetScale) / sim.TickPerNs, true
+}
+
+// SweepSubmit serves one design-space sweep: the program (features, n rows)
+// is submitted through the normal path — rate limit, representation cache,
+// coalesced encode on a miss — and its representation is then evaluated
+// against the candidate space spec describes in one batched predictor GEMM.
+// rep (length >= RepDim) receives the program representation; out (length >=
+// spec.Size) receives the per-candidate predicted nanoseconds, k of them
+// (k <= spec.Size after deduplication). A cached program costs zero encoder
+// passes: the sweep is then pure predictor work.
+func (s *Service) SweepSubmit(client string, features []float32, n int, spec uarch.SpaceSpec, rep []float32, out []float64) (key uint64, k int, err error) {
+	if s.sweeper == nil {
+		return 0, 0, ErrNoSweep
+	}
+	s.m.SweepRequests.Add(1)
+	key, hit, err := s.submit(client, features, n, rep)
+	if err != nil {
+		return 0, 0, err
+	}
+	if hit {
+		s.m.SweepRepCacheHits.Add(1)
+	}
+	k, err = s.sweepRep(spec, rep, out)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.m.SweepConfigs.Add(uint64(k))
+	return key, k, nil
+}
+
+// SweepCached is the key-only sweep: the program is addressed by the hash a
+// previous Submit returned, so a hit touches no encoder state at all. rep is
+// scratch (length >= RepDim) receiving the cached representation; out and k
+// are as in SweepSubmit. Returns ErrNotCached when the key has been evicted.
+func (s *Service) SweepCached(key uint64, spec uarch.SpaceSpec, rep []float32, out []float64) (int, error) {
+	if s.sweeper == nil {
+		return 0, ErrNoSweep
+	}
+	s.m.SweepRequests.Add(1)
+	if len(rep) < s.f.Cfg.RepDim {
+		return 0, ErrBadRequest
+	}
+	if !s.cache.Get(key, rep) {
+		return 0, ErrNotCached
+	}
+	s.m.SweepRepCacheHits.Add(1)
+	k, err := s.sweepRep(spec, rep, out)
+	if err != nil {
+		return 0, err
+	}
+	s.m.SweepConfigs.Add(uint64(k))
+	return k, nil
+}
+
+// sweepRep evaluates rep against the candidate space spec describes. Sweeps
+// against the currently embedded spec run concurrently under the read lock;
+// a request naming a different spec takes the write lock, generates the
+// space, and embeds it in one batched uarch-model forward. The loop re-checks
+// under the read lock after embedding because another writer may have swapped
+// the space again in between.
+func (s *Service) sweepRep(spec uarch.SpaceSpec, rep []float32, out []float64) (int, error) {
+	if spec.Size < 1 || spec.Size > s.cfg.MaxSweepConfigs || len(out) < spec.Size {
+		return 0, ErrBadRequest
+	}
+	for {
+		s.sweepMu.RLock()
+		if s.sweepReady && s.sweepSpec == spec {
+			k := s.sweeper.K()
+			s.sweeper.Sweep(rep, out[:k])
+			s.sweepMu.RUnlock()
+			return k, nil
+		}
+		s.sweepMu.RUnlock()
+
+		s.sweepMu.Lock()
+		if !s.sweepReady || s.sweepSpec != spec {
+			s.sweeper.SetSpace(uarch.GenerateSpace(spec))
+			s.sweepSpec, s.sweepReady = spec, true
+		}
+		s.sweepMu.Unlock()
+	}
+}
+
+// SweepSpace returns the currently embedded candidate spec and its size
+// (zero value and 0 before the first sweep).
+func (s *Service) SweepSpace() (uarch.SpaceSpec, int) {
+	s.sweepMu.RLock()
+	defer s.sweepMu.RUnlock()
+	if !s.sweepReady {
+		return uarch.SpaceSpec{}, 0
+	}
+	return s.sweepSpec, s.sweeper.K()
 }
 
 // Uarchs returns how many microarchitectures Predict can target (0 without a

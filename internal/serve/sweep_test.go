@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/perfvec"
+	"repro/internal/tensor"
+	"repro/internal/uarch"
+)
+
+// newSweepService is newTestService with a calibrated microarchitecture
+// model wired in, enabling /v1/sweep.
+func newSweepService(t testing.TB, mutate func(*Config)) *Service {
+	t.Helper()
+	return newTestService(t, 0, func(c *Config) {
+		um := perfvec.NewUarchModel(c.Model.Cfg.RepDim, 24, 7)
+		um.Calibrate(uarch.GenerateSpace(uarch.SpaceSpec{Size: 512, Seed: 1}))
+		c.Uarch = um
+		if mutate != nil {
+			mutate(c)
+		}
+	})
+}
+
+// sweepOracle computes the per-candidate reference predictions for spec: each
+// candidate embedded alone through the tape-based Rep, predicted with the
+// single-uarch K=1 predictor. Every batched sweep result must match it
+// bitwise.
+func sweepOracle(s *Service, spec uarch.SpaceSpec, progRep []float32) []float64 {
+	cfgs := uarch.GenerateSpace(spec)
+	out := make([]float64, len(cfgs))
+	var slab tensor.Slab32
+	for i, c := range cfgs {
+		slab.Reset()
+		out[i] = s.f.PredictTotalNs32(&slab, progRep, s.cfg.Uarch.Rep(c))
+	}
+	return out
+}
+
+// requireBitwiseNs compares sweep output to the oracle bitwise.
+func requireBitwiseNs(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d candidates, want %d", label, len(got), len(want))
+	}
+	for j := range got {
+		if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+			t.Fatalf("%s: candidate %d: sweep %v != single-uarch oracle %v (must be bitwise identical)",
+				label, j, got[j], want[j])
+		}
+	}
+}
+
+// TestSweepSubmitBitwiseSizes pins the served sweep against the per-config
+// oracle across the acceptance space sizes. The first sweep of each size
+// encodes the program; every per-candidate prediction must equal embedding
+// that candidate alone and predicting with the K=1 GEMM.
+func TestSweepSubmitBitwiseSizes(t *testing.T) {
+	s := newSweepService(t, nil)
+	f := s.Model()
+	tr := NewTraffic(LoadConfig{Seed: 61, Programs: 4, MinInstrs: 8, MaxInstrs: 60, Requests: 4, Clients: 1}, f.Cfg.FeatDim)
+
+	for i, size := range []int{1, 7, 256, 4096} {
+		fs, n := tr.feats[i], tr.instrs[i]
+		spec := uarch.SpaceSpec{Size: size, Seed: uint64(size)}
+		rep := make([]float32, f.Cfg.RepDim)
+		out := make([]float64, size)
+		_, k, err := s.SweepSubmit("c1", fs, n, spec, rep, out)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		progRep := f.ProgramRep(progData(fs, n, f.Cfg.FeatDim))
+		requireBitwiseNs(t, "size="+strconv.Itoa(size), out[:k], sweepOracle(s, spec, progRep))
+	}
+}
+
+// TestSweepCachedZeroEncodes is the amortization pin: once a program's
+// representation is cached, any number of sweeps over it must touch the
+// encoder zero times — no batches dispatched, no cache misses, every sweep
+// counted as a rep-cache hit — while still producing oracle-exact
+// predictions.
+func TestSweepCachedZeroEncodes(t *testing.T) {
+	s := newSweepService(t, nil)
+	f := s.Model()
+	tr := NewTraffic(LoadConfig{Seed: 62, Programs: 1, MinInstrs: 30, MaxInstrs: 30, Requests: 1, Clients: 1}, f.Cfg.FeatDim)
+	fs, n := tr.feats[0], tr.instrs[0]
+
+	rep := make([]float32, f.Cfg.RepDim)
+	key, err := s.Submit("c1", fs, n, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	batches, misses := m.Batches.Load(), m.CacheMisses.Load()
+	built, _ := f.EncoderStats()
+
+	spec := uarch.SpaceSpec{Size: 300, Seed: 9}
+	want := sweepOracle(s, spec, f.ProgramRep(progData(fs, n, f.Cfg.FeatDim)))
+	const sweeps = 5
+	out := make([]float64, spec.Size)
+	var k int
+	for i := 0; i < sweeps; i++ {
+		k, err = s.SweepCached(key, spec, rep, out)
+		if err != nil {
+			t.Fatalf("sweep %d: %v", i, err)
+		}
+		requireBitwiseNs(t, "cached sweep", out[:k], want)
+	}
+
+	if got := m.Batches.Load(); got != batches {
+		t.Fatalf("cached sweeps dispatched %d encoder batches, want 0", got-batches)
+	}
+	if got := m.CacheMisses.Load(); got != misses {
+		t.Fatalf("cached sweeps caused %d cache misses, want 0", got-misses)
+	}
+	if gotBuilt, _ := f.EncoderStats(); gotBuilt != built {
+		t.Fatalf("cached sweeps built %d encoders, want 0", gotBuilt-built)
+	}
+	if got := m.SweepRepCacheHits.Load(); got != sweeps {
+		t.Fatalf("sweep_rep_cache_hits_total = %d, want %d", got, sweeps)
+	}
+	if got := m.SweepRequests.Load(); got != sweeps {
+		t.Fatalf("sweep_requests_total = %d, want %d", got, sweeps)
+	}
+	if got := m.SweepConfigs.Load(); got != uint64(sweeps*k) {
+		t.Fatalf("sweep_configs_total = %d, want %d", got, sweeps*k)
+	}
+}
+
+// TestSweepErrors pins the error surface: sweeps without a uarch model,
+// key-only sweeps of evicted programs, and malformed specs.
+func TestSweepErrors(t *testing.T) {
+	plain := newTestService(t, 0, nil)
+	rep := make([]float32, plain.f.Cfg.RepDim)
+	out := make([]float64, 8)
+	if _, err := plain.SweepCached(1, uarch.SpaceSpec{Size: 8}, rep, out); err != ErrNoSweep {
+		t.Fatalf("service without uarch model: %v, want ErrNoSweep", err)
+	}
+
+	s := newSweepService(t, nil)
+	rep = make([]float32, s.f.Cfg.RepDim)
+	if _, err := s.SweepCached(0xdead, uarch.SpaceSpec{Size: 8}, rep, out); err != ErrNotCached {
+		t.Fatalf("unknown key: %v, want ErrNotCached", err)
+	}
+	tr := NewTraffic(LoadConfig{Seed: 63, Programs: 1, MinInstrs: 8, MaxInstrs: 8, Requests: 1, Clients: 1}, s.f.Cfg.FeatDim)
+	fs, n := tr.feats[0], tr.instrs[0]
+	for _, spec := range []uarch.SpaceSpec{
+		{Size: 0},
+		{Size: -3},
+		{Size: s.cfg.MaxSweepConfigs + 1},
+	} {
+		if _, _, err := s.SweepSubmit("c1", fs, n, spec, rep, make([]float64, 16)); err != ErrBadRequest {
+			t.Fatalf("spec %+v: %v, want ErrBadRequest", spec, err)
+		}
+	}
+	// Output buffer shorter than the requested space.
+	if _, _, err := s.SweepSubmit("c1", fs, n, uarch.SpaceSpec{Size: 64}, rep, make([]float64, 8)); err != ErrBadRequest {
+		t.Fatalf("short out buffer: %v, want ErrBadRequest", err)
+	}
+}
+
+// TestSweepSpecSwitchConcurrent hammers one service with two alternating
+// space specs from many goroutines. Re-embedding recycles the candidate
+// matrix, so this is the race pin for the sweep read/write locking: every
+// result must still be bitwise the oracle of its own spec, no torn reads.
+func TestSweepSpecSwitchConcurrent(t *testing.T) {
+	s := newSweepService(t, nil)
+	f := s.Model()
+	tr := NewTraffic(LoadConfig{Seed: 64, Programs: 1, MinInstrs: 20, MaxInstrs: 20, Requests: 1, Clients: 1}, f.Cfg.FeatDim)
+	fs, n := tr.feats[0], tr.instrs[0]
+	rep := make([]float32, f.Cfg.RepDim)
+	key, err := s.Submit("c1", fs, n, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progRep := f.ProgramRep(progData(fs, n, f.Cfg.FeatDim))
+
+	specs := []uarch.SpaceSpec{
+		{Size: 96, Seed: 3},
+		{Size: 200, Seed: 4},
+	}
+	oracles := [][]float64{sweepOracle(s, specs[0], progRep), sweepOracle(s, specs[1], progRep)}
+
+	const workers, iters = 8, 12
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			myRep := make([]float32, f.Cfg.RepDim)
+			for i := 0; i < iters; i++ {
+				si := (w + i) % 2
+				out := make([]float64, specs[si].Size)
+				k, err := s.SweepCached(key, specs[si], myRep, out)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				want := oracles[si]
+				if k != len(want) {
+					errs <- "sweep size mismatch under spec switching"
+					return
+				}
+				for j := range want {
+					if math.Float64bits(out[j]) != math.Float64bits(want[j]) {
+						errs <- "sweep result torn across a spec switch"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestHTTPSweep walks the /v1/sweep HTTP surface: body submission, key-only
+// reuse with zero encodes, the streamed JSON shape, metrics exposition, and
+// the error mappings (501 without a uarch model, 404 for evicted keys, 400
+// for malformed specs).
+func TestHTTPSweep(t *testing.T) {
+	s := newSweepService(t, nil)
+	f := s.Model()
+	h := s.Handler()
+	tr := NewTraffic(LoadConfig{Seed: 65, Programs: 1, MinInstrs: 12, MaxInstrs: 12, Requests: 1, Clients: 1}, f.Cfg.FeatDim)
+	fs, n := tr.feats[0], tr.instrs[0]
+	body := submitBody(fs, n, f.Cfg.FeatDim)
+
+	type sweepResp struct {
+		Key string    `json:"key"`
+		N   int       `json:"n"`
+		Ns  []float64 `json:"ns"`
+	}
+
+	w := doReq(t, h, "POST", "/v1/sweep?size=300&seed=9", "c1", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("sweep: %d %s", w.Code, w.Body.String())
+	}
+	var resp sweepResp
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("sweep response: %v", err)
+	}
+	want := sweepOracle(s, uarch.SpaceSpec{Size: 300, Seed: 9}, f.ProgramRep(progData(fs, n, f.Cfg.FeatDim)))
+	if resp.N != len(want) || len(resp.Ns) != len(want) {
+		t.Fatalf("sweep returned %d/%d candidates, want %d", resp.N, len(resp.Ns), len(want))
+	}
+	for j := range want {
+		if resp.Ns[j] != want[j] {
+			t.Fatalf("candidate %d: HTTP sweep %v != oracle %v", j, resp.Ns[j], want[j])
+		}
+	}
+
+	// Key-only sweep: empty body, cached rep, zero encoder passes.
+	m := s.Metrics()
+	batches := m.Batches.Load()
+	w = doReq(t, h, "POST", "/v1/sweep?size=300&seed=9&key="+resp.Key, "c1", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("key-only sweep: %d %s", w.Code, w.Body.String())
+	}
+	var cached sweepResp
+	if err := json.Unmarshal(w.Body.Bytes(), &cached); err != nil {
+		t.Fatal(err)
+	}
+	if cached.N != resp.N || cached.Ns[0] != resp.Ns[0] {
+		t.Fatal("key-only sweep diverges from the submitted sweep")
+	}
+	if got := m.Batches.Load(); got != batches {
+		t.Fatalf("key-only sweep dispatched %d batches, want 0", got-batches)
+	}
+
+	// Large sweeps stream: a 4096-candidate response crosses the flush bound.
+	w = doReq(t, h, "POST", "/v1/sweep?size=4096&key="+resp.Key, "c1", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("large sweep: %d", w.Code)
+	}
+	if len(w.Body.Bytes()) <= sweepFlushBytes {
+		t.Fatalf("4096-candidate response only %d bytes; expected to cross the %d flush bound", len(w.Body.Bytes()), sweepFlushBytes)
+	}
+	var big sweepResp
+	if err := json.Unmarshal(w.Body.Bytes(), &big); err != nil {
+		t.Fatalf("streamed response is not valid JSON: %v", err)
+	}
+	if big.N != 4096 || len(big.Ns) != 4096 {
+		t.Fatalf("large sweep shape: n=%d len=%d", big.N, len(big.Ns))
+	}
+
+	// Error mappings.
+	if w = doReq(t, h, "POST", "/v1/sweep?size=300&key=ffff", "c1", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown key: %d, want 404", w.Code)
+	}
+	if w = doReq(t, h, "POST", "/v1/sweep?size=0", "c1", body); w.Code != http.StatusBadRequest {
+		t.Fatalf("size=0: %d, want 400", w.Code)
+	}
+	if w = doReq(t, h, "POST", "/v1/sweep?size=999999", "c1", body); w.Code != http.StatusBadRequest {
+		t.Fatalf("oversized space: %d, want 400", w.Code)
+	}
+	if w = doReq(t, h, "POST", "/v1/sweep?size=300", "c1", body[:7]); w.Code != http.StatusBadRequest {
+		t.Fatalf("truncated body: %d, want 400", w.Code)
+	}
+
+	mw := doReq(t, h, "GET", "/metrics", "", nil)
+	for _, series := range []string{"sweep_requests_total", "sweep_configs_total", "sweep_rep_cache_hits_total"} {
+		if !strings.Contains(mw.Body.String(), "perfvec_serve_"+series) {
+			t.Fatalf("metrics exposition missing %s", series)
+		}
+	}
+
+	plain := newTestService(t, 0, nil)
+	if w = doReq(t, plain.Handler(), "POST", "/v1/sweep?size=8", "c1", body); w.Code != http.StatusNotImplemented {
+		t.Fatalf("service without uarch model: %d, want 501", w.Code)
+	}
+}

@@ -1,0 +1,116 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+)
+
+// paramsKey collapses a config to the dedup identity GenerateSpace uses: the
+// raw bit pattern of its parameter vector.
+func paramsKey(c *Config) [NumParams]uint32 {
+	var k [NumParams]uint32
+	for i, v := range c.Params() {
+		k[i] = math.Float32bits(v)
+	}
+	return k
+}
+
+// TestGenerateSpaceDeterministic is the seed contract: the same spec must
+// reproduce the identical space — same length, same names, same parameter
+// bits, in the same order — while a different seed must diverge somewhere in
+// the randomized replicas.
+func TestGenerateSpaceDeterministic(t *testing.T) {
+	spec := SpaceSpec{Size: 1500, Seed: 99}
+	a := GenerateSpace(spec)
+	b := GenerateSpace(spec)
+	if len(a) != spec.Size || len(b) != spec.Size {
+		t.Fatalf("sizes %d/%d, want %d", len(a), len(b), spec.Size)
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("config %d name differs across runs: %q vs %q", i, a[i].Name, b[i].Name)
+		}
+		if paramsKey(a[i]) != paramsKey(b[i]) {
+			t.Fatalf("config %d (%s) params differ across identically seeded runs", i, a[i].Name)
+		}
+	}
+
+	c := GenerateSpace(SpaceSpec{Size: spec.Size, Seed: 100})
+	diverged := false
+	for i := range c {
+		if paramsKey(a[i]) != paramsKey(c[i]) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced the identical space")
+	}
+}
+
+// TestGenerateSpaceValidAndUnique checks the generator's structural promises
+// on a large mixed space: every config valid, no duplicate parameter
+// vectors, the primary grid axes fully covered, and the requested size met.
+func TestGenerateSpaceValidAndUnique(t *testing.T) {
+	space := GenerateSpace(SpaceSpec{Size: 2000, Seed: 3})
+	if len(space) != 2000 {
+		t.Fatalf("size = %d, want 2000", len(space))
+	}
+	seen := make(map[[NumParams]uint32]bool, len(space))
+	l1, l2, fw, pred := map[int]bool{}, map[int]bool{}, map[int]bool{}, map[PredictorKind]bool{}
+	for _, c := range space {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		k := paramsKey(c)
+		if seen[k] {
+			t.Fatalf("duplicate config survived dedup: %s", c.Name)
+		}
+		seen[k] = true
+		l1[c.L1D.SizeKB] = true
+		l2[c.L2.SizeKB] = true
+		fw[c.FetchWidth] = true
+		pred[c.Predictor] = true
+	}
+	if len(l1) != len(GridL1DKB) || len(l2) != len(GridL2KB) ||
+		len(fw) != len(GridFetch) || len(pred) != NumPredictorKinds {
+		t.Fatalf("grid axes not fully covered: l1=%d/%d l2=%d/%d fw=%d/%d pred=%d/%d",
+			len(l1), len(GridL1DKB), len(l2), len(GridL2KB), len(fw), len(GridFetch), len(pred), NumPredictorKinds)
+	}
+}
+
+// TestGenerateSpaceDedupCollidingGrid is the dedup regression: a GridOnly
+// spec larger than the grid replays the same grid points verbatim, so every
+// replica is an exact duplicate and the space must truncate at GridCells
+// unique configurations.
+func TestGenerateSpaceDedupCollidingGrid(t *testing.T) {
+	cells := GridCells()
+	space := GenerateSpace(SpaceSpec{Size: cells + 123, Seed: 5, GridOnly: true})
+	if len(space) != cells {
+		t.Fatalf("colliding grid yielded %d configs, want the %d unique grid points", len(space), cells)
+	}
+	seen := make(map[[NumParams]uint32]bool, len(space))
+	for _, c := range space {
+		k := paramsKey(c)
+		if seen[k] {
+			t.Fatalf("duplicate grid point survived dedup: %s", c.Name)
+		}
+		seen[k] = true
+	}
+}
+
+// TestFeaturesMatchesParams pins the packed-row fill against the allocating
+// Params path, bitwise, including across stratified replicas.
+func TestFeaturesMatchesParams(t *testing.T) {
+	cfgs := GenerateSpace(SpaceSpec{Size: 600, Seed: 11})
+	dst := make([]float32, len(cfgs)*NumParams)
+	Features(cfgs, dst)
+	for i, c := range cfgs {
+		row := dst[i*NumParams : (i+1)*NumParams]
+		for j, v := range c.Params() {
+			if math.Float32bits(row[j]) != math.Float32bits(v) {
+				t.Fatalf("config %d (%s) param %d: Features %v != Params %v", i, c.Name, j, row[j], v)
+			}
+		}
+	}
+}

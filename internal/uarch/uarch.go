@@ -225,43 +225,67 @@ const NumParams = 41
 // and counts are log2-scaled so that doubling a resource moves the feature
 // by a constant step.
 func (c *Config) Params() []float32 {
-	log2 := func(v float64) float32 { return float32(math.Log2(v)) }
-
-	p := []float32{
-		float32(c.Core),
-		float32(c.Predictor),
-		float32(c.DRAM),
-		log2(float64(c.FreqMHz)),
-		float32(c.FetchWidth),
-		float32(c.FrontendDepth),
-		float32(c.IssueWidth),
-		float32(c.CommitWidth),
-		log2(float64(max(c.ROBSize, 1))),
-		log2(float64(max(c.LQSize, 1))),
-		log2(float64(max(c.SQSize, 1))),
-		float32(c.PredTableBits),
-		float32(c.BTBBits),
-		float32(c.RASEntries),
-		float32(c.IntALU.Count), float32(c.IntALU.Latency),
-		float32(c.IntMul.Count), float32(c.IntMul.Latency),
-		float32(c.IntDiv.Count), float32(c.IntDiv.Latency),
-		float32(c.FPALU.Count), float32(c.FPALU.Latency),
-		float32(c.FPMul.Count), float32(c.FPMul.Latency),
-		float32(c.FPDiv.Count), float32(c.FPDiv.Latency),
-		float32(c.VecUnit.Count), float32(c.MemPort.Count),
-		log2(float64(c.L1I.SizeKB)), float32(c.L1I.Assoc), float32(c.L1I.Latency),
-		log2(float64(c.L1D.SizeKB)), float32(c.L1D.Assoc), float32(c.L1D.Latency),
-		log2(float64(c.L2.SizeKB)), float32(c.L2.Assoc), float32(c.L2.Latency),
-		boolToF(c.L2Exclusive),
-		float32(c.Prefetcher),
-		log2(c.DRAMLatencyNs),
-		log2(c.DRAMBandwidthGB),
-	}
-	if len(p) != NumParams {
-		panic(fmt.Sprintf("uarch: Params produced %d values, want %d", len(p), NumParams))
-	}
+	p := make([]float32, NumParams)
+	c.ParamsInto(p)
 	return p
 }
+
+// ParamsInto fills dst (length NumParams) with the parameter vector of
+// Params without allocating — the fill primitive design-space sweeps pack
+// candidate feature matrices with. The element order is the Params contract;
+// index comments below are the layout documentation.
+//
+//perfvec:hotpath
+func (c *Config) ParamsInto(dst []float32) {
+	if len(dst) != NumParams {
+		panic("uarch: ParamsInto dst length mismatch")
+	}
+	dst[0] = float32(c.Core)
+	dst[1] = float32(c.Predictor)
+	dst[2] = float32(c.DRAM)
+	dst[3] = log2f(float64(c.FreqMHz))
+	dst[4] = float32(c.FetchWidth)
+	dst[5] = float32(c.FrontendDepth)
+	dst[6] = float32(c.IssueWidth)
+	dst[7] = float32(c.CommitWidth)
+	dst[8] = log2f(float64(max(c.ROBSize, 1)))
+	dst[9] = log2f(float64(max(c.LQSize, 1)))
+	dst[10] = log2f(float64(max(c.SQSize, 1)))
+	dst[11] = float32(c.PredTableBits)
+	dst[12] = float32(c.BTBBits)
+	dst[13] = float32(c.RASEntries)
+	dst[14], dst[15] = float32(c.IntALU.Count), float32(c.IntALU.Latency)
+	dst[16], dst[17] = float32(c.IntMul.Count), float32(c.IntMul.Latency)
+	dst[18], dst[19] = float32(c.IntDiv.Count), float32(c.IntDiv.Latency)
+	dst[20], dst[21] = float32(c.FPALU.Count), float32(c.FPALU.Latency)
+	dst[22], dst[23] = float32(c.FPMul.Count), float32(c.FPMul.Latency)
+	dst[24], dst[25] = float32(c.FPDiv.Count), float32(c.FPDiv.Latency)
+	dst[26], dst[27] = float32(c.VecUnit.Count), float32(c.MemPort.Count)
+	dst[28], dst[29], dst[30] = log2f(float64(c.L1I.SizeKB)), float32(c.L1I.Assoc), float32(c.L1I.Latency)
+	dst[31], dst[32], dst[33] = log2f(float64(c.L1D.SizeKB)), float32(c.L1D.Assoc), float32(c.L1D.Latency)
+	dst[34], dst[35], dst[36] = log2f(float64(c.L2.SizeKB)), float32(c.L2.Assoc), float32(c.L2.Latency)
+	dst[37] = boolToF(c.L2Exclusive)
+	dst[38] = float32(c.Prefetcher)
+	dst[39] = log2f(c.DRAMLatencyNs)
+	dst[40] = log2f(c.DRAMBandwidthGB)
+}
+
+// Features fills the caller-provided packed row matrix dst — len(cfgs) rows
+// of NumParams contiguous float32s, row-major — with the parameter vectors
+// of cfgs. This is the allocation-free path batched sweeps build candidate
+// matrices through; row i is exactly cfgs[i].Params().
+//
+//perfvec:hotpath
+func Features(cfgs []*Config, dst []float32) {
+	if len(dst) != len(cfgs)*NumParams {
+		panic("uarch: Features dst length mismatch")
+	}
+	for i, c := range cfgs {
+		c.ParamsInto(dst[i*NumParams : (i+1)*NumParams])
+	}
+}
+
+func log2f(v float64) float32 { return float32(math.Log2(v)) }
 
 func boolToF(b bool) float32 {
 	if b {
