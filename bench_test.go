@@ -244,6 +244,15 @@ func BenchmarkMatMul32(b *testing.B) { benchsuite.MatMul32(b) }
 func BenchmarkEncodeF32(b *testing.B) { benchsuite.EncodeF32(b) }
 func BenchmarkEncodeF64(b *testing.B) { benchsuite.EncodeF64(b) }
 
+// BenchmarkMatMulQ8 measures the quantized GEMM pipeline (dynamic activation
+// quantization, u8xi8 integer dot products, per-channel dequantization) on
+// the MatMul shape, and BenchmarkEncodeQ8 the int8 serving tier over the
+// EncodeF32 batch. The EncodeQ8/EncodeF32 rows/s ratio is the int8 speedup
+// the acceptance floor (>= 1.5x at batch >= 256 on amd64/AVX2) gates in
+// BENCH_10.json; bench_budget.json pins both at 0 allocs/op.
+func BenchmarkMatMulQ8(b *testing.B) { benchsuite.MatMulQ8(b) }
+func BenchmarkEncodeQ8(b *testing.B) { benchsuite.EncodeQ8(b) }
+
 // BenchmarkServeF32 is BenchmarkServe with the float32 fast path pinned
 // explicitly in the config (the budget entry's stable name for the
 // production serving configuration).

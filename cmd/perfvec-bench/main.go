@@ -1,12 +1,14 @@
 // Command perfvec-bench runs the repo's tracked micro-benchmarks
-// (BenchmarkMatMul/MatMul32, BenchmarkBatch, BenchmarkTrainStep, the
-// BenchmarkEncodeF32/EncodeF64 precision comparison pair, the
+// (BenchmarkMatMul/MatMul32/MatMulQ8, BenchmarkBatch, BenchmarkTrainStep,
+// the BenchmarkEncodeF32/EncodeF64/EncodeQ8 precision comparison set, the
 // BenchmarkServe* serving suite, and the BenchmarkSweep/SweepNaive
 // design-space sweep pair) through testing.Benchmark and writes the
 // results as JSON, so the performance trajectory of the training and
-// serving hot paths is recorded across PRs (BENCH_9.json is this PR's
-// snapshot). The header line logs the runtime-tuned GEMM blocking
-// parameters and the CPUID-detected cache geometry they were derived from.
+// serving hot paths is recorded across PRs (BENCH_10.json is this PR's
+// snapshot). The report's machine section records the active SIMD kernel
+// sets (AVX2/FMA, the VPMADDUBSW int8 dot kernel) and the CPUID-detected
+// cache geometry with the GEMM blocking tuned from it, so kernel-sensitive
+// numbers are interpretable across machines; the header line logs the same.
 // With -budget it also enforces a checked-in allocation budget: CI fails
 // when a change makes the training step, the GEMM backend, or the serving
 // hot path allocate more than the recorded bound. With -tape-histogram it
@@ -16,7 +18,7 @@
 //
 // Usage:
 //
-//	perfvec-bench [-o BENCH_9.json] [-budget bench_budget.json] [-tape-histogram]
+//	perfvec-bench [-o BENCH_10.json] [-budget bench_budget.json] [-tape-histogram]
 package main
 
 import (
@@ -42,11 +44,26 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// machine records the hardware context benchmark numbers were measured
+// under: which optional SIMD kernel sets were active (a MatMulQ8 number from
+// the portable kernels is not comparable to one from VPMADDUBSW hardware)
+// and the cache geometry the GEMM blocking was tuned from.
+type machine struct {
+	Features tensor.Features `json:"features"`
+	// Blocking: the runtime-tuned GEMM parameters [MR, NR, KC, MC, NC].
+	Blocking [5]int `json:"blocking"`
+	// L1dBytes/L2Bytes are zero when CPUID cache detection is unavailable
+	// (the blocking then reflects compile-time defaults).
+	L1dBytes int `json:"l1d_bytes"`
+	L2Bytes  int `json:"l2_bytes"`
+}
+
 // report is the schema of BENCH_N.json.
 type report struct {
 	GeneratedAt string            `json:"generated_at"`
 	GoVersion   string            `json:"go_version"`
 	GoMaxProcs  int               `json:"go_max_procs"`
+	Machine     machine           `json:"machine"`
 	Results     map[string]result `json:"results"`
 	// Baseline carries reference numbers for comparison across PRs; this
 	// binary embeds the pre-arena training step (PR 2 code, before the
@@ -92,7 +109,7 @@ type budget map[string]struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_9.json", "output JSON path (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_10.json", "output JSON path (\"-\" for stdout)")
 	budgetPath := flag.String("budget", "", "allocation budget JSON to enforce (exit 1 on regression)")
 	tapeHist := flag.Bool("tape-histogram", false, "print the op-record kind histogram of one training step and exit")
 	flag.Parse()
@@ -106,13 +123,17 @@ func main() {
 	// parameters, tuned at init from the detected cache geometry (or the
 	// compile-time defaults when detection is unavailable).
 	mr, nr, kc, mc, nc := tensor.BlockingParams()
+	mach := machine{Features: tensor.CPUFeatures(), Blocking: [5]int{mr, nr, kc, mc, nc}}
 	if l1d, l2, ok := tensor.CacheSizes(); ok {
+		mach.L1dBytes, mach.L2Bytes = l1d, l2
 		fmt.Fprintf(os.Stderr, "gemm blocking: %dx%d tile, KC=%d MC=%d NC=%d (L1d %d KiB, L2 %d KiB detected)\n",
 			mr, nr, kc, mc, nc, l1d>>10, l2>>10)
 	} else {
 		fmt.Fprintf(os.Stderr, "gemm blocking: %dx%d tile, KC=%d MC=%d NC=%d (cache detection unavailable; compile-time defaults)\n",
 			mr, nr, kc, mc, nc)
 	}
+	fmt.Fprintf(os.Stderr, "simd kernels: avx2_fma=%v dot_q8=%v\n",
+		mach.Features.AVX2FMA, mach.Features.DotQ8)
 
 	benches := []struct {
 		name string
@@ -120,10 +141,12 @@ func main() {
 	}{
 		{"MatMul", benchsuite.MatMul},
 		{"MatMul32", benchsuite.MatMul32},
+		{"MatMulQ8", benchsuite.MatMulQ8},
 		{"Batch", benchsuite.Batch},
 		{"TrainStep", benchsuite.TrainStep},
 		{"EncodeF32", benchsuite.EncodeF32},
 		{"EncodeF64", benchsuite.EncodeF64},
+		{"EncodeQ8", benchsuite.EncodeQ8},
 		{"Serve", benchsuite.Serve},
 		{"ServeF32", benchsuite.ServeF32},
 		{"ServeNaive", benchsuite.ServeNaive},
@@ -136,6 +159,7 @@ func main() {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Machine:     mach,
 		Results:     make(map[string]result, len(benches)),
 		Baseline: map[string]result{
 			"TrainStep_preArena":    preArenaTrainStep,

@@ -192,7 +192,7 @@
 // The numeric substrate is float32 end to end: training, the tape forward,
 // and serving all run on the same f32 packed GEMM engine, and every bitwise
 // contract above (fusion, parallelism, batch invariance) is stated at f32.
-// Two additional engines exist for serving, selected by serve.Config's
+// Three additional engines exist for serving, selected by serve.Config's
 // Precision (cmd/perfvec-serve -precision):
 //
 //   - The forward-only float32 fast path (the default): tensor.Slab32
@@ -205,16 +205,32 @@
 //     it changed no bit of any served representation. Slab32 follows the
 //     pooled-tape lifetime rule: tensors drawn from a slab die at its next
 //     Reset, and results leave a pass only by copy.
+//   - The int8 quantized tier (serve.PrecisionInt8): per-output-channel
+//     symmetric int8 weights (quantized once, at first use, from the frozen
+//     f32 weights), dynamic per-row activation quantization to 7-bit codes,
+//     u8 x i8 integer GEMMs (VPMADDUBSW/VPMADDWD on AVX2, a bit-identical
+//     portable twin elsewhere) with per-channel dequantization fused into
+//     the epilogue, and fast polynomial gate nonlinearities (vectorized
+//     8-wide on AVX2, bit-identical to their scalar fallback). SlabI8
+//     extends the arena discipline to the quantized scratch, so the tier
+//     holds the zero-steady-state-allocation property. It trades a pinned
+//     epsilon for throughput: >= 1.5x the f32 fast path on batched encodes
+//     (BENCH_10.json records the EncodeQ8/EncodeF32 pair), with every
+//     representation element within 5e-2 of the f64 oracle normalized by
+//     the representation's dynamic range — quantization noise scales with
+//     the range, so the bound is stated against it. Deterministic and
+//     batch-invariant within the tier.
 //   - The float64 oracle (serve.PrecisionF64): nn.Oracle64 widens the
 //     frozen weights exactly and replays the graph with every GEMM
 //     accumulation, transcendental, and reduction in float64 (gemm64 uses
 //     deterministic math.FMA chains, invariant to blocking and
-//     parallelism). It is the audit mode and the reference of the epsilon
-//     drift harness, which holds the f32 path to relative error <= 1e-4
+//     parallelism). It is the audit mode and the reference of both epsilon
+//     drift harnesses, which hold the f32 path to relative error <= 1e-4
 //     element-wise (mixed bound: |f32-f64| / max(|f64|, 1e-2*maxAbs(rep)))
-//     across cell types, seeds, batch compositions, denormal-adjacent
-//     weights and features, all-zero windows, and chunk-boundary row
-//     counts, under both the AVX2 and portable kernels.
+//     and the int8 tier to 5e-2 range-normalized, across cell types,
+//     seeds, batch compositions, denormal-adjacent weights and features,
+//     all-zero windows, and chunk-boundary row counts, under both the AVX2
+//     and portable kernels.
 //
 // GEMM cache-blocking parameters (KC/MC/NC) are tuned once at init from
 // CPUID-detected L1d/L2 geometry (tensor.BlockingParams / CacheSizes;

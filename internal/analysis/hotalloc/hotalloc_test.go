@@ -36,3 +36,12 @@ func TestHotAllocSweep(t *testing.T) {
 func TestHotAllocInferSlab(t *testing.T) {
 	analysistest.Run(t, "testdata/infer", hotalloc.Analyzer)
 }
+
+// TestHotAllocQuantSlab runs the analyzer over the quantized GEMM fixture:
+// the multi-typed slab idiom SlabI8 and MatMulQ8 use (one grow-only pool per
+// element type — u8 codes, i32 accumulators, f32 scales — each warm-up
+// growth waived) next to the same quantize/multiply/dequant pass with the
+// slab forgotten (every per-call scratch allocation flagged).
+func TestHotAllocQuantSlab(t *testing.T) {
+	analysistest.Run(t, "testdata/quant", hotalloc.Analyzer)
+}

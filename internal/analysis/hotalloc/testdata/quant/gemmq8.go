@@ -1,0 +1,146 @@
+// Quantized GEMM fixture: the multi-typed slab idiom internal/tensor's
+// SlabI8 and the MatMulQ8 pipeline follow — one grow-only bump pool per
+// element type (packed u8 activation codes, i32 accumulators, f32
+// quantization scales), each warm-up growth carrying its waiver, everything
+// recycled wholesale by Reset — next to the same quantize/multiply/dequant
+// pass written without the slab, where every call allocates its codes,
+// accumulators, and scales from the heap.
+package fixture
+
+type slabQ struct {
+	u8   []uint8
+	uoff int
+	i32  []int32
+	ioff int
+	f32  []float32
+	foff int
+}
+
+//perfvec:hotpath
+func (s *slabQ) takeU8(n int) []uint8 {
+	if s.uoff+n > len(s.u8) {
+		sz := 2 * len(s.u8)
+		if sz < n {
+			sz = n
+		}
+		s.u8 = make([]uint8, sz) //perfvec:allow hotalloc -- slab warm-up growth; steady state reuses the high-water buffer
+		s.uoff = 0
+	}
+	out := s.u8[s.uoff : s.uoff+n : s.uoff+n]
+	s.uoff += n
+	return out
+}
+
+//perfvec:hotpath
+func (s *slabQ) takeI32(n int) []int32 {
+	if s.ioff+n > len(s.i32) {
+		sz := 2 * len(s.i32)
+		if sz < n {
+			sz = n
+		}
+		s.i32 = make([]int32, sz) //perfvec:allow hotalloc -- slab warm-up growth; steady state reuses the high-water buffer
+		s.ioff = 0
+	}
+	out := s.i32[s.ioff : s.ioff+n : s.ioff+n]
+	s.ioff += n
+	return out
+}
+
+//perfvec:hotpath
+func (s *slabQ) takeF32(n int) []float32 {
+	if s.foff+n > len(s.f32) {
+		sz := 2 * len(s.f32)
+		if sz < n {
+			sz = n
+		}
+		s.f32 = make([]float32, sz) //perfvec:allow hotalloc -- slab warm-up growth; steady state reuses the high-water buffer
+		s.foff = 0
+	}
+	out := s.f32[s.foff : s.foff+n : s.foff+n]
+	s.foff += n
+	return out
+}
+
+func (s *slabQ) reset() { s.uoff, s.ioff, s.foff = 0, 0, 0 }
+
+// gemmPooled is the MatMulQ8 shape: activation codes, the i32 accumulator,
+// and the per-row scales all drawn from the recycled slab; nothing else
+// allocates in steady state.
+//
+//perfvec:hotpath
+func gemmPooled(s *slabQ, x []float32, m, n, k int, dst []float32) {
+	s.reset()
+	codes := s.takeU8(m * k)
+	scales := s.takeF32(m)
+	acc := s.takeI32(m * n)
+	for i := 0; i < m; i++ {
+		var hi float32
+		row := x[i*k : (i+1)*k]
+		for _, v := range row {
+			if v > hi {
+				hi = v
+			}
+		}
+		sc := hi / 127
+		scales[i] = sc
+		for l, v := range row {
+			codes[i*k+l] = uint8(v / sc)
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum int32
+			for l := 0; l < k; l++ {
+				sum += int32(codes[i*k+l])
+			}
+			acc[i*n+j] = sum
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			dst[i*n+j] = float32(acc[i*n+j]) * scales[i]
+		}
+	}
+}
+
+// gemmLeaky is the regressed pipeline: the slab forgotten, every call
+// allocating its quantization scratch from the heap.
+//
+//perfvec:hotpath
+func gemmLeaky(x []float32, m, n, k int) []float32 {
+	codes := make([]uint8, m*k)  // want `make in hot path gemmLeaky`
+	scales := make([]float32, m) // want `make in hot path gemmLeaky`
+	acc := make([]int32, m*n)    // want `make in hot path gemmLeaky`
+	dst := make([]float32, m*n)  // want `make in hot path gemmLeaky`
+	var rows [][]uint8
+	for i := 0; i < m; i++ {
+		var hi float32
+		row := x[i*k : (i+1)*k]
+		for _, v := range row {
+			if v > hi {
+				hi = v
+			}
+		}
+		sc := hi / 127
+		scales[i] = sc
+		for l, v := range row {
+			codes[i*k+l] = uint8(v / sc)
+		}
+		rows = append(rows, codes[i*k:(i+1)*k]) // want `append in hot path gemmLeaky`
+	}
+	for i, row := range rows {
+		for j := 0; j < n; j++ {
+			var sum int32
+			for _, c := range row {
+				sum += int32(c)
+			}
+			acc[i*n+j] = sum
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			dst[i*n+j] = float32(acc[i*n+j]) * scales[i]
+		}
+	}
+	return dst
+}

@@ -1,0 +1,66 @@
+package benchsuite
+
+import (
+	"testing"
+
+	"repro/internal/perfvec"
+	"repro/internal/tensor"
+)
+
+// MatMulQ8 measures the quantized GEMM entry point on the same 256x256x256
+// product as MatMul32: dynamic per-row activation quantization, u8xi8
+// integer dot products, per-channel dequantization — the whole pipeline, not
+// just the integer kernel. Weights are quantized once outside the timed
+// region, matching the serving path where quantization happens at model
+// load.
+func MatMulQ8(b *testing.B) {
+	x := tensor.Tensor32{Data: make([]float32, 256*256), R: 256, C: 256}
+	w := tensor.Tensor32{Data: make([]float32, 256*256), R: 256, C: 256}
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) + 0.25
+	}
+	for i := range w.Data {
+		w.Data[i] = float32(i%5) + 0.5
+	}
+	qw := tensor.QuantizeWeightsBT(w, 0, 256)
+	var s tensor.Slab32
+	var q tensor.SlabI8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		tensor.MatMulQ8(&s, &q, x, qw, nil)
+	}
+	b.StopTimer()
+	ops := 2.0 * 256 * 256 * 256
+	b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GOP/s")
+}
+
+// EncodeQ8 measures the int8 batched encode over the identical 1024-row
+// batch as EncodeF32: quantized GEMMs plus the fast polynomial gate kernels.
+// Paired with EncodeF32, this is the recorded int8-vs-f32 throughput
+// comparison (the acceptance floor is int8 >= 1.5x f32 batched encode at
+// batch >= 256 on amd64/AVX2).
+func EncodeQ8(b *testing.B) {
+	cfg := perfvec.DefaultConfig()
+	f := perfvec.NewFoundation(cfg)
+	ps := encodePrograms(cfg)
+	rows := 0
+	for _, p := range ps {
+		rows += p.N
+	}
+	dst := make([][]float32, len(ps))
+	for i := range dst {
+		dst[i] = make([]float32, cfg.RepDim)
+	}
+	e := f.AcquireEncoder()
+	defer f.ReleaseEncoder(e)
+	e.EncodeProgramsQ8(ps, dst) // quantize the weights and warm the slabs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EncodeProgramsQ8(ps, dst)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}

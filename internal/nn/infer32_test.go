@@ -98,6 +98,9 @@ func TestOracle64Close(t *testing.T) {
 // TestForwardSeq32SteadyStateAllocs pins the forward-only encode to zero
 // heap allocations once the slab and pack pools are warm.
 func TestForwardSeq32SteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; alloc pin runs in the non-race suite")
+	}
 	const featDim, T, batch = 13, 8, 32
 	enc := NewLSTM(rand.New(rand.NewSource(3)), featDim, 32, 2)
 	_, xs32, _ := seqInputs(rand.New(rand.NewSource(4)), T, batch, featDim)

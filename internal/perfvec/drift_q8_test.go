@@ -1,0 +1,160 @@
+package perfvec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The int8 drift harness: the quantized serving tier is held to a pinned
+// epsilon against the float64 oracle, mirroring drift_test.go's sweep
+// structure (cell types x seeds x batch mixes, chunking totals, all-zero
+// windows, both asm and noasm builds via CI's -tags noasm repeat). The
+// metric differs from the f32 harness: dynamic activation quantization
+// injects noise proportional to each GEMM operand's dynamic range, not to
+// individual element magnitudes, so drift is normalized by the
+// representation's own max magnitude — |q8 - f64| / maxAbs(rep64) — rather
+// than element-wise. The tolerance is calibrated headroom over the observed
+// worst case (~2.8e-2 across the full sweep on this scheme: 7-bit
+// activations, per-channel int8 weights, fast polynomial gates) and is a
+// contract: quantization changes that push past it are accuracy
+// regressions, not tuning freedom.
+const driftRelTolQ8 = 5e-2
+
+// repsQ8 encodes ps through the int8 tier on a pooled encoder.
+func repsQ8(f *Foundation, ps []*ProgramData) [][]float32 {
+	dst := make([][]float32, len(ps))
+	for i := range dst {
+		dst[i] = make([]float32, f.Cfg.RepDim)
+	}
+	e := f.AcquireEncoder()
+	e.EncodeProgramsQ8(ps, dst)
+	f.ReleaseEncoder(e)
+	return dst
+}
+
+// checkDriftQ8 encodes ps through the int8 tier and the float64 oracle and
+// enforces the range-normalized epsilon on every representation element and
+// on end-to-end predictions.
+func checkDriftQ8(t *testing.T, f *Foundation, ps []*ProgramData) {
+	t.Helper()
+	repq := repsQ8(f, ps)
+	rep64 := make([][]float64, len(ps))
+	for i := range rep64 {
+		rep64[i] = make([]float64, f.Cfg.RepDim)
+	}
+	f.EncodePrograms64(ps, rep64)
+
+	rng := rand.New(rand.NewSource(101))
+	u := make([]float32, f.Cfg.RepDim)
+	for j := range u {
+		u[j] = float32(rng.NormFloat64())
+	}
+
+	for i := range ps {
+		var maxAbs float64
+		for _, v := range rep64[i] {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 { // oracle rep identically zero: q8 must agree exactly
+			for j := range repq[i] {
+				if repq[i][j] != 0 {
+					t.Fatalf("program %d col %d: q8 %v, oracle exactly 0", i, j, repq[i][j])
+				}
+			}
+			continue
+		}
+		for j := range repq[i] {
+			if rel := math.Abs(float64(repq[i][j])-rep64[i][j]) / maxAbs; rel > driftRelTolQ8 {
+				t.Fatalf("program %d col %d: q8 %v vs f64 %v (range-rel err %.2e > %.0e)",
+					i, j, repq[i][j], rep64[i][j], rel, driftRelTolQ8)
+			}
+		}
+
+		// End to end: predictions from the two representations, normalized by
+		// the sum of term magnitudes (the dot product can cancel).
+		pq := f.PredictTotalNs(repq[i], u)
+		p64 := f.PredictTotalNs64(rep64[i], u)
+		var termScale float64
+		for j, v := range rep64[i] {
+			termScale += math.Abs(v * float64(u[j]))
+		}
+		denom := termScale / float64(f.Cfg.TargetScale)
+		if denom == 0 {
+			if pq != 0 {
+				t.Fatalf("program %d: prediction q8 %v, oracle exactly 0", i, pq)
+			}
+			continue
+		}
+		if rel := math.Abs(pq-p64) / denom; rel > driftRelTolQ8 {
+			t.Fatalf("program %d: prediction q8 %v vs f64 %v (rel err %.2e)", i, pq, p64, rel)
+		}
+	}
+}
+
+// TestDriftQ8Epsilon sweeps cell types x model seeds x batch compositions.
+func TestDriftQ8Epsilon(t *testing.T) {
+	mixes := [][]int{
+		{40},
+		{100, 156},          // program boundary exactly at chunk end
+		{33, 1, 260, 7, 19}, // chunks spanning program boundaries
+	}
+	for _, kind := range driftKinds {
+		for _, seed := range []int64{1, 2} {
+			t.Run(fmt.Sprintf("%s/seed%d", kind, seed), func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Model = kind
+				cfg.Seed = seed
+				f := NewFoundation(cfg)
+				rng := rand.New(rand.NewSource(seed * 31))
+				for _, mix := range mixes {
+					ps := make([]*ProgramData, len(mix))
+					for i, n := range mix {
+						ps[i] = encTestProgram(rng, "p", n, cfg.FeatDim)
+					}
+					checkDriftQ8(t, f, ps)
+				}
+			})
+		}
+	}
+}
+
+// TestDriftQ8RowBoundaries exercises the chunking boundary totals through
+// the quantized tier: 1, 7, 256, and (LSTM only, for runtime) 4096
+// instructions.
+func TestDriftQ8RowBoundaries(t *testing.T) {
+	for _, kind := range driftKinds {
+		totals := []int{1, 7, 256}
+		if kind == ModelLSTM {
+			totals = append(totals, 4096)
+		}
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Model = kind
+			f := NewFoundation(cfg)
+			rng := rand.New(rand.NewSource(43))
+			for _, n := range totals {
+				checkDriftQ8(t, f, []*ProgramData{encTestProgram(rng, "p", n, cfg.FeatDim)})
+			}
+		})
+	}
+}
+
+// TestDriftQ8AllZeroWindows feeds all-zero feature traces: every window is
+// pure padding (the quantizer's pinned all-zero-row case), so the
+// representations are bias-driven and the tiers must still track.
+func TestDriftQ8AllZeroWindows(t *testing.T) {
+	for _, kind := range driftKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Model = kind
+			f := NewFoundation(cfg)
+			p := &ProgramData{Name: "zero", N: 40, FeatDim: cfg.FeatDim,
+				Features: make([]float32, 40*cfg.FeatDim)}
+			checkDriftQ8(t, f, []*ProgramData{p, encTestProgram(rand.New(rand.NewSource(47)), "q", 30, cfg.FeatDim)})
+		})
+	}
+}

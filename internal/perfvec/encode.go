@@ -42,6 +42,10 @@ type Encoder struct {
 	// (encode32.go); it follows the same lifetime rule as the tape — reset
 	// at the start of every chunk, nothing escapes a pass.
 	slab tensor.Slab32
+
+	// slabQ is the quantization arena EncodeProgramsQ8's int8 GEMMs run on
+	// (encodeq8.go); same lifetime rule as slab.
+	slabQ tensor.SlabI8
 }
 
 // encoderPool is the Foundation's free list of batch-inference encoders,

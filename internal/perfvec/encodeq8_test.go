@@ -1,0 +1,91 @@
+package perfvec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestEncodeProgramsQ8BatchInvariant pins row-wise batch invariance for the
+// quantized engine: activation quantization is a pure per-row function and
+// the integer GEMM's reduction order is fixed, so a program's int8-tier
+// representation from a coalesced pass is bitwise identical to encoding it
+// alone, regardless of what shares the batch.
+func TestEncodeProgramsQ8BatchInvariant(t *testing.T) {
+	for _, kind := range []ModelKind{ModelLSTM, ModelGRU, ModelTransformer} {
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Model = kind
+			f := NewFoundation(cfg)
+			rng := rand.New(rand.NewSource(23))
+			ps := []*ProgramData{
+				encTestProgram(rng, "a", 90, cfg.FeatDim),
+				encTestProgram(rng, "b", 300, cfg.FeatDim),
+				encTestProgram(rng, "c", 31, cfg.FeatDim),
+			}
+			batched := repsQ8(f, ps)
+			for i, p := range ps {
+				alone := repsQ8(f, []*ProgramData{p})[0]
+				for j := range alone {
+					if math.Float32bits(batched[i][j]) != math.Float32bits(alone[j]) {
+						t.Fatalf("program %d col %d: coalesced %v != alone %v (q8 encoder must be row-wise batch-invariant)",
+							i, j, batched[i][j], alone[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeProgramsQ8Deterministic pins run-to-run bit determinism across
+// every model kind, including the flattened baselines the drift sweep skips.
+func TestEncodeProgramsQ8Deterministic(t *testing.T) {
+	kinds := []ModelKind{ModelLinear, ModelMLP, ModelLSTM, ModelBiLSTM, ModelGRU, ModelTransformer}
+	for _, kind := range kinds {
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Model = kind
+			f := NewFoundation(cfg)
+			rng := rand.New(rand.NewSource(31))
+			ps := []*ProgramData{
+				encTestProgram(rng, "a", 129, cfg.FeatDim),
+				encTestProgram(rng, "b", 7, cfg.FeatDim),
+			}
+			first := repsQ8(f, ps)
+			again := repsQ8(f, ps)
+			for i := range ps {
+				for j := range first[i] {
+					if math.Float32bits(first[i][j]) != math.Float32bits(again[i][j]) {
+						t.Fatalf("program %d col %d: run 1 %v != run 2 %v", i, j, first[i][j], again[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeProgramsQ8SteadyStateAllocs pins the quantized coalesced encode
+// to zero heap allocations once the encoder's slabs and accumulator scratch
+// are warm.
+func TestEncodeProgramsQ8SteadyStateAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	f := NewFoundation(cfg)
+	rng := rand.New(rand.NewSource(29))
+	ps := []*ProgramData{
+		encTestProgram(rng, "a", 64, cfg.FeatDim),
+		encTestProgram(rng, "b", 200, cfg.FeatDim),
+	}
+	dst := [][]float32{make([]float32, cfg.RepDim), make([]float32, cfg.RepDim)}
+	e := f.AcquireEncoder()
+	defer f.ReleaseEncoder(e)
+	pass := func() { e.EncodeProgramsQ8(ps, dst) }
+	for i := 0; i < 3; i++ {
+		pass()
+	}
+	if raceEnabled {
+		return // the race detector's own allocations break AllocsPerRun
+	}
+	if n := testing.AllocsPerRun(20, pass); n > 0 {
+		t.Fatalf("steady-state EncodeProgramsQ8 allocates %.1f/op, want 0", n)
+	}
+}

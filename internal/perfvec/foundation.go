@@ -37,6 +37,12 @@ type Foundation struct {
 	oracleOnce sync.Once
 	oracleEnc  *nn.Oracle64
 	oracleHead *nn.Linear64
+
+	// The int8 image (per-channel quantized, pre-packed weights) is built
+	// lazily under the same frozen-weights assumption; see encodeq8.go.
+	q8Once sync.Once
+	q8Enc  *nn.Q8Encoder
+	q8Head *nn.LinearQ8
 }
 
 // NewFoundation builds a randomly initialized foundation model.

@@ -200,10 +200,14 @@ func (b *batcher) add(bt *batch, r *encodeReq) int {
 // identical to the tape encode. PrecisionF64 runs the float64 oracle into
 // the batch's dst64 scratch and converts at the batch boundary, so
 // everything downstream (cache, request reps) sees float32 either way.
+// PrecisionInt8 runs the quantized engine on a pooled encoder; it writes
+// float32 representations directly, so the cache layout never varies by
+// tier.
 func (b *batcher) encodeWorker() {
 	defer b.wg.Done()
 	for bt := range b.batches {
-		if b.precision == PrecisionF64 {
+		switch b.precision {
+		case PrecisionF64:
 			for len(bt.dst64) < len(bt.ps) {
 				bt.dst64 = append(bt.dst64, make([]float64, b.repDim))
 			}
@@ -214,7 +218,11 @@ func (b *batcher) encodeWorker() {
 					bt.dst[i][j] = float32(v)
 				}
 			}
-		} else {
+		case PrecisionInt8:
+			e := b.f.AcquireEncoder()
+			e.EncodeProgramsQ8(bt.ps, bt.dst)
+			b.f.ReleaseEncoder(e)
+		default:
 			e := b.f.AcquireEncoder()
 			e.EncodePrograms32(bt.ps, bt.dst)
 			b.f.ReleaseEncoder(e)

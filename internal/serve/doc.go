@@ -47,7 +47,11 @@
 // submit's key — the zero-encode path; 404 when the key is not cached) and
 // streams {"key":..,"n":K,"ns":[..]} with one prediction per candidate
 // (501 when the service has no uarch model, 400 on a size outside
-// [1, MaxSweepConfigs]); GET /v1/predict?key=<hex>&uarch=<idx> predicts
+// [1, MaxSweepConfigs]); adding &top=T (1 <= T <= size, else 400) asks the
+// server to rank: the response carries "top":T and "idx":[..] — the indices
+// of the T smallest predictions, ascending by (value, index) via a bounded
+// max-heap — and "ns" then holds only those T values in the same order,
+// cutting the response from O(size) to O(T) for fleet-scale spaces; GET /v1/predict?key=<hex>&uarch=<idx> predicts
 // from the cache alone; GET /metrics exposes the counter set in Prometheus
 // text format (sweeps add sweep_requests_total, sweep_configs_total, and
 // sweep_rep_cache_hits_total — the last counts sweeps served without any
@@ -120,7 +124,7 @@
 //
 // Config.Precision selects the numeric engine encode batches run on; the
 // request wire format, cache layout, and admission path are identical
-// under both:
+// under all three:
 //
 //   - PrecisionF32 (default): the forward-only float32 engine
 //     (perfvec.Encoder.EncodePrograms32) — packed f32 GEMM on pooled
@@ -128,16 +132,33 @@
 //     Its output is bitwise identical to the tape-based encode, so
 //     everything the paragraphs above promise about cached representations
 //     ("bitwise the one a fresh encode would produce") holds unchanged.
+//   - PrecisionInt8: the quantized engine
+//     (perfvec.Encoder.EncodeProgramsQ8) — per-channel symmetric int8
+//     weights quantized once at first use, dynamic per-row activation
+//     quantization, u8 x i8 integer GEMMs with a fused dequantization
+//     epilogue, and fast polynomial gate nonlinearities — on pooled
+//     Slab32/SlabI8 arenas, zero steady-state allocations. The throughput
+//     tier: >= 1.5x the f32 fast path on batched encodes (the
+//     EncodeQ8/EncodeF32 pair in BENCH_10.json records the ratio). Its
+//     contract is an epsilon, not bitwise equality with the other tiers:
+//     the int8 drift harness holds every representation element within
+//     5e-2 of the f64 oracle, normalized by the representation's dynamic
+//     range (quantization noise scales with the range, not per-element
+//     magnitude). Within the tier the engine is still deterministic and
+//     batch-invariant, so cache semantics are unchanged: a cached int8
+//     representation is bitwise the one a fresh int8 encode would produce.
 //   - PrecisionF64: the float64 oracle (perfvec.Foundation.EncodePrograms64)
 //     — widened weights, float64 forward graph — with each representation
 //     converted to float32 exactly once, at the batch boundary, before it
 //     reaches the cache or any request buffer. This is the audit mode the
-//     serving epsilon is stated against: the f32 fast path drifts from the
-//     oracle by at most 1e-4 relative error element-wise (the drift
-//     harness in internal/perfvec pins this across cell types, batch
-//     compositions, and numeric edge cases). The oracle allocates per
-//     batch; it is for audits, not throughput.
+//     serving epsilons are stated against: the f32 fast path drifts from
+//     the oracle by at most 1e-4 relative error element-wise, the int8
+//     tier by at most 5e-2 range-normalized (the drift harnesses in
+//     internal/perfvec pin both across cell types, batch compositions,
+//     and numeric edge cases). The oracle allocates per batch; it is for
+//     audits, not throughput.
 //
-// The oracle image of the model is built lazily on first use and assumes
-// frozen weights — the assumption serving already makes everywhere.
+// The oracle and quantized images of the model are built lazily on first
+// use and assume frozen weights — the assumption serving already makes
+// everywhere.
 package serve

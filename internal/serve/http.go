@@ -46,6 +46,7 @@ type httpScratch struct {
 	feats []float32
 	rep   []float32
 	ns    []float64
+	topIx []int // top-k candidate indices, reused across ?top= sweeps
 }
 
 // Handler returns the service's HTTP mux:
@@ -209,7 +210,9 @@ func (s *Service) parseSpaceSpec(q url.Values) (uarch.SpaceSpec, string) {
 // — as ?key=<hex> referencing an already-cached representation, which costs
 // zero encoder passes. The response streams the per-candidate predictions as
 // JSON, flushed in bounded chunks so multi-thousand-candidate sweeps never
-// build the whole body in memory.
+// build the whole body in memory. ?top=K (1 <= K <= size) selects
+// server-side: the response then carries only the K lowest predictions,
+// ascending, with an idx array mapping each back to its candidate index.
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request, scratch *sync.Pool) {
 	sc := scratch.Get().(*httpScratch)
 	defer scratch.Put(sc)
@@ -219,6 +222,15 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request, scratch *s
 	if msg != "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
 		return
+	}
+	top := 0
+	if v := q.Get("top"); v != "" {
+		var err error
+		top, err = strconv.Atoi(v)
+		if err != nil || top < 1 || top > spec.Size {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "top must be an integer in [1, size]"})
+			return
+		}
 	}
 	if cap(sc.ns) < spec.Size {
 		sc.ns = make([]float64, spec.Size)
@@ -271,15 +283,46 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request, scratch *s
 	}
 
 	// Stream {"key":..,"n":..,"ns":[..]} through the pooled body buffer,
-	// flushing whenever it tops sweepFlushBytes.
+	// flushing whenever it tops sweepFlushBytes. With ?top=K the ns array
+	// carries only the K best (lowest) predictions, ascending, and an idx
+	// array maps each back to its candidate index in the space.
 	w.Header().Set("Content-Type", "application/json")
 	buf := sc.body[:0]
 	buf = append(buf, `{"key":"`...)
 	buf = strconv.AppendUint(buf, key, 16)
 	buf = append(buf, `","n":`...)
 	buf = strconv.AppendInt(buf, int64(k), 10)
+	ns := out[:k]
+	var idx []int
+	if top > 0 {
+		if top > k {
+			top = k
+		}
+		if cap(sc.topIx) < top {
+			sc.topIx = make([]int, top)
+		}
+		idx = topKMin(ns, sc.topIx[:top])
+		buf = append(buf, `,"top":`...)
+		buf = strconv.AppendInt(buf, int64(top), 10)
+		buf = append(buf, `,"idx":[`...)
+		for i, ci := range idx {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, int64(ci), 10)
+		}
+		buf = append(buf, ']')
+	}
 	buf = append(buf, `,"ns":[`...)
-	for i, v := range out[:k] {
+	count := len(ns)
+	if idx != nil {
+		count = len(idx)
+	}
+	for i := 0; i < count; i++ {
+		v := ns[i]
+		if idx != nil {
+			v = ns[idx[i]]
+		}
 		if i > 0 {
 			buf = append(buf, ',')
 		}

@@ -71,8 +71,10 @@ type Config struct {
 	EncodeWorkers int
 
 	// Precision selects the numeric engine batches run on: PrecisionF32
-	// (the default) is the forward-only float32 fast path, PrecisionF64 the
-	// float64 oracle audit mode. See the Precision doc.
+	// (the default) is the forward-only float32 fast path, PrecisionInt8
+	// the quantized u8 x i8 throughput tier (epsilon-bounded against the
+	// oracle, not bitwise), PrecisionF64 the float64 oracle audit mode.
+	// See the Precision doc.
 	Precision Precision
 
 	// Rate and Burst configure the per-client token buckets. Rate<=0

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -318,5 +319,73 @@ func TestHTTPSweep(t *testing.T) {
 	plain := newTestService(t, 0, nil)
 	if w = doReq(t, plain.Handler(), "POST", "/v1/sweep?size=8", "c1", body); w.Code != http.StatusNotImplemented {
 		t.Fatalf("service without uarch model: %d, want 501", w.Code)
+	}
+}
+
+// TestHTTPSweepTopK pins the server-side selection surface: ?top=K returns
+// exactly the K lowest predictions of the full sweep, ascending, with idx
+// mapping each back to its candidate — verified against sorting the full
+// response — and malformed top values are rejected.
+func TestHTTPSweepTopK(t *testing.T) {
+	s := newSweepService(t, nil)
+	f := s.Model()
+	h := s.Handler()
+	tr := NewTraffic(LoadConfig{Seed: 66, Programs: 1, MinInstrs: 16, MaxInstrs: 16, Requests: 1, Clients: 1}, f.Cfg.FeatDim)
+	fs, n := tr.feats[0], tr.instrs[0]
+	body := submitBody(fs, n, f.Cfg.FeatDim)
+
+	type topResp struct {
+		Key string    `json:"key"`
+		N   int       `json:"n"`
+		Top int       `json:"top"`
+		Idx []int     `json:"idx"`
+		Ns  []float64 `json:"ns"`
+	}
+
+	// Full sweep first, as the reference.
+	w := doReq(t, h, "POST", "/v1/sweep?size=500&seed=11", "c1", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("full sweep: %d %s", w.Code, w.Body.String())
+	}
+	var full topResp
+	if err := json.Unmarshal(w.Body.Bytes(), &full); err != nil {
+		t.Fatal(err)
+	}
+	order := make([]int, len(full.Ns))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return full.Ns[order[a]] < full.Ns[order[b]] ||
+			(full.Ns[order[a]] == full.Ns[order[b]] && order[a] < order[b])
+	})
+
+	for _, k := range []int{1, 10, 500} {
+		w = doReq(t, h, "POST", "/v1/sweep?size=500&seed=11&top="+strconv.Itoa(k)+"&key="+full.Key, "c1", nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("top=%d: %d %s", k, w.Code, w.Body.String())
+		}
+		var got topResp
+		if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.N != 500 || got.Top != k || len(got.Idx) != k || len(got.Ns) != k {
+			t.Fatalf("top=%d shape: n=%d top=%d idx=%d ns=%d", k, got.N, got.Top, len(got.Idx), len(got.Ns))
+		}
+		for i := 0; i < k; i++ {
+			if got.Idx[i] != order[i] {
+				t.Fatalf("top=%d rank %d: idx %d, full sort gives %d", k, i, got.Idx[i], order[i])
+			}
+			if math.Float64bits(got.Ns[i]) != math.Float64bits(full.Ns[order[i]]) {
+				t.Fatalf("top=%d rank %d: ns %v, full sweep has %v", k, i, got.Ns[i], full.Ns[order[i]])
+			}
+		}
+	}
+
+	// Validation: top out of [1, size] or non-integer is a 400.
+	for _, bad := range []string{"0", "-2", "501", "x"} {
+		if w = doReq(t, h, "POST", "/v1/sweep?size=500&top="+bad+"&key="+full.Key, "c1", nil); w.Code != http.StatusBadRequest {
+			t.Fatalf("top=%s: %d, want 400", bad, w.Code)
+		}
 	}
 }

@@ -1,0 +1,58 @@
+package serve
+
+// Server-side top-k selection for /v1/sweep?top=K: sweeps exist to find the
+// best candidate configs, and for large spaces shipping every prediction
+// just to throw most away wastes response bandwidth. Selection runs over a
+// bounded max-heap of K (index, ns) pairs — O(n log k) with k words of
+// state, against O(n log n) and a full copy for sorting — kept as a plain
+// slice with hand-rolled sift routines so the pooled scratch is reused
+// across requests with zero per-request allocation (container/heap's
+// interface would box every push).
+
+// topKMin writes the indices of the k smallest values of ns into ix
+// (which must have length k), ordered ascending by value — ties broken by
+// lower index first — and returns it.
+func topKMin(ns []float64, ix []int) []int {
+	k := len(ix)
+	// Order: a beats b when its value is smaller, or equal with lower index.
+	// The heap keeps the *worst* survivor at the root.
+	worse := func(a, b int) bool {
+		return ns[a] > ns[b] || (ns[a] == ns[b] && a > b)
+	}
+	siftDown := func(root, n int) {
+		for {
+			c := 2*root + 1
+			if c >= n {
+				return
+			}
+			if c+1 < n && worse(ix[c+1], ix[c]) {
+				c++
+			}
+			if !worse(ix[c], ix[root]) {
+				return
+			}
+			ix[root], ix[c] = ix[c], ix[root]
+			root = c
+		}
+	}
+	for i := range ix {
+		ix[i] = i
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(i, k)
+	}
+	for i := k; i < len(ns); i++ {
+		if worse(i, ix[0]) {
+			continue // not better than the current worst survivor
+		}
+		ix[0] = i
+		siftDown(0, k)
+	}
+	// Heapsort in place: repeatedly move the worst survivor to the tail,
+	// leaving ix ascending (best candidate first).
+	for n := k - 1; n > 0; n-- {
+		ix[0], ix[n] = ix[n], ix[0]
+		siftDown(0, n)
+	}
+	return ix
+}

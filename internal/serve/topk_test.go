@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestTopKMinMatchesSort is the property pin for the bounded-heap selector:
+// for random inputs (with deliberate duplicate values) and every k, the
+// selected indices equal the first k of a full stable sort by (value,
+// index), in the same order.
+func TestTopKMinMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(120)
+		ns := make([]float64, n)
+		for i := range ns {
+			ns[i] = float64(rng.Intn(20)) // coarse values force index tie-breaks
+			if trial%2 == 0 {
+				ns[i] = rng.NormFloat64()
+			}
+		}
+		want := make([]int, n)
+		for i := range want {
+			want[i] = i
+		}
+		sort.SliceStable(want, func(a, b int) bool {
+			return ns[want[a]] < ns[want[b]] || (ns[want[a]] == ns[want[b]] && want[a] < want[b])
+		})
+		for _, k := range []int{1, 2, n/2 + 1, n} {
+			if k > n {
+				continue
+			}
+			got := topKMin(ns, make([]int, k))
+			for i := 0; i < k; i++ {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d n=%d k=%d: idx[%d] = %d (ns %v), full sort gives %d (ns %v)",
+						trial, n, k, i, got[i], ns[got[i]], want[i], ns[want[i]])
+				}
+			}
+		}
+	}
+}

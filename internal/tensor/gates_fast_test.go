@@ -1,0 +1,132 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFastExp32Accuracy sweeps the gate-relevant range and bounds the
+// relative error of the polynomial exp against libm. The sweep stops at
+// ±85: closer to the float32 subnormal boundary the exponent-assembly
+// multiply rounds coarsely, and every gate nonlinearity saturates long
+// before its input reaches there.
+func TestFastExp32Accuracy(t *testing.T) {
+	for x := float32(-85); x <= 85; x += 0.0137 {
+		got := float64(fastExp32(x))
+		want := math.Exp(float64(x))
+		if rel := math.Abs(got-want) / want; rel > 2e-6 {
+			t.Fatalf("fastExp32(%v) = %v, want %v (rel err %.3g)", x, got, want, rel)
+		}
+	}
+	if got := fastExp32(-500); got != 0 {
+		t.Fatalf("deep underflow: fastExp32(-500) = %v, want 0", got)
+	}
+	if got := fastExp32(500); math.IsInf(float64(got), 0) || got < 1e36 {
+		t.Fatalf("overflow clamp: fastExp32(500) = %v, want large finite", got)
+	}
+}
+
+// TestFastSigmoidTanhAccuracy bounds the fast nonlinearities against libm:
+// relative error where the function is away from zero, absolute error near
+// zero (both far below the int8 tier's quantization noise).
+func TestFastSigmoidTanhAccuracy(t *testing.T) {
+	for x := float32(-30); x <= 30; x += 0.0113 {
+		s := float64(fastSigmoid32(x))
+		sw := 1 / (1 + math.Exp(-float64(x)))
+		if err := math.Abs(s - sw); err > 2e-6 && err/sw > 5e-6 {
+			t.Fatalf("fastSigmoid32(%v) = %v, want %v", x, s, sw)
+		}
+		th := float64(fastTanh32(x))
+		tw := math.Tanh(float64(x))
+		if err := math.Abs(th - tw); err > 5e-6 && err/math.Abs(tw) > 1e-5 {
+			t.Fatalf("fastTanh32(%v) = %v, want %v", x, th, tw)
+		}
+	}
+}
+
+// TestLSTMGatesFastMatchesExact runs the fast and libm gate kernels on the
+// same pre-activations and bounds the divergence — the gate algebra is
+// shared, so any drift is the transcendental approximation alone. The fast
+// kernels consume their pre buffer, so each gets a private copy.
+func TestLSTMGatesFastMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s Slab32
+	const m, H = 33, 32
+	clone := func(t Tensor32) Tensor32 {
+		return Tensor32{Data: append([]float32(nil), t.Data...), R: t.R, C: t.C}
+	}
+	pre := Tensor32{Data: randSlice(rng, m*4*H), R: m, C: 4 * H}
+	bias := randSlice(rng, 4*H)
+	c := Tensor32{Data: randSlice(rng, m*H), R: m, C: H}
+	hX, cX := LSTMGates32(&s, pre, bias, c)
+	hF, cF := LSTMGatesFast32(&s, clone(pre), bias, c)
+	for i := range hX.Data {
+		if d := math.Abs(float64(hX.Data[i] - hF.Data[i])); d > 1e-5 {
+			t.Fatalf("h[%d]: exact %v fast %v", i, hX.Data[i], hF.Data[i])
+		}
+	}
+	for i := range cX.Data {
+		if d := math.Abs(float64(cX.Data[i] - cF.Data[i])); d > 1e-5 {
+			t.Fatalf("c[%d]: exact %v fast %v", i, cX.Data[i], cF.Data[i])
+		}
+	}
+
+	gruPre := Tensor32{Data: pre.Data[:m*2*H], R: m, C: 2 * H}
+	z0, rh0 := GRUGates32(&s, gruPre, bias[:2*H], c)
+	z1, rh1 := GRUGatesFast32(&s, clone(gruPre), bias[:2*H], c)
+	for i := range z0.Data {
+		if d := math.Abs(float64(z0.Data[i] - z1.Data[i])); d > 1e-5 {
+			t.Fatalf("z[%d]: exact %v fast %v", i, z0.Data[i], z1.Data[i])
+		}
+		if d := math.Abs(float64(rh0.Data[i] - rh1.Data[i])); d > 1e-5 {
+			t.Fatalf("rh[%d]: exact %v fast %v", i, rh0.Data[i], rh1.Data[i])
+		}
+	}
+
+	nPre := Tensor32{Data: pre.Data[:m*H], R: m, C: H}
+	g0 := GateCombine32(&s, z0, nPre, bias[:H], c)
+	g1 := GateCombineFast32(&s, z0, nPre, bias[:H], c)
+	for i := range g0.Data {
+		if d := math.Abs(float64(g0.Data[i] - g1.Data[i])); d > 1e-5 {
+			t.Fatalf("combine[%d]: exact %v fast %v", i, g0.Data[i], g1.Data[i])
+		}
+	}
+
+	att := Tensor32{Data: randSlice(rng, m*m), R: m, C: m}
+	s0 := AttentionSoftmax32(&s, att, 0.25)
+	s1 := AttentionSoftmaxFast32(&s, att, 0.25)
+	for i := range s0.Data {
+		if d := math.Abs(float64(s0.Data[i] - s1.Data[i])); d > 1e-5 {
+			t.Fatalf("softmax[%d]: exact %v fast %v", i, s0.Data[i], s1.Data[i])
+		}
+	}
+}
+
+func BenchmarkLSTMGatesFast32(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var s Slab32
+	const m, H = 256, 32
+	pre := Tensor32{Data: randSlice(rng, m*4*H), R: m, C: 4 * H}
+	bias := randSlice(rng, 4*H)
+	c := Tensor32{Data: randSlice(rng, m*H), R: m, C: H}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		LSTMGatesFast32(&s, pre, bias, c)
+	}
+}
+
+func BenchmarkLSTMGates32(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var s Slab32
+	const m, H = 256, 32
+	pre := Tensor32{Data: randSlice(rng, m*4*H), R: m, C: 4 * H}
+	bias := randSlice(rng, 4*H)
+	c := Tensor32{Data: randSlice(rng, m*H), R: m, C: H}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		LSTMGates32(&s, pre, bias, c)
+	}
+}

@@ -1,0 +1,196 @@
+// AVX2 vector kernels for the fast gate nonlinearities (see gates_fast.go).
+//
+// vExpF32 / vSigmoidF32 / vTanhF32 apply fastExp32 / fastSigmoid32 /
+// fastTanh32 in place to 8-float blocks. Every arithmetic step is an unfused
+// VMULPS/VADDPS/VSUBPS pair in the exact order of the scalar Go expressions
+// — Go never contracts a*b+c into an FMA on amd64, and VDIVPS, VROUNDPS
+// (nearest, ties to even) and VCVTPS2DQ round identically to their scalar
+// counterparts — so the vector lanes produce bit-identical results to the
+// scalar fallback, and the slice helpers' scalar tails cannot introduce
+// position-dependent values. TestFastGateVectorMatchesScalar pins the
+// equality exactly.
+//
+// The one structural difference from the scalar code is the deep-negative
+// branch: fastExp32 returns an early 0 for x < -87.3, which a branch-free
+// vector lane cannot. EXPCORE instead records the x >= -87.3 mask up front
+// (VCMPPS predicate 13, GE ordered), clamps x into the safe exponent range,
+// and zeroes the failing lanes with VANDPS at the end — same values, no
+// divergence.
+
+//go:build !noasm
+
+#include "textflag.h"
+
+// 8-lane broadcast constants for the exp core. Bit patterns are the exact
+// float32 constants in gates_fast.go (printed via math.Float32bits).
+DATA  expHi<>+0(SB)/8, $0x42AE999A42AE999A   // 87.3
+DATA  expHi<>+8(SB)/8, $0x42AE999A42AE999A
+DATA  expHi<>+16(SB)/8, $0x42AE999A42AE999A
+DATA  expHi<>+24(SB)/8, $0x42AE999A42AE999A
+GLOBL expHi<>(SB), RODATA|NOPTR, $32
+
+DATA  expLo<>+0(SB)/8, $0xC2AE999AC2AE999A   // -87.3
+DATA  expLo<>+8(SB)/8, $0xC2AE999AC2AE999A
+DATA  expLo<>+16(SB)/8, $0xC2AE999AC2AE999A
+DATA  expLo<>+24(SB)/8, $0xC2AE999AC2AE999A
+GLOBL expLo<>(SB), RODATA|NOPTR, $32
+
+DATA  expLog2e<>+0(SB)/8, $0x3FB8AA3B3FB8AA3B   // fastLog2E
+DATA  expLog2e<>+8(SB)/8, $0x3FB8AA3B3FB8AA3B
+DATA  expLog2e<>+16(SB)/8, $0x3FB8AA3B3FB8AA3B
+DATA  expLog2e<>+24(SB)/8, $0x3FB8AA3B3FB8AA3B
+GLOBL expLog2e<>(SB), RODATA|NOPTR, $32
+
+DATA  expLn2Hi<>+0(SB)/8, $0x3F3180003F318000   // fastLn2Hi
+DATA  expLn2Hi<>+8(SB)/8, $0x3F3180003F318000
+DATA  expLn2Hi<>+16(SB)/8, $0x3F3180003F318000
+DATA  expLn2Hi<>+24(SB)/8, $0x3F3180003F318000
+GLOBL expLn2Hi<>(SB), RODATA|NOPTR, $32
+
+DATA  expLn2Lo<>+0(SB)/8, $0xB95E8083B95E8083   // fastLn2Lo
+DATA  expLn2Lo<>+8(SB)/8, $0xB95E8083B95E8083
+DATA  expLn2Lo<>+16(SB)/8, $0xB95E8083B95E8083
+DATA  expLn2Lo<>+24(SB)/8, $0xB95E8083B95E8083
+GLOBL expLn2Lo<>(SB), RODATA|NOPTR, $32
+
+DATA  expC6<>+0(SB)/8, $0x3AB60B613AB60B61   // 1/720
+DATA  expC6<>+8(SB)/8, $0x3AB60B613AB60B61
+DATA  expC6<>+16(SB)/8, $0x3AB60B613AB60B61
+DATA  expC6<>+24(SB)/8, $0x3AB60B613AB60B61
+GLOBL expC6<>(SB), RODATA|NOPTR, $32
+
+DATA  expC5<>+0(SB)/8, $0x3C0888893C088889   // 1/120
+DATA  expC5<>+8(SB)/8, $0x3C0888893C088889
+DATA  expC5<>+16(SB)/8, $0x3C0888893C088889
+DATA  expC5<>+24(SB)/8, $0x3C0888893C088889
+GLOBL expC5<>(SB), RODATA|NOPTR, $32
+
+DATA  expC4<>+0(SB)/8, $0x3D2AAAAB3D2AAAAB   // 1/24
+DATA  expC4<>+8(SB)/8, $0x3D2AAAAB3D2AAAAB
+DATA  expC4<>+16(SB)/8, $0x3D2AAAAB3D2AAAAB
+DATA  expC4<>+24(SB)/8, $0x3D2AAAAB3D2AAAAB
+GLOBL expC4<>(SB), RODATA|NOPTR, $32
+
+DATA  expC3<>+0(SB)/8, $0x3E2AAAAB3E2AAAAB   // 1/6
+DATA  expC3<>+8(SB)/8, $0x3E2AAAAB3E2AAAAB
+DATA  expC3<>+16(SB)/8, $0x3E2AAAAB3E2AAAAB
+DATA  expC3<>+24(SB)/8, $0x3E2AAAAB3E2AAAAB
+GLOBL expC3<>(SB), RODATA|NOPTR, $32
+
+DATA  expHalf<>+0(SB)/8, $0x3F0000003F000000   // 1/2
+DATA  expHalf<>+8(SB)/8, $0x3F0000003F000000
+DATA  expHalf<>+16(SB)/8, $0x3F0000003F000000
+DATA  expHalf<>+24(SB)/8, $0x3F0000003F000000
+GLOBL expHalf<>(SB), RODATA|NOPTR, $32
+
+DATA  expOne<>+0(SB)/8, $0x3F8000003F800000   // 1
+DATA  expOne<>+8(SB)/8, $0x3F8000003F800000
+DATA  expOne<>+16(SB)/8, $0x3F8000003F800000
+DATA  expOne<>+24(SB)/8, $0x3F8000003F800000
+GLOBL expOne<>(SB), RODATA|NOPTR, $32
+
+DATA  expBias<>+0(SB)/8, $0x0000007F0000007F   // int32 127
+DATA  expBias<>+8(SB)/8, $0x0000007F0000007F
+DATA  expBias<>+16(SB)/8, $0x0000007F0000007F
+DATA  expBias<>+24(SB)/8, $0x0000007F0000007F
+GLOBL expBias<>(SB), RODATA|NOPTR, $32
+
+DATA  signMask<>+0(SB)/8, $0x8000000080000000
+DATA  signMask<>+8(SB)/8, $0x8000000080000000
+DATA  signMask<>+16(SB)/8, $0x8000000080000000
+DATA  signMask<>+24(SB)/8, $0x8000000080000000
+GLOBL signMask<>(SB), RODATA|NOPTR, $32
+
+// EXPCORE: Y0 = fastExp32(Y0), clobbering Y1 (n), Y2 (Horner p), Y3 (the
+// keep mask) and Y4 (multiply temporary). Instruction-for-expression twin of
+// the scalar fastExp32: clamp, n = round(x*log2e), Cody-Waite reduction,
+// degree-6 Horner in unfused mul/add pairs, exponent-bit assembly, and the
+// deep-negative mask standing in for the scalar early return.
+#define EXPCORE \
+	VCMPPS   $13, expLo<>(SB), Y0, Y3 \ // lanes with x >= -87.3 survive
+	VMINPS   expHi<>(SB), Y0, Y0      \
+	VMAXPS   expLo<>(SB), Y0, Y0      \
+	VMULPS   expLog2e<>(SB), Y0, Y1   \
+	VROUNDPS $0, Y1, Y1               \ // n = nearest int, ties to even
+	VMULPS   expLn2Hi<>(SB), Y1, Y4   \
+	VSUBPS   Y4, Y0, Y0               \ // x - n*ln2hi
+	VMULPS   expLn2Lo<>(SB), Y1, Y4   \
+	VSUBPS   Y4, Y0, Y0               \ // f
+	VMOVUPS  expC6<>(SB), Y2          \
+	VMULPS   Y0, Y2, Y2               \
+	VADDPS   expC5<>(SB), Y2, Y2      \
+	VMULPS   Y0, Y2, Y2               \
+	VADDPS   expC4<>(SB), Y2, Y2      \
+	VMULPS   Y0, Y2, Y2               \
+	VADDPS   expC3<>(SB), Y2, Y2      \
+	VMULPS   Y0, Y2, Y2               \
+	VADDPS   expHalf<>(SB), Y2, Y2    \
+	VMULPS   Y0, Y2, Y2               \
+	VADDPS   expOne<>(SB), Y2, Y2     \
+	VMULPS   Y0, Y2, Y2               \
+	VADDPS   expOne<>(SB), Y2, Y2     \ // p = e^f
+	VCVTPS2DQ Y1, Y1                  \
+	VPADDD   expBias<>(SB), Y1, Y1    \
+	VPSLLD   $23, Y1, Y1              \ // 2^n in the exponent bits
+	VMULPS   Y1, Y2, Y0               \
+	VANDPS   Y3, Y0, Y0
+
+// func vExpF32(d *float32, blocks int)
+TEXT ·vExpF32(SB), NOSPLIT, $0-16
+	MOVQ d+0(FP), SI
+	MOVQ blocks+8(FP), CX
+
+exploop:
+	VMOVUPS (SI), Y0
+	EXPCORE
+	VMOVUPS Y0, (SI)
+	ADDQ    $32, SI
+	DECQ    CX
+	JNZ     exploop
+	VZEROUPPER
+	RET
+
+// func vSigmoidF32(d *float32, blocks int)
+//
+// d[i] = 1 / (1 + fastExp32(-d[i])): negate by sign-bit XOR (exact, as in
+// scalar Go), exp core, then the IEEE-rounded add and divide.
+TEXT ·vSigmoidF32(SB), NOSPLIT, $0-16
+	MOVQ d+0(FP), SI
+	MOVQ blocks+8(FP), CX
+
+sigloop:
+	VMOVUPS (SI), Y0
+	VXORPS  signMask<>(SB), Y0, Y0
+	EXPCORE
+	VADDPS  expOne<>(SB), Y0, Y0
+	VMOVUPS expOne<>(SB), Y5
+	VDIVPS  Y0, Y5, Y0          // 1 / (1 + e)
+	VMOVUPS Y0, (SI)
+	ADDQ    $32, SI
+	DECQ    CX
+	JNZ     sigloop
+	VZEROUPPER
+	RET
+
+// func vTanhF32(d *float32, blocks int)
+//
+// d[i] = (e - 1) / (e + 1) with e = fastExp32(2*d[i]); doubling by VADDPS is
+// exact, matching the scalar 2*x.
+TEXT ·vTanhF32(SB), NOSPLIT, $0-16
+	MOVQ d+0(FP), SI
+	MOVQ blocks+8(FP), CX
+
+tanhloop:
+	VMOVUPS (SI), Y0
+	VADDPS  Y0, Y0, Y0          // 2x
+	EXPCORE
+	VMOVUPS expOne<>(SB), Y5
+	VSUBPS  Y5, Y0, Y4          // e - 1
+	VADDPS  Y5, Y0, Y0          // e + 1
+	VDIVPS  Y0, Y4, Y0
+	VMOVUPS Y0, (SI)
+	ADDQ    $32, SI
+	DECQ    CX
+	JNZ     tanhloop
+	VZEROUPPER
+	RET

@@ -1,0 +1,22 @@
+//go:build amd64 && !noasm
+
+package tensor
+
+// useQ8 routes the quantized engine's micro-kernel dispatch (gemmQ8Micro in
+// gemmq8.go) through the AVX2 VPMADDUBSW/VPMADDWD kernel in gemmq8_amd64.s.
+// VPMADDUBSW and VPMADDWD are AVX2 instructions — every CPU that passes the
+// f32 path's AVX2+FMA probe has them — so the two kernels share one
+// capability gate. The portable kernel in gemmq8.go replicates the i16
+// saturation semantics exactly, so the paths agree bit-for-bit.
+var useQ8 = cpuHasAVX2FMA()
+
+// gemmQ8Micro6x16 accumulates one 6x16 int32 tile held register-resident
+// across the quad loop: twelve YMM accumulators are loaded from c (row
+// stride ldc int32s), receive kq VPMADDUBSW/VPMADDWD steps from the packed
+// operands — a supplies 6 four-byte activation quads per step (layout
+// a[q*24 + r*4 + j], unsigned), b sixteen four-byte weight groups (layout
+// b[q*64 + v*4 + j], signed) — and are stored back once. kq must be >= 0;
+// c, a, and b must cover the full tile, 24*kq, and 64*kq bytes respectively.
+//
+//go:noescape
+func gemmQ8Micro6x16(c *int32, a *uint8, b *int8, kq, ldc int)

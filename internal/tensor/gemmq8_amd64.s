@@ -1,0 +1,143 @@
+// AVX2 micro-kernel for the quantized GEMM engine (see gemmq8.go).
+//
+// gemmQ8Micro6x16 keeps a full 6x16 int32 accumulator tile register-resident
+// across the entire quad loop: twelve YMM accumulators (six rows x two
+// 8-lane vectors), two registers for the packed-B weight vectors of the
+// current quad, one rotating broadcast register for the packed-A activation
+// quads, and one multiply temporary. One quad step consumes four k-values:
+// VPMADDUBSW multiplies unsigned activation bytes against signed weight
+// bytes and sums adjacent pairs with int16 saturation, VPMADDWD against a
+// ones vector widens and sums the pairs into int32 lanes, and VPADDD folds
+// them into the accumulators. The packed quad layout (four consecutive
+// k-values per column, gemmQuad in quant.go) is exactly what makes each
+// int32 lane accumulate one output column. The portable kernel in gemmq8.go
+// applies the identical expression per element — integer arithmetic, so the
+// two paths agree bit-for-bit.
+
+//go:build !noasm
+
+#include "textflag.h"
+
+// ones<> is the VPMADDWD multiplier that reduces i16 pairs by summation:
+// sixteen int16 ones. Kept in memory — the sixteen YMM names are fully
+// booked (12 accumulators + 2 B vectors + broadcast + temporary), and VEX
+// memory operands tolerate any alignment.
+DATA  ones<>+0(SB)/8, $0x0001000100010001
+DATA  ones<>+8(SB)/8, $0x0001000100010001
+DATA  ones<>+16(SB)/8, $0x0001000100010001
+DATA  ones<>+24(SB)/8, $0x0001000100010001
+GLOBL ones<>(SB), RODATA|NOPTR, $32
+
+// func gemmQ8Micro6x16(c *int32, a *uint8, b *int8, kq, ldc int)
+//
+// C tile rows r at c + r*ldc*4, 16 int32s each (two YMM); packed A quad
+// a[q*24 + r*4 + j] (unsigned); packed B quad b[q*64 + v*4 + j] (signed).
+// Accumulators:
+//
+//	row 0: Y4  Y5     row 3: Y10 Y11
+//	row 1: Y6  Y7     row 4: Y12 Y13
+//	row 2: Y8  Y9     row 5: Y14 Y15
+//
+// Y0/Y1 hold the B vectors of the current quad, Y2 the broadcast activation
+// quad of the current row, Y3 the madd temporary.
+TEXT ·gemmQ8Micro6x16(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ kq+24(FP), CX
+	MOVQ ldc+32(FP), DX
+	SHLQ $2, DX                 // row stride in bytes
+
+	// Row pointers R8..R13 = c + {0..5}*ldc.
+	MOVQ DI, R8
+	LEAQ (DI)(DX*1), R9
+	LEAQ (R9)(DX*1), R10
+	LEAQ (R10)(DX*1), R11
+	LEAQ (R11)(DX*1), R12
+	LEAQ (R12)(DX*1), R13
+
+	// Load the 6x16 C tile into the accumulators.
+	VMOVDQU (R8), Y4
+	VMOVDQU 32(R8), Y5
+	VMOVDQU (R9), Y6
+	VMOVDQU 32(R9), Y7
+	VMOVDQU (R10), Y8
+	VMOVDQU 32(R10), Y9
+	VMOVDQU (R11), Y10
+	VMOVDQU 32(R11), Y11
+	VMOVDQU (R12), Y12
+	VMOVDQU 32(R12), Y13
+	VMOVDQU (R13), Y14
+	VMOVDQU 32(R13), Y15
+
+	TESTQ CX, CX
+	JZ    store
+
+kloop:
+	VMOVDQU      (BX), Y0       // b[q*64 .. +31]: columns 0-7, 4 k-bytes each
+	VMOVDQU      32(BX), Y1     // b[q*64+32 .. +63]: columns 8-15
+	VPBROADCASTD (SI), Y2       // a[q*24 + 0*4 ..]: row 0's quad
+	VPMADDUBSW   Y0, Y2, Y3
+	VPMADDWD     ones<>(SB), Y3, Y3
+	VPADDD       Y3, Y4, Y4
+	VPMADDUBSW   Y1, Y2, Y3
+	VPMADDWD     ones<>(SB), Y3, Y3
+	VPADDD       Y3, Y5, Y5
+	VPBROADCASTD 4(SI), Y2      // row 1
+	VPMADDUBSW   Y0, Y2, Y3
+	VPMADDWD     ones<>(SB), Y3, Y3
+	VPADDD       Y3, Y6, Y6
+	VPMADDUBSW   Y1, Y2, Y3
+	VPMADDWD     ones<>(SB), Y3, Y3
+	VPADDD       Y3, Y7, Y7
+	VPBROADCASTD 8(SI), Y2      // row 2
+	VPMADDUBSW   Y0, Y2, Y3
+	VPMADDWD     ones<>(SB), Y3, Y3
+	VPADDD       Y3, Y8, Y8
+	VPMADDUBSW   Y1, Y2, Y3
+	VPMADDWD     ones<>(SB), Y3, Y3
+	VPADDD       Y3, Y9, Y9
+	VPBROADCASTD 12(SI), Y2     // row 3
+	VPMADDUBSW   Y0, Y2, Y3
+	VPMADDWD     ones<>(SB), Y3, Y3
+	VPADDD       Y3, Y10, Y10
+	VPMADDUBSW   Y1, Y2, Y3
+	VPMADDWD     ones<>(SB), Y3, Y3
+	VPADDD       Y3, Y11, Y11
+	VPBROADCASTD 16(SI), Y2     // row 4
+	VPMADDUBSW   Y0, Y2, Y3
+	VPMADDWD     ones<>(SB), Y3, Y3
+	VPADDD       Y3, Y12, Y12
+	VPMADDUBSW   Y1, Y2, Y3
+	VPMADDWD     ones<>(SB), Y3, Y3
+	VPADDD       Y3, Y13, Y13
+	VPBROADCASTD 20(SI), Y2     // row 5
+	VPMADDUBSW   Y0, Y2, Y3
+	VPMADDWD     ones<>(SB), Y3, Y3
+	VPADDD       Y3, Y14, Y14
+	VPMADDUBSW   Y1, Y2, Y3
+	VPMADDWD     ones<>(SB), Y3, Y3
+	VPADDD       Y3, Y15, Y15
+	// Prefetch the panels ~16 quads ahead (b advances 64 B/quad, a 24).
+	PREFETCHT0   1024(BX)
+	PREFETCHT0   384(SI)
+	ADDQ         $64, BX
+	ADDQ         $24, SI
+	DECQ         CX
+	JNZ          kloop
+
+store:
+	VMOVDQU Y4, (R8)
+	VMOVDQU Y5, 32(R8)
+	VMOVDQU Y6, (R9)
+	VMOVDQU Y7, 32(R9)
+	VMOVDQU Y8, (R10)
+	VMOVDQU Y9, 32(R10)
+	VMOVDQU Y10, (R11)
+	VMOVDQU Y11, 32(R11)
+	VMOVDQU Y12, (R12)
+	VMOVDQU Y13, 32(R12)
+	VMOVDQU Y14, (R13)
+	VMOVDQU Y15, 32(R13)
+	VZEROUPPER
+	RET

@@ -1,0 +1,15 @@
+//go:build !amd64 || noasm
+
+package tensor
+
+// Non-amd64 builds — and amd64 builds under -tags noasm, which CI uses to
+// run the int8 drift harness on the portable kernels — run the quantized
+// engine with gemmQ8MicroGeneric, bit-identical to the assembly path
+// (integer arithmetic with pinned saturation semantics leaves no rounding
+// freedom). useQ8 is a var, not a const, so tests can exercise both
+// dispatch paths uniformly.
+var useQ8 = false
+
+func gemmQ8Micro6x16(c *int32, a *uint8, b *int8, kq, ldc int) {
+	panic("tensor: quantized SIMD micro-kernel called without hardware support")
+}

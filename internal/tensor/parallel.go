@@ -27,12 +27,16 @@ type task struct {
 }
 
 // KernelArgs is the by-value argument block of a ParallelKernel dispatch: up
-// to 8 slices, 6 ints, and 6 float32 scalars, copied through the task queue
-// so that nothing about a dispatch escapes to the heap. Each kernel
-// documents its own slot layout (the convention mirrors the opRecord field
-// layouts in records.go).
+// to 8 float32 slices, the integer-typed slices the quantized engine needs
+// (packed u8 activations, packed i8 weights, i32 accumulators), 6 ints, and
+// 6 float32 scalars, copied through the task queue so that nothing about a
+// dispatch escapes to the heap. Each kernel documents its own slot layout
+// (the convention mirrors the opRecord field layouts in records.go).
 type KernelArgs struct {
 	S [8][]float32
+	U [2][]uint8
+	P [2][]int8
+	Z [3][]int32
 	I [6]int
 	F [6]float32
 }

@@ -1,0 +1,201 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// packedWeight reads channel j's quantized value for k-position l out of the
+// quad-strip pack layout (see QuantizeWeightsBT).
+func packedWeight(q *QuantizedWeights, j, l int) int8 {
+	t, c := j/gemmNR, j%gemmNR
+	strip := q.Pack[t*q.KQ*gemmNR*gemmQuad:]
+	return strip[(l/gemmQuad)*gemmNR*gemmQuad+c*gemmQuad+l%gemmQuad]
+}
+
+// TestQuantizeWeightsRoundTrip is the per-channel property test: for every
+// output channel, dequantized weights land within half a quantization step
+// of the originals, the scale is maxabs/127, quantized values stay inside
+// [-127, 127] (the symmetric range — -128 is never produced), and ColSum
+// matches the sum of the packed values.
+func TestQuantizeWeightsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sh := range [][2]int{{1, 1}, {3, 5}, {gemmNR, 51}, {gemmNR + 1, gemmKC}, {2*gemmNR + 5, gemmKC + 3}} {
+		n, k := sh[0], sh[1]
+		w := Tensor32{Data: randSlice(rng, n*k), R: n, C: k}
+		q := QuantizeWeightsBT(w, 0, k)
+		if q.N != n || q.K != k || q.KQ != (k+gemmQuad-1)/gemmQuad {
+			t.Fatalf("%dx%d: dims N=%d K=%d KQ=%d", n, k, q.N, q.K, q.KQ)
+		}
+		for j := 0; j < n; j++ {
+			var maxAbs float32
+			for l := 0; l < k; l++ {
+				if a := float32(math.Abs(float64(w.Data[j*k+l]))); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			wantScale := maxAbs / 127
+			if math.Float32bits(q.Scale[j]) != math.Float32bits(wantScale) {
+				t.Fatalf("%dx%d ch %d: scale %v, want %v", n, k, j, q.Scale[j], wantScale)
+			}
+			var sum int32
+			for l := 0; l < k; l++ {
+				qv := packedWeight(q, j, l)
+				if qv < -127 || qv > 127 {
+					t.Fatalf("ch %d pos %d: quantized %d outside symmetric range", j, l, qv)
+				}
+				sum += int32(qv)
+				back := float64(qv) * float64(q.Scale[j])
+				if diff := math.Abs(back - float64(w.Data[j*k+l])); diff > float64(q.Scale[j])/2+1e-7 {
+					t.Fatalf("ch %d pos %d: round-trip %v vs %v exceeds half-step %v",
+						j, l, back, w.Data[j*k+l], q.Scale[j]/2)
+				}
+			}
+			if sum != q.ColSum[j] {
+				t.Fatalf("ch %d: ColSum %d, want %d", j, q.ColSum[j], sum)
+			}
+			// Padding positions past k must be exactly zero (they contribute
+			// exact zeros to every quad product).
+			for l := k; l < q.KQ*gemmQuad; l++ {
+				if qv := packedWeight(q, j, l); qv != 0 {
+					t.Fatalf("ch %d pad pos %d: %d, want 0", j, l, qv)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizeWeightsSaturationEdges pins the extremes: the channel max maps
+// to exactly +/-127, an all-zero channel gets scale 1 (not 0 or NaN) with
+// all-zero codes, and a column range selects exactly the requested slice.
+func TestQuantizeWeightsSaturationEdges(t *testing.T) {
+	// Channel 0: max magnitude is negative -> -127. Channel 1: all zero.
+	// Channel 2: positive max -> +127, with a tiny value rounding to 0.
+	w := Tensor32{Data: []float32{
+		-4, 2, 1, 0,
+		0, 0, 0, 0,
+		8, 1e-6, -8, 4,
+	}, R: 3, C: 4}
+	q := QuantizeWeightsBT(w, 0, 4)
+	if got := packedWeight(q, 0, 0); got != -127 {
+		t.Fatalf("negative max quantized to %d, want -127", got)
+	}
+	if math.Float32bits(q.Scale[1]) != math.Float32bits(1) {
+		t.Fatalf("all-zero channel scale %v, want 1", q.Scale[1])
+	}
+	for l := 0; l < 4; l++ {
+		if got := packedWeight(q, 1, l); got != 0 {
+			t.Fatalf("all-zero channel pos %d: %d", l, got)
+		}
+	}
+	if got := packedWeight(q, 2, 0); got != 127 {
+		t.Fatalf("positive max quantized to %d, want 127", got)
+	}
+	if got := packedWeight(q, 2, 2); got != -127 {
+		t.Fatalf("negative extreme quantized to %d, want -127", got)
+	}
+	if got := packedWeight(q, 2, 1); got != 0 {
+		t.Fatalf("tiny value quantized to %d, want 0", got)
+	}
+
+	// Column-range quantization equals quantizing the copied submatrix: the
+	// split is how recurrent [x|h] concatenation weights become two
+	// separately quantized operands.
+	rng := rand.New(rand.NewSource(11))
+	full := Tensor32{Data: randSlice(rng, 5*24), R: 5, C: 24}
+	const from, to = 7, 20
+	sub := Tensor32{Data: make([]float32, 5*(to-from)), R: 5, C: to - from}
+	for j := 0; j < 5; j++ {
+		copy(sub.Data[j*(to-from):(j+1)*(to-from)], full.Data[j*24+from:j*24+to])
+	}
+	qr := QuantizeWeightsBT(full, from, to)
+	qs := QuantizeWeightsBT(sub, 0, to-from)
+	if qr.K != to-from || qr.KQ != qs.KQ {
+		t.Fatalf("range dims K=%d KQ=%d vs sub KQ=%d", qr.K, qr.KQ, qs.KQ)
+	}
+	for j := 0; j < 5; j++ {
+		if math.Float32bits(qr.Scale[j]) != math.Float32bits(qs.Scale[j]) || qr.ColSum[j] != qs.ColSum[j] {
+			t.Fatalf("ch %d: range scale/colsum %v/%d vs sub %v/%d",
+				j, qr.Scale[j], qr.ColSum[j], qs.Scale[j], qs.ColSum[j])
+		}
+		for l := 0; l < to-from; l++ {
+			if packedWeight(qr, j, l) != packedWeight(qs, j, l) {
+				t.Fatalf("ch %d pos %d: range %d vs sub %d", j, l, packedWeight(qr, j, l), packedWeight(qs, j, l))
+			}
+		}
+	}
+}
+
+// TestQuantizeRowU8RoundTrip is the activation-side property test: the
+// affine 7-bit quantization covers the row's range (widened to include
+// zero), round-trips every value within half a step, maps exact zero to the
+// zero-point exactly, and clamps at the 0/127 code edges (the 7-bit ceiling
+// that makes the integer GEMM saturation-free; see quant.go).
+func TestQuantizeRowU8RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		row := randSlice(rng, 1+rng.Intn(80))
+		if trial%3 == 0 {
+			row[rng.Intn(len(row))] = 0 // ensure exact zeros appear
+		}
+		scale, zp := quantizeRowU8(row)
+		if zp < 0 || zp > 127 {
+			t.Fatalf("zero-point %d outside 7-bit code range", zp)
+		}
+		if scale <= 0 {
+			t.Fatalf("non-positive scale %v", scale)
+		}
+		inv := 1 / scale
+		zpf := float32(zp) + 0.5
+		for i, v := range row {
+			code := quantizeU8(v, inv, zpf)
+			back := float64(int32(code)-zp) * float64(scale)
+			// Half a step plus a little float32 arithmetic slop (the hot
+			// quantizer works in single precision by design).
+			if diff := math.Abs(back - float64(v)); diff > float64(scale)*(0.5+1e-4) {
+				t.Fatalf("trial %d pos %d: round-trip %v vs %v exceeds half-step %v", trial, i, back, v, scale/2)
+			}
+			if v == 0 && int32(code) != zp {
+				t.Fatalf("trial %d pos %d: zero quantized to %d, zero-point %d", trial, i, code, zp)
+			}
+		}
+	}
+
+	// All-zero row: the pinned degenerate case is scale 1, zero-point 0, so
+	// every code is 0 and dequantization is exactly zero.
+	zeros := make([]float32, 17)
+	scale, zp := quantizeRowU8(zeros)
+	if math.Float32bits(scale) != math.Float32bits(1) || zp != 0 {
+		t.Fatalf("all-zero row: scale %v zp %d, want 1 and 0", scale, zp)
+	}
+
+	// Saturation at the code edges: values beyond the calibrated range (as
+	// happens when quantizeU8 is fed a value outside the row it was
+	// calibrated on) clamp to 0 and 127 rather than wrapping.
+	calib := []float32{-2, 6}
+	scale, zp = quantizeRowU8(calib)
+	inv := 1 / scale
+	zpf := float32(zp) + 0.5
+	if got := quantizeU8(-50, inv, zpf); got != 0 {
+		t.Fatalf("below-range value quantized to %d, want 0", got)
+	}
+	if got := quantizeU8(1e6, inv, zpf); got != 127 {
+		t.Fatalf("above-range value quantized to %d, want 127", got)
+	}
+	if got := quantizeU8(6, inv, zpf); got != 127 {
+		t.Fatalf("range max quantized to %d, want 127", got)
+	}
+
+	// A positive-only row still includes zero in its range so that padding
+	// and sparse zeros stay exactly representable: lo widens to 0, hence
+	// zero-point 0.
+	pos := []float32{3, 5, 4}
+	scale, zp = quantizeRowU8(pos)
+	if zp != 0 {
+		t.Fatalf("positive-only row zero-point %d, want 0", zp)
+	}
+	if got := quantizeU8(5, 1/scale, float32(zp)+0.5); got != 127 {
+		t.Fatalf("positive-only max code %d, want 127", got)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !race
+
+package tensor
+
+// raceEnabled mirrors the race detector's build state: the detector's
+// instrumentation performs heap allocations of its own, so the strict
+// AllocsPerRun assertions only hold on uninstrumented builds. The
+// bitwise-equality and slab-growth assertions are logic-level and run
+// under race too.
+const raceEnabled = false
